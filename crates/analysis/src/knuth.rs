@@ -1,0 +1,170 @@
+//! Knuth-style expected costs for the standard external hash table.
+//!
+//! The paper's baseline is Knuth's analysis [13, §6.4]: with blocks of
+//! `b` items and load factor `α < 1`, a successful lookup costs
+//! `1 + 1/2^Ω(b)` expected I/Os. We compute the exact expectation under
+//! the **Poisson bucket model**: each bucket receives `Poisson(αb)`
+//! items (the standard approximation of throwing `n` balls into `n/(αb)`
+//! buckets), and overflow items spill into chain blocks of `b` items
+//! each.
+
+use crate::tails::{poisson_pmf, poisson_tail_gt};
+
+/// Expected I/O costs of a chaining table at a given `(b, α)`.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainingCosts {
+    /// Expected I/Os of a successful lookup of a uniform item.
+    pub successful_lookup: f64,
+    /// Expected I/Os of an unsuccessful lookup (walks the whole chain).
+    pub unsuccessful_lookup: f64,
+    /// Expected I/Os of an insertion (walks to the chain tail, one
+    /// combined I/O there; extension adds two more).
+    pub insert: f64,
+}
+
+/// Computes [`ChainingCosts`] under the Poisson bucket model.
+///
+/// For a bucket holding `j` items, the item at position `i` (insertion
+/// order) sits in chain block `⌊(i−1)/b⌋`, costing `1 + ⌊(i−1)/b⌋` I/Os
+/// to find. Successful-lookup cost averages that over a *size-biased*
+/// bucket (a uniform item lands in a bucket with probability
+/// proportional to its size).
+pub fn chaining_costs(b: usize, alpha: f64) -> ChainingCosts {
+    assert!(b > 0);
+    assert!(alpha > 0.0, "load factor must be positive");
+    let lambda = alpha * b as f64;
+    // Truncate the Poisson sum when the remaining tail is negligible.
+    let j_max = (lambda + 12.0 * lambda.sqrt() + 30.0) as u64;
+    let bf = b as f64;
+
+    let mut succ_weighted = 0.0; // Σ_j P(j) · Σ_{i≤j} (1 + ⌊(i−1)/b⌋)
+    let mut unsucc = 0.0; // Σ_j P(j) · max(1, ⌈j/b⌉)
+    let mut insert = 0.0; // reach the tail block: max(1, ⌈j/b⌉) … + extension cost
+    for j in 0..=j_max {
+        let p = poisson_pmf(lambda, j);
+        if p < 1e-18 && j as f64 > lambda {
+            break;
+        }
+        // Σ_{i=1..j} (1 + ⌊(i−1)/b⌋): the first b items cost 1, next b cost 2, …
+        let full_blocks = j / b as u64;
+        let rem = j % b as u64;
+        // sum over full blocks: b · (1 + 2 + … + full_blocks) = b·fb(fb+1)/2
+        let sum_cost = bf * (full_blocks * (full_blocks + 1)) as f64 / 2.0
+            + rem as f64 * (full_blocks + 1) as f64;
+        succ_weighted += p * sum_cost;
+        let blocks = if j == 0 { 1.0 } else { j.div_ceil(b as u64) as f64 };
+        unsucc += p * blocks;
+        // Insert: walk to the tail block (= `blocks` I/Os charged as
+        // blocks−1 reads + 1 combined write). If the tail is exactly full
+        // (j > 0 and j % b == 0), extension costs 2 extra I/Os.
+        let extend = if j > 0 && rem == 0 { 2.0 } else { 0.0 };
+        insert += p * (blocks + extend);
+    }
+    ChainingCosts {
+        successful_lookup: succ_weighted / lambda,
+        unsuccessful_lookup: unsucc,
+        insert,
+    }
+}
+
+/// The probability that a bucket overflows its primary block:
+/// `Pr[Poisson(αb) > b]` — the `1/2^Ω(b)` term of the paper's baseline.
+pub fn overflow_tail(b: usize, alpha: f64) -> f64 {
+    poisson_tail_gt(alpha * b as f64, b as u64)
+}
+
+/// Expected insertion cost **amortized over filling** the table from
+/// empty to load `alpha`: `(1/α)·∫₀^α insert(a) da`, numerically with
+/// `steps` midpoint samples. This matches what an experiment that
+/// measures all `n` insertions observes (each insert sees the load at
+/// its own time, not the final load).
+pub fn chaining_insert_amortized(b: usize, alpha: f64, steps: usize) -> f64 {
+    assert!(steps >= 1);
+    let h = alpha / steps as f64;
+    let mut total = 0.0;
+    for i in 0..steps {
+        let a = (i as f64 + 0.5) * h;
+        total += chaining_costs(b, a).insert;
+    }
+    total / steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_approach_one_for_large_blocks() {
+        let c = chaining_costs(256, 0.5);
+        assert!(c.successful_lookup < 1.0 + 1e-9, "at α=1/2, b=256: {c:?}");
+        assert!(c.successful_lookup >= 1.0 - 1e-9);
+        assert!(c.unsuccessful_lookup < 1.0 + 1e-6);
+        assert!(c.insert < 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn costs_grow_with_load() {
+        let lo = chaining_costs(16, 0.3);
+        let hi = chaining_costs(16, 0.9);
+        assert!(hi.successful_lookup > lo.successful_lookup);
+        assert!(hi.unsuccessful_lookup > lo.unsuccessful_lookup);
+        assert!(hi.insert > lo.insert);
+    }
+
+    #[test]
+    fn excess_cost_shrinks_exponentially_in_b() {
+        // tq − 1 should drop by orders of magnitude as b doubles (at fixed α).
+        let e8 = chaining_costs(8, 0.5).successful_lookup - 1.0;
+        let e16 = chaining_costs(16, 0.5).successful_lookup - 1.0;
+        let e32 = chaining_costs(32, 0.5).successful_lookup - 1.0;
+        assert!(e16 < e8 / 3.0, "e8={e8}, e16={e16}");
+        assert!(e32 < e16 / 5.0, "e16={e16}, e32={e32}");
+    }
+
+    #[test]
+    fn successful_lookup_is_at_least_one() {
+        for b in [2usize, 8, 64] {
+            for alpha in [0.2, 0.5, 0.8, 0.95] {
+                let c = chaining_costs(b, alpha);
+                assert!(
+                    c.successful_lookup >= 1.0 - 1e-12,
+                    "b={b} α={alpha}: {}",
+                    c.successful_lookup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn over_unity_load_forces_chains() {
+        // α = 2: buckets hold ~2b items → chains of ~2 blocks; successful
+        // lookups average ≈ 1.5 block accesses.
+        let c = chaining_costs(32, 2.0);
+        assert!(c.successful_lookup > 1.3, "{}", c.successful_lookup);
+        assert!(c.unsuccessful_lookup > 1.8, "{}", c.unsuccessful_lookup);
+    }
+
+    #[test]
+    fn amortized_insert_is_below_final_load_insert() {
+        // Early inserts see a lighter table, so the fill-amortized cost is
+        // strictly below the at-final-load cost whenever chains matter.
+        let at_final = chaining_costs(8, 0.9).insert;
+        let amortized = chaining_insert_amortized(8, 0.9, 32);
+        assert!(amortized < at_final, "{amortized} < {at_final}");
+        assert!(amortized >= 1.0);
+    }
+
+    #[test]
+    fn amortized_insert_converges_in_steps() {
+        let coarse = chaining_insert_amortized(16, 0.8, 8);
+        let fine = chaining_insert_amortized(16, 0.8, 64);
+        assert!((coarse - fine).abs() < 0.01, "{coarse} vs {fine}");
+    }
+
+    #[test]
+    fn overflow_tail_matches_poisson() {
+        assert!(overflow_tail(64, 0.5) < 1e-6);
+        assert!(overflow_tail(4, 0.9) > 1e-3);
+        assert!(overflow_tail(64, 0.5) < overflow_tail(8, 0.5));
+    }
+}

@@ -1,0 +1,178 @@
+//! Streaming statistics for multi-trial experiments.
+
+/// Welford's online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (NaN-free; +∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel trials).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Half-width of a normal-approximation 95% confidence interval for the
+/// mean.
+pub fn ci95_halfwidth(stats: &RunningStats) -> f64 {
+    1.96 * stats.stderr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Direct unbiased variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e.mean(), before.mean());
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..10 {
+            small.push(i as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 10) as f64);
+        }
+        assert!(ci95_halfwidth(&large) < ci95_halfwidth(&small));
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion micro-benchmarks: bin-ball game simulation throughput
+//! (the lower-bound experiments play millions of games).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dxh_lowerbound::BinBallGame;
+use std::hint::black_box;
+
+fn bench_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binball_play");
+    for (s, r, t) in [(100u64, 1000u64, 10u64), (1000, 10_000, 100), (5000, 500, 2500)] {
+        let g = BinBallGame { s, r, t };
+        let mut seed = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(format!("s{s}_r{r}_t{t}")), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(g.play(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_games);
+criterion_main!(benches);

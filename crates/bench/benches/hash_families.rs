@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks: hash evaluation throughput per family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dxh_hashfn::{
+    HashFamily, HashFn, IdealFamily, MultiplyShiftFamily, PolynomialFamily, TabulationFamily,
+    UniversalFamily,
+};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_families(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("hash64");
+
+    macro_rules! bench {
+        ($name:expr, $family:expr) => {
+            let f = $family.sample(&mut rng);
+            let mut x = 0u64;
+            group.bench_function(BenchmarkId::from_parameter($name), |bencher| {
+                bencher.iter(|| {
+                    x = x.wrapping_add(0x9E37_79B9);
+                    black_box(f.hash64(x))
+                });
+            });
+        };
+    }
+    bench!("ideal", IdealFamily);
+    bench!("universal", UniversalFamily);
+    bench!("multiply-shift", MultiplyShiftFamily);
+    bench!("tabulation", TabulationFamily);
+    bench!("poly-k4", PolynomialFamily::new(4));
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

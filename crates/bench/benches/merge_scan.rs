@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks: the sequential merge machinery —
+//! chaining-table hierarchical resize and log-method level migrations,
+//! the operations whose `O(n/b)` behavior every amortized bound rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dxh_core::{CoreConfig, ExternalDictionary, LogMethodTable};
+use dxh_hashfn::{IdealFn, SplitMix64};
+use dxh_tables::{ChainingConfig, ChainingTable};
+use std::hint::black_box;
+
+fn bench_chaining_growth(c: &mut Criterion) {
+    // Inserting 20k items into a table starting at 4 buckets exercises
+    // ~12 hierarchical doublings.
+    c.bench_function("chaining_growth_20k", |bencher| {
+        bencher.iter(|| {
+            let cfg = ChainingConfig::new(64, 4096).initial_buckets(4);
+            let mut t = ChainingTable::new(cfg, IdealFn::from_seed(1)).unwrap();
+            let mut rng = SplitMix64::new(2);
+            for _ in 0..20_000 {
+                let k = rng.next_u64() >> 1;
+                t.insert(k, k).unwrap();
+            }
+            black_box(t.buckets())
+        });
+    });
+}
+
+fn bench_log_method_migrations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_method_20k");
+    group.sample_size(10);
+    for gamma in [2u64, 8] {
+        group.bench_function(BenchmarkId::from_parameter(gamma), |bencher| {
+            bencher.iter(|| {
+                let cfg = CoreConfig::lemma5(64, 1024, gamma).unwrap();
+                let mut t = LogMethodTable::new(cfg, 3).unwrap();
+                let mut rng = SplitMix64::new(4);
+                for _ in 0..20_000 {
+                    let k = rng.next_u64() >> 1;
+                    t.insert(k, k).unwrap();
+                }
+                black_box(t.active_levels())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaining_growth, bench_log_method_migrations);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks: wall-clock insert/lookup throughput of
+//! every structure at a fixed size (the I/O *counts* are covered by the
+//! experiment binaries; these watch the simulator's CPU cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dxh_core::{
+    BootstrappedTable, CoreConfig, DynamicHashTable, ExternalDictionary, TradeoffTarget,
+};
+use dxh_hashfn::SplitMix64;
+use std::hint::black_box;
+
+const N: usize = 20_000;
+const B: usize = 64;
+const M: usize = 1024;
+
+fn build(target: TradeoffTarget, seed: u64) -> DynamicHashTable {
+    let mut t = DynamicHashTable::for_target(target, B, M, seed).unwrap();
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..N {
+        let k = rng.next_u64() >> 1;
+        t.insert(k, k).unwrap();
+    }
+    t
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_20k");
+    group.sample_size(10);
+    for (name, target) in [
+        ("chaining", TradeoffTarget::QueryOptimal),
+        ("log-method", TradeoffTarget::LogMethod { gamma: 2 }),
+        ("bootstrapped", TradeoffTarget::InsertOptimal { c: 0.5 }),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| black_box(build(target, 7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_hit");
+    for (name, target) in [
+        ("chaining", TradeoffTarget::QueryOptimal),
+        ("log-method", TradeoffTarget::LogMethod { gamma: 2 }),
+        ("bootstrapped", TradeoffTarget::InsertOptimal { c: 0.5 }),
+    ] {
+        let mut table = build(target, 9);
+        let mut rng = SplitMix64::new(9);
+        let keys: Vec<u64> = (0..N).map(|_| rng.next_u64() >> 1).collect();
+        let mut i = 0;
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(table.lookup(keys[i]).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_heavy(c: &mut Criterion) {
+    // Small β forces frequent Ĥ merges: stresses the stream machinery.
+    c.bench_function("bootstrapped_merge_heavy_5k", |bencher| {
+        bencher.iter(|| {
+            let cfg = CoreConfig::custom(B, M, 2, 2.0).unwrap();
+            let mut t = BootstrappedTable::new(cfg, 3).unwrap();
+            let mut rng = SplitMix64::new(4);
+            for _ in 0..5000 {
+                let k = rng.next_u64() >> 1;
+                t.insert(k, k).unwrap();
+            }
+            black_box(t.merge_count())
+        });
+    });
+}
+
+criterion_group!(benches, bench_inserts, bench_lookups, bench_merge_heavy);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **L3/L4** — the bin-ball game lemmas, empirically.
+//!
+//! Lemma 3 (`sp ≤ 1/3`): with probability ≥ 1 − e^(−µ²s/3) the game
+//! costs at least `(1−µ)(1−sp)s − t`. Lemma 4 (`s/2 ≥ t`, `s/2 ≥ 1/p`):
+//! with probability 1 − 2^(−Ω(s)) it costs at least `1/(20p)`.
+//!
+//! Each row plays many games with the optimal adversary and compares the
+//! empirical violation rate with the bound.
+//!
+//! Run: `cargo run -p dxh-bench --release --bin exp_binball [--quick] [--lemma 3|4]`
+
+use dxh_analysis::{table::fmt_f, TextTable};
+use dxh_bench::{emit, ExpArgs};
+use dxh_lowerbound::BinBallGame;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let which: Option<u32> = args.get("lemma").and_then(|s| s.parse().ok());
+    let trials = args.scale(2000, 300) as u64;
+
+    if which.is_none_or(|w| w == 3) {
+        let mu = 0.2;
+        let mut t3 = TextTable::new([
+            "s",
+            "bins r",
+            "t",
+            "sp",
+            "threshold (1−µ)(1−sp)s−t",
+            "mean cost",
+            "P[cost<thr] (emp)",
+            "bound e^(−µ²s/3)",
+        ]);
+        for (s, r, t) in [
+            (100u64, 1000u64, 10u64),
+            (300, 3000, 30),
+            (1000, 10_000, 100),
+            (1000, 3000, 100),
+            (3000, 30_000, 300),
+        ] {
+            let g = BinBallGame { s, r, t };
+            assert!(g.lemma3_applies(), "sp must be ≤ 1/3");
+            let stats = g.monte_carlo(trials, mu, 0xBB);
+            t3.row([
+                s.to_string(),
+                r.to_string(),
+                t.to_string(),
+                fmt_f(s as f64 / r as f64, 3),
+                fmt_f(g.lemma3_threshold(mu), 1),
+                fmt_f(stats.cost.mean(), 1),
+                fmt_f(stats.frac_below_lemma3, 4),
+                format!("{:.2e}", g.lemma3_tail(mu)),
+            ]);
+        }
+        println!("Lemma 3 (µ = {mu}, {trials} games/row, optimal adversary):");
+        emit("bin-ball game — Lemma 3", &t3, &args, "exp_binball_l3.csv");
+    }
+
+    if which.is_none_or(|w| w == 4) {
+        let mut t4 = TextTable::new([
+            "s",
+            "bins r",
+            "t",
+            "threshold r/20",
+            "mean cost",
+            "min cost",
+            "P[cost<thr] (emp)",
+        ]);
+        for (s, r, t) in [
+            (200u64, 50u64, 100u64),
+            (1000, 100, 500),
+            (2000, 100, 1000),
+            (5000, 500, 2500),
+        ] {
+            let g = BinBallGame { s, r, t };
+            assert!(g.lemma4_applies());
+            let stats = g.monte_carlo(trials, 0.1, 0xBB44);
+            t4.row([
+                s.to_string(),
+                r.to_string(),
+                t.to_string(),
+                fmt_f(g.lemma4_threshold(), 1),
+                fmt_f(stats.cost.mean(), 1),
+                fmt_f(stats.cost.min(), 0),
+                fmt_f(stats.frac_below_lemma4, 4),
+            ]);
+        }
+        println!("\nLemma 4 ({trials} games/row, optimal adversary):");
+        emit("bin-ball game — Lemma 4", &t4, &args, "exp_binball_l4.csv");
+    }
+    println!(
+        "\nReading: empirical violation rates sit at or below the analytic\n\
+         tails — the adversary (even playing optimally) cannot push the\n\
+         occupied-bin count below the lemmas' floors, which is what forces\n\
+         a round of insertions to touch ≈ s distinct blocks in Theorem 1."
+    );
+}

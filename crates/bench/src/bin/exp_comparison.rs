@@ -1,0 +1,84 @@
+//! **C** — hashing versus comparison-based search, quantified.
+//!
+//! The paper's opening argument: in external memory, hash tables answer
+//! point lookups in `1 + 1/2^Ω(b)` I/Os while comparison-based trees pay
+//! `Θ(log_B n)`. This experiment puts the external B+-tree next to every
+//! hash structure on identical workloads, and also shows the one thing
+//! the tree keeps: ordered range scans.
+//!
+//! Run: `cargo run -p dxh-bench --release --bin exp_comparison [--quick]`
+
+use dxh_analysis::{table::fmt_f, TextTable};
+use dxh_bench::{emit, insert_uniform, ExpArgs};
+use dxh_btree::{BPlusTree, BPlusTreeConfig};
+use dxh_core::{DynamicHashTable, ExternalDictionary, TradeoffTarget};
+use dxh_workloads::{measure_tq, measure_tq_unsuccessful};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let b = 64;
+    let m = 1024;
+    let n = args.scale(150_000, 15_000);
+    let samples = args.scale(2500, 500);
+
+    let mut t = TextTable::new([
+        "structure",
+        "tu (insert)",
+        "tq (hit)",
+        "tq (miss)",
+        "range 1k (I/Os)",
+        "theory tq",
+    ]);
+
+    // The B+-tree.
+    let mut tree = BPlusTree::new(BPlusTreeConfig::new(b, m)).unwrap();
+    let keys = insert_uniform(&mut tree, n, 0xB7EE).unwrap();
+    let tu = tree.total_ios() as f64 / n as f64;
+    let tq = measure_tq(&mut tree, &keys, samples, 1).unwrap();
+    let tq_miss = measure_tq_unsuccessful(&mut tree, samples, 2).unwrap();
+    // Range scan: a window expected to contain ~1000 keys. Keys are
+    // uniform over [0, 2^63); scale the window accordingly.
+    let width = ((1u64 << 62) / n as u64) * 2000;
+    let e = tree.disk_stats();
+    let got = tree.range(1 << 60, (1 << 60) + width).unwrap();
+    let scan_ios = tree.disk_stats().since(&e).total(tree.cost_model());
+    let h = tree.height();
+    t.row([
+        format!("B+-tree (height {h})"),
+        fmt_f(tu, 4),
+        fmt_f(tq, 4),
+        fmt_f(tq_miss, 4),
+        format!("{scan_ios} ({} items)", got.len()),
+        format!("log_B n = {}", h + 1),
+    ]);
+
+    // The hash structures.
+    for (label, target, theory) in [
+        ("chaining", TradeoffTarget::QueryOptimal, "1 + 1/2^Ω(b)"),
+        ("bootstrapped c=0.5", TradeoffTarget::InsertOptimal { c: 0.5 }, "1 + O(1/√b)"),
+        ("log-method γ=2", TradeoffTarget::LogMethod { gamma: 2 }, "O(log(n/m))"),
+    ] {
+        let mut table = DynamicHashTable::for_target(target, b, m, 0xCAFE).unwrap();
+        let keys = insert_uniform(&mut table, n, 3).unwrap();
+        let tu = table.total_ios() as f64 / n as f64;
+        let tq = measure_tq(&mut table, &keys, samples, 4).unwrap();
+        let tq_miss = measure_tq_unsuccessful(&mut table, samples, 5).unwrap();
+        t.row([
+            label.to_string(),
+            fmt_f(tu, 4),
+            fmt_f(tq, 4),
+            fmt_f(tq_miss, 4),
+            "n/a (unordered)".to_string(),
+            theory.to_string(),
+        ]);
+    }
+
+    println!(
+        "Hashing vs comparison search: b = {b}, m = {m}, n = {n}.\n\
+         The B+-tree pays its height on every operation; hashing answers\n\
+         point queries in ≈ 1 I/O — the premise of the whole paper — and\n\
+         the buffered variants then trade a hair of that for o(1) inserts.\n\
+         The tree's consolation prize: ordered scans at ~1 I/O per b items."
+    );
+    emit("hashing vs B+-tree", &t, &args, "exp_comparison.csv");
+}

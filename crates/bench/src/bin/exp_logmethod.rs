@@ -1,0 +1,66 @@
+//! **L5** — Lemma 5: the logarithmic method.
+//!
+//! Sweeps the growth factor `γ`, measuring amortized insertion cost
+//! against `O((γ/b)·log(n/m))` and lookup cost against
+//! `O(log_γ(n/m))`. Also reports the number of active levels — the
+//! quantity the query bound actually counts.
+//!
+//! Run: `cargo run -p dxh-bench --release --bin exp_logmethod [--quick]`
+
+use dxh_analysis::{lemma5_tq, lemma5_tu, stats::RunningStats, table::fmt_f, TextTable};
+use dxh_bench::{emit, insert_uniform, ExpArgs};
+use dxh_core::{CoreConfig, ExternalDictionary, LogMethodTable};
+use dxh_workloads::{measure_tq, parallel_trials};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let b = 64;
+    let m = 1024;
+    let n = args.scale(150_000, 15_000);
+    let samples = args.scale(2500, 500);
+
+    let mut table = TextTable::new([
+        "γ",
+        "tu (meas)",
+        "tu bound (γ/b·log₂(n/m))",
+        "tq (meas)",
+        "tq bound (log_γ(n/m))",
+        "levels",
+    ]);
+    for gamma in [2u64, 4, 8, 16] {
+        let rows = parallel_trials(args.trials, 0x109, |seed| {
+            let cfg = CoreConfig::lemma5(b, m, gamma).unwrap();
+            let mut t = LogMethodTable::new(cfg, seed).unwrap();
+            let keys = insert_uniform(&mut t, n, seed).unwrap();
+            let tu = t.total_ios() as f64 / n as f64;
+            let tq = measure_tq(&mut t, &keys, samples, seed ^ 7).unwrap();
+            (tu, tq, t.active_levels())
+        });
+        let mut tu = RunningStats::new();
+        let mut tq = RunningStats::new();
+        let mut lv = RunningStats::new();
+        for (a, q, l) in rows {
+            tu.push(a);
+            tq.push(q);
+            lv.push(l as f64);
+        }
+        table.row([
+            gamma.to_string(),
+            fmt_f(tu.mean(), 4),
+            fmt_f(lemma5_tu(b, gamma, n, m), 4),
+            fmt_f(tq.mean(), 3),
+            fmt_f(lemma5_tq(gamma, n, m), 3),
+            fmt_f(lv.mean(), 1),
+        ]);
+    }
+    println!(
+        "Lemma 5 (logarithmic method): b = {b}, m = {m}, n = {n}, {} trials.\n\
+         Bound constants fixed at 1; with fused in-place migrations the merge\n\
+         machinery's constant is ≈ 2(1+γ)/γ per level (see DESIGN.md), so\n\
+         measured tu sits a small constant above the unit-constant bound while\n\
+         scaling the same way in γ, b, and n/m. tq is a staircase in the level\n\
+         occupancy at snapshot time, bounded by the level count.",
+        args.trials
+    );
+    emit("logarithmic method (Lemma 5)", &table, &args, "exp_logmethod.csv");
+}

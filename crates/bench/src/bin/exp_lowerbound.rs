@@ -1,0 +1,98 @@
+//! **T1.1–T1.3** — Theorem 1: the lower-bound adversary harness.
+//!
+//! For each regime, drives a table through rounds of `s` random
+//! insertions with the proof's parameters `(δ, φ, ρ, s)` and reports:
+//!
+//! * the **certified** amortized insertion lower bound `ΣZ/n` (distinct
+//!   fast-zone addresses receiving items per round — blocks that *must*
+//!   have been written);
+//! * the measured amortized insertion cost;
+//! * the theorem's predicted bound;
+//! * the zones account: max `tq` lower bound and mean slow-zone share
+//!   (Lemma 1's `|S| ≤ m + δk/φ` budget).
+//!
+//! Regime 1 and 2 run the chaining table (a structure honoring
+//! `tq ≈ 1`); regime 3 runs the bootstrapped table at the matching `c`
+//! to show the certificate agreeing with the `Θ(b^(c−1))` frontier.
+//!
+//! Run: `cargo run -p dxh-bench --release --bin exp_lowerbound -- [--regime 1|2|3] [--quick]`
+
+use dxh_analysis::{table::fmt_f, TextTable};
+use dxh_bench::{emit, ExpArgs};
+use dxh_core::{BootstrappedTable, CoreConfig};
+use dxh_hashfn::IdealFn;
+use dxh_lowerbound::{run_adversary, Regime};
+use dxh_tables::{ChainingConfig, ChainingTable};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let which: Option<u32> = args.get("regime").and_then(|s| s.parse().ok());
+    let mut table = TextTable::new([
+        "regime",
+        "structure",
+        "b",
+        "n",
+        "s (round)",
+        "certified tu LB",
+        "measured tu",
+        "Thm1 bound",
+        "max tq zone LB",
+        "slow share",
+    ]);
+
+    let run_regime = |table: &mut TextTable, regime: Regime, idx: u32| {
+        let (b, n, structure): (usize, usize, &str) = match regime {
+            Regime::Case1 { .. } => (16, args.scale(65_536, 8_192), "chaining"),
+            Regime::Case2 { .. } => (16, args.scale(65_536, 8_192), "chaining"),
+            Regime::Case3 { .. } => (64, args.scale(80_000, 16_000), "bootstrapped"),
+        };
+        let params = regime.params(b, n);
+        let report = match regime {
+            Regime::Case3 { c } => {
+                let cfg = CoreConfig::theorem2(b, 1024, c).expect("config");
+                let mut t = BootstrappedTable::new(cfg, 0xAD5E ^ idx as u64).expect("table");
+                run_adversary(&mut t, n, &params, 0x1357 + idx as u64).expect("run")
+            }
+            _ => {
+                // Fixed chaining table at load ≤ 1/2: the tq ≈ 1 regime.
+                let buckets = (2 * n / b) as u64;
+                let cfg = ChainingConfig::fixed(b, 4096, buckets);
+                let mut t =
+                    ChainingTable::new(cfg, IdealFn::from_seed(0xAD5E ^ idx as u64))
+                        .expect("table");
+                run_adversary(&mut t, n, &params, 0x1357 + idx as u64).expect("run")
+            }
+        };
+        table.row([
+            idx.to_string(),
+            structure.to_string(),
+            b.to_string(),
+            n.to_string(),
+            params.s.to_string(),
+            fmt_f(report.certified_tu_lower, 4),
+            fmt_f(report.measured_tu, 4),
+            fmt_f(regime.tu_lower_bound(b), 4),
+            fmt_f(report.max_tq_zone_bound, 4),
+            fmt_f(report.mean_slow_share, 4),
+        ]);
+    };
+
+    let regimes: Vec<(u32, Regime)> = vec![
+        (1, Regime::Case1 { c: 1.5 }),
+        (2, Regime::Case2 { kappa: 2.0 }),
+        (3, Regime::Case3 { c: 0.5 }),
+    ];
+    for (idx, regime) in regimes {
+        if which.is_none_or(|w| w == idx) {
+            run_regime(&mut table, regime, idx);
+        }
+    }
+    println!("Theorem 1 adversary harness (per-regime parameters from §2 of the paper).");
+    emit("Theorem 1 — certified insertion lower bounds", &table, &args, "exp_lowerbound.csv");
+    println!(
+        "\nReading: for tq ≈ 1 structures (rows 1–2) the certificate pins tu near 1 —\n\
+         the buffer is useless. Row 3's structure spends its slow-zone budget\n\
+         (1/β of items) to beat 1, landing right at the Θ(b^(c−1)) frontier;\n\
+         its certificate is small BECAUSE its fast-zone traffic is batched."
+    );
+}

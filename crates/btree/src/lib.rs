@@ -1,0 +1,29 @@
+//! # dxh-btree — the comparison-based baseline
+//!
+//! The paper's opening line of argument is that hash tables beat
+//! comparison-based structures for point lookups in external memory:
+//! a B-tree pays `Θ(log_B n)` I/Os per search while hashing pays
+//! `1 + 1/2^Ω(b)`. And on the lower-bound side, the only prior
+//! buffering lower bound (Brodal–Fagerberg) lives in the comparison
+//! model — inapplicable to hashing — which is why the paper's
+//! indivisibility-model bound was new.
+//!
+//! This crate provides the external [`BPlusTree`] that makes those
+//! comparisons concrete in the same accounting framework:
+//!
+//! * point lookups cost exactly `height + 1` block reads;
+//! * inserts cost a root-to-leaf descent plus one combined I/O (splits
+//!   amortize to `O(1/b)`);
+//! * unlike any hash table, it supports ordered **range scans** via
+//!   leaf chaining — the structural advantage the comparison world
+//!   keeps.
+//!
+//! The `exp_comparison` binary puts it next to the hash structures on
+//! identical workloads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bplus;
+
+pub use bplus::{BPlusTree, BPlusTreeConfig};

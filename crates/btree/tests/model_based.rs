@@ -1,0 +1,79 @@
+//! Model-based property tests: the external B+-tree must agree with
+//! `std::collections::BTreeMap` on operations *and* ordered scans.
+
+use std::collections::BTreeMap;
+
+use dxh_btree::{BPlusTree, BPlusTreeConfig};
+use dxh_tables::ExternalDictionary;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreemap(
+        ops in proptest::collection::vec((0u8..3, 0u64..300, any::<u64>()), 0..300),
+        b in 4usize..10,
+    ) {
+        let mut t = BPlusTree::new(BPlusTreeConfig::new(b, 4096)).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (kind, k, v) in ops {
+            match kind {
+                0 => {
+                    t.insert(k, v).unwrap();
+                    model.insert(k, v);
+                }
+                1 => {
+                    prop_assert_eq!(t.lookup(k).unwrap(), model.get(&k).copied());
+                }
+                _ => {
+                    prop_assert_eq!(t.delete(k).unwrap(), model.remove(&k).is_some());
+                }
+            }
+            prop_assert_eq!(t.len(), model.len());
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(t.lookup(k).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn range_scans_match_btreemap(
+        keys in proptest::collection::btree_set(0u64..2000, 0..300),
+        lo in 0u64..2000,
+        width in 0u64..500,
+        b in 4usize..10,
+    ) {
+        let mut t = BPlusTree::new(BPlusTreeConfig::new(b, 4096)).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for &k in &keys {
+            t.insert(k, k * 3).unwrap();
+            model.insert(k, k * 3);
+        }
+        let hi = lo.saturating_add(width);
+        let got: Vec<(u64, u64)> =
+            t.range(lo, hi).unwrap().iter().map(|it| (it.key, it.value)).collect();
+        let expect: Vec<(u64, u64)> =
+            model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, expect, "ordered window identical");
+    }
+
+    #[test]
+    fn scan_after_deletes_is_still_ordered(
+        keys in proptest::collection::btree_set(0u64..1000, 1..200),
+        del_mod in 2u64..5,
+    ) {
+        let mut t = BPlusTree::new(BPlusTreeConfig::new(4, 4096)).unwrap();
+        for &k in &keys {
+            t.insert(k, k).unwrap();
+        }
+        for &k in &keys {
+            if k % del_mod == 0 {
+                t.delete(k).unwrap();
+            }
+        }
+        let got: Vec<u64> = t.range(0, u64::MAX - 1).unwrap().iter().map(|it| it.key).collect();
+        let expect: Vec<u64> = keys.iter().copied().filter(|k| k % del_mod != 0).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,195 @@
+//! A façade that picks the right construction for a target point on the
+//! Figure 1 tradeoff curve.
+
+use dxh_extmem::{
+    BlockId, IoCostModel, IoSnapshot, Key, MemDisk, Result, Value,
+};
+use dxh_hashfn::IdealFn;
+use dxh_tables::{
+    ChainingConfig, ChainingTable, ExternalDictionary, LayoutInspect, LayoutSnapshot,
+};
+
+use crate::bootstrap::BootstrappedTable;
+use crate::config::CoreConfig;
+use crate::log_method::LogMethodTable;
+
+/// Where on the query–insertion tradeoff (Figure 1) the caller wants to
+/// sit. Each variant names the regime of Theorem 1/2 it realizes.
+#[derive(Clone, Copy, Debug)]
+pub enum TradeoffTarget {
+    /// `tq = 1 + 1/2^Ω(b)` (the `c > 1` regime): the standard chaining
+    /// table. Theorem 1 says insertions then cost `1 − o(1)` I/Os — and
+    /// they do.
+    QueryOptimal,
+    /// `tq = 1 + O(1/b)`, `tu = ε` (the boundary `c = 1`): bootstrapped
+    /// table with `β = Θ(εb)`.
+    Boundary {
+        /// Target amortized insertion cost.
+        eps: f64,
+    },
+    /// `tq = 1 + O(1/b^c)`, `tu = O(b^(c−1))` for `0 < c < 1`:
+    /// bootstrapped table with `β = b^c`.
+    InsertOptimal {
+        /// The tradeoff exponent.
+        c: f64,
+    },
+    /// `tq = O(log_γ(n/m))`, `tu = O((γ/b) log(n/m))`: the plain
+    /// logarithmic method (Lemma 5) — maximal buffering, no `tq ≈ 1`
+    /// guarantee.
+    LogMethod {
+        /// Level growth factor.
+        gamma: u64,
+    },
+}
+
+/// A dynamic external hash table configured by [`TradeoffTarget`].
+///
+/// All variants share the [`ExternalDictionary`] and [`LayoutInspect`]
+/// interfaces, so experiments can sweep the whole tradeoff curve with one
+/// code path.
+pub enum DynamicHashTable {
+    /// Standard chaining table (query-optimal endpoint).
+    Standard(ChainingTable<IdealFn, MemDisk>),
+    /// Plain logarithmic method.
+    Log(LogMethodTable<IdealFn, MemDisk>),
+    /// Bootstrapped table (Theorem 2).
+    Boot(BootstrappedTable<IdealFn, MemDisk>),
+}
+
+impl DynamicHashTable {
+    /// Builds the construction matching `target` with model parameters
+    /// `(b, m)` and an ideal hash function derived from `seed`.
+    pub fn for_target(target: TradeoffTarget, b: usize, m: usize, seed: u64) -> Result<Self> {
+        Ok(match target {
+            TradeoffTarget::QueryOptimal => {
+                // Load factor 1/2 keeps chains (and hence tq − 1)
+                // exponentially small in b.
+                let mut cfg = ChainingConfig::new(b, m);
+                cfg.max_load = 0.5;
+                DynamicHashTable::Standard(ChainingTable::new(
+                    cfg,
+                    IdealFn::from_seed(seed),
+                )?)
+            }
+            TradeoffTarget::Boundary { eps } => DynamicHashTable::Boot(
+                BootstrappedTable::new(CoreConfig::boundary(b, m, eps)?, seed)?,
+            ),
+            TradeoffTarget::InsertOptimal { c } => DynamicHashTable::Boot(
+                BootstrappedTable::new(CoreConfig::theorem2(b, m, c)?, seed)?,
+            ),
+            TradeoffTarget::LogMethod { gamma } => DynamicHashTable::Log(
+                LogMethodTable::new(CoreConfig::lemma5(b, m, gamma)?, seed)?,
+            ),
+        })
+    }
+
+    /// A short name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DynamicHashTable::Standard(_) => "chaining",
+            DynamicHashTable::Log(_) => "log-method",
+            DynamicHashTable::Boot(_) => "bootstrapped",
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $t:ident => $e:expr) => {
+        match $self {
+            DynamicHashTable::Standard($t) => $e,
+            DynamicHashTable::Log($t) => $e,
+            DynamicHashTable::Boot($t) => $e,
+        }
+    };
+}
+
+impl ExternalDictionary for DynamicHashTable {
+    fn insert(&mut self, key: Key, value: Value) -> Result<()> {
+        delegate!(self, t => t.insert(key, value))
+    }
+
+    fn lookup(&mut self, key: Key) -> Result<Option<Value>> {
+        delegate!(self, t => t.lookup(key))
+    }
+
+    fn delete(&mut self, key: Key) -> Result<bool> {
+        delegate!(self, t => t.delete(key))
+    }
+
+    fn len(&self) -> usize {
+        delegate!(self, t => t.len())
+    }
+
+    fn disk_stats(&self) -> IoSnapshot {
+        delegate!(self, t => t.disk_stats())
+    }
+
+    fn cost_model(&self) -> IoCostModel {
+        delegate!(self, t => t.cost_model())
+    }
+
+    fn memory_used(&self) -> usize {
+        delegate!(self, t => t.memory_used())
+    }
+
+    fn block_capacity(&self) -> usize {
+        delegate!(self, t => t.block_capacity())
+    }
+}
+
+impl LayoutInspect for DynamicHashTable {
+    fn layout_snapshot(&mut self) -> Result<LayoutSnapshot> {
+        delegate!(self, t => t.layout_snapshot())
+    }
+
+    fn address_of(&self, key: Key) -> Option<BlockId> {
+        delegate!(self, t => t.address_of(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_targets_build_and_work() {
+        let targets = [
+            TradeoffTarget::QueryOptimal,
+            TradeoffTarget::Boundary { eps: 0.25 },
+            TradeoffTarget::InsertOptimal { c: 0.5 },
+            TradeoffTarget::LogMethod { gamma: 2 },
+        ];
+        for target in targets {
+            let mut t = DynamicHashTable::for_target(target, 32, 512, 3).unwrap();
+            for k in 0..2000u64 {
+                t.insert(k, k).unwrap();
+            }
+            for k in (0..2000u64).step_by(37) {
+                assert_eq!(t.lookup(k).unwrap(), Some(k), "{} key {k}", t.name());
+            }
+            assert_eq!(t.lookup(1_000_000).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn query_optimal_pays_one_io_per_insert_but_boot_does_not() {
+        let n = 10_000u64;
+        let run = |target| {
+            let mut t = DynamicHashTable::for_target(target, 64, 1024, 4).unwrap();
+            for k in 0..n {
+                t.insert(k, k).unwrap();
+            }
+            t.total_ios() as f64 / n as f64
+        };
+        let standard = run(TradeoffTarget::QueryOptimal);
+        let boot = run(TradeoffTarget::InsertOptimal { c: 0.5 });
+        assert!(standard > 0.95, "standard table ≈ 1 I/O per insert: {standard}");
+        assert!(boot < 0.5 * standard, "bootstrapped beats it: {boot} vs {standard}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let t = DynamicHashTable::for_target(TradeoffTarget::QueryOptimal, 32, 512, 5).unwrap();
+        assert_eq!(t.name(), "chaining");
+    }
+}

@@ -1,0 +1,58 @@
+//! # dxh-core — buffered dynamic external hash tables
+//!
+//! The upper-bound constructions of *Dynamic External Hashing: The Limit
+//! of Buffering* (Wei, Yi, Zhang — SPAA 2009):
+//!
+//! * [`LogMethodTable`] — **Lemma 5**: the logarithmic method applied to
+//!   external hashing. A memory-resident table `H0` (≤ m/2 items) plus
+//!   disk tables `H_k` with `γ^k · m/b` buckets each at load ≤ 1/2;
+//!   overflowing levels migrate downward by a sequential bucket-ordered
+//!   scan. Insertions cost `O((γ/b)·log(n/m))` amortized; lookups cost
+//!   `O(log_γ(n/m))`.
+//! * [`BootstrappedTable`] — **Theorem 2**: the paper's contribution. A
+//!   big on-disk table `Ĥ` always holding at least a `1 − 1/β` fraction
+//!   of the items, with a logarithmic-method side structure absorbing
+//!   recent insertions, merged into `Ĥ` every `≈ |Ĥ|/β` insertions.
+//!   With `β = b^c` (`0 < c < 1`, `γ = 2`) this gives amortized
+//!   `O(b^(c−1)) = o(1)` I/Os per insertion with successful lookups at
+//!   `1 + O(1/b^c)` expected I/Os — matching the paper's lower bound
+//!   (Theorem 1, case 3). With `β = Θ(εb)` it gives `tu = ε` and
+//!   `tq = 1 + O(1/b)`.
+//!
+//! The merge machinery (internal `stream` module) exploits the hierarchy
+//! of [`dxh_hashfn::prefix_bucket`]: every table's sequential bucket
+//! order is also hash-prefix order, so merging any set of tables into a
+//! target with any bucket count is a single synchronized linear scan —
+//! the "scanning the two tables in parallel" of the paper, generalized
+//! to k-way.
+//!
+//! ## Scope
+//!
+//! The paper studies the query–**insertion** tradeoff; deletions are out
+//! of scope (§1: "there tend to be a lot more insertions than deletions
+//! in many practical situations like managing archival data"). The
+//! buffered tables here accordingly reject `delete` and document their
+//! upsert semantics; use the `dxh-tables` structures when deletion
+//! matters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bootstrap;
+mod config;
+mod facade;
+mod log_method;
+mod mem_table;
+mod sharded;
+mod stream;
+
+pub use bootstrap::BootstrappedTable;
+pub use config::CoreConfig;
+pub use facade::{DynamicHashTable, TradeoffTarget};
+pub use log_method::LogMethodTable;
+pub use sharded::ShardedTable;
+pub use mem_table::MemTable;
+
+// Re-exported so downstream code can name the dictionary trait without
+// depending on dxh-tables directly.
+pub use dxh_tables::{ExternalDictionary, LayoutInspect, LayoutSnapshot};

@@ -1,0 +1,487 @@
+//! Lemma 5: the logarithmic method applied to external hashing.
+
+use dxh_extmem::{
+    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget,
+    Result, StorageBackend, Value, KEY_TOMBSTONE,
+};
+use dxh_hashfn::{prefix_bucket, HashFn};
+use dxh_tables::{chain_lookup, ExternalDictionary, LayoutInspect, LayoutSnapshot};
+
+use crate::config::CoreConfig;
+use crate::mem_table::MemTable;
+use crate::stream::{compact, merge_in_place, Region, Source};
+
+/// The level structure shared by [`LogMethodTable`] and
+/// [`crate::BootstrappedTable`]: `H0` in memory plus disk levels
+/// `H_1, H_2, …` (`levels[k]` is `H_k`; index 0 is unused).
+///
+/// Deliberately does **not** own the disk, so the bootstrapped table can
+/// interleave it with its big table `Ĥ` on one accounted disk.
+pub(crate) struct LogStructure<F: HashFn> {
+    pub(crate) hash: F,
+    pub(crate) h0: MemTable,
+    pub(crate) levels: Vec<Option<Region>>,
+    cfg: CoreConfig,
+}
+
+impl<F: HashFn> LogStructure<F> {
+    pub(crate) fn new(cfg: CoreConfig, hash: F) -> Self {
+        let h0 = MemTable::new(cfg.nb0() as usize, cfg.h0_capacity());
+        LogStructure { hash, h0, levels: vec![None], cfg }
+    }
+
+    /// Total items across `H0` and all levels.
+    pub(crate) fn items(&self) -> usize {
+        self.h0.len() + self.levels.iter().flatten().map(|r| r.items).sum::<usize>()
+    }
+
+    /// Item counts per level (`[H0, H1, …]`), for diagnostics and tests.
+    pub(crate) fn level_items(&self) -> Vec<usize> {
+        let mut out = vec![self.h0.len()];
+        out.extend(self.levels.iter().skip(1).map(|r| r.as_ref().map_or(0, |r| r.items)));
+        out
+    }
+
+    #[inline]
+    fn h0_bucket(&self, key: Key) -> usize {
+        prefix_bucket(self.hash.hash64(key), self.cfg.nb0()) as usize
+    }
+
+    /// Inserts into `H0`; migrates `H0 → H1 → …` when levels fill
+    /// (the paper's "whenever `H_k` is full, migrate its items to
+    /// `H_{k+1}`", costing `O(γ^(k+1)·m/b)` I/Os per migration).
+    pub(crate) fn insert<B: StorageBackend>(
+        &mut self,
+        disk: &mut Disk<B>,
+        key: Key,
+        value: Value,
+    ) -> Result<()> {
+        let bucket = self.h0_bucket(key);
+        self.h0.upsert(bucket, Item::new(key, value));
+        if self.h0.is_full() {
+            self.flush(disk)?;
+        }
+        Ok(())
+    }
+
+    /// Migrates `H0` into `H1`, then cascades any overflowing level into
+    /// the one below it.
+    ///
+    /// When the destination level already exists and the merged items fit
+    /// its capacity, the migration is **in place**: one combined
+    /// read-modify-write per receiving bucket — the paper's
+    /// "scan the two tables in parallel" priced under its own footnote-2
+    /// convention. Otherwise the destination is rebuilt into a fresh
+    /// region.
+    pub(crate) fn flush<B: StorageBackend>(&mut self, disk: &mut Disk<B>) -> Result<()> {
+        // H0 → H1.
+        let mem = Source::from_memory(self.h0.drain_in_bucket_order(), &self.hash);
+        self.ensure_level_slot(1);
+        self.merge_into_level(disk, vec![mem], 1)?;
+        // Cascade: H_k full ⇒ migrate into H_{k+1}.
+        let mut k = 1usize;
+        while self.levels[k].as_ref().is_some_and(|r| r.items > self.cfg.level_capacity(k as u32))
+        {
+            self.ensure_level_slot(k + 1);
+            let src = Source::from_region(self.levels[k].take().expect("checked nonempty"));
+            self.merge_into_level(disk, vec![src], k + 1)?;
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// Merges `sources` into level `k` — in place when the level exists
+    /// and the result fits its capacity, rebuilding it otherwise.
+    fn merge_into_level<B: StorageBackend>(
+        &mut self,
+        disk: &mut Disk<B>,
+        mut sources: Vec<Source>,
+        k: usize,
+    ) -> Result<()> {
+        let incoming: usize = sources
+            .iter()
+            .map(|s| match s {
+                Source::Mem { items, pos } => items.len() - pos,
+                Source::Disk(d) => d.region_items(),
+            })
+            .sum();
+        let cap = self.cfg.level_capacity(k as u32);
+        match self.levels[k].take() {
+            Some(mut region)
+                if !self.cfg.rewrite_merges_only && region.items + incoming <= cap =>
+            {
+                merge_in_place(disk, &self.hash, sources, &mut region)?;
+                self.levels[k] = Some(region);
+            }
+            existing => {
+                if let Some(r) = existing {
+                    sources.push(Source::from_region(r));
+                }
+                let (region, _) =
+                    compact(disk, &self.hash, sources, self.cfg.level_buckets(k as u32))?;
+                self.levels[k] = Some(region);
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_level_slot(&mut self, k: usize) {
+        while self.levels.len() <= k {
+            self.levels.push(None);
+        }
+    }
+
+    /// Looks up `key` shallow-first (`H0`, `H1`, …): the newest copy wins,
+    /// giving clean upsert semantics.
+    pub(crate) fn lookup<B: StorageBackend>(
+        &self,
+        disk: &mut Disk<B>,
+        key: Key,
+    ) -> Result<Option<Value>> {
+        if let Some(v) = self.h0.lookup(self.h0_bucket(key), key) {
+            return Ok(Some(v));
+        }
+        for region in self.levels.iter().skip(1).flatten() {
+            let q = prefix_bucket(self.hash.hash64(key), region.buckets);
+            if let Some(v) = chain_lookup(disk, region.block_of(q), key)? {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Looks up `key` in the disk levels only, deepest-first — the query
+    /// order of Theorem 2's analysis (largest table first), used by the
+    /// bootstrapped table after missing in `Ĥ`.
+    pub(crate) fn lookup_levels_deepest_first<B: StorageBackend>(
+        &self,
+        disk: &mut Disk<B>,
+        key: Key,
+    ) -> Result<Option<Value>> {
+        for region in self.levels.iter().skip(1).rev().flatten() {
+            let q = prefix_bucket(self.hash.hash64(key), region.buckets);
+            if let Some(v) = chain_lookup(disk, region.block_of(q), key)? {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drains the entire structure into merge sources, newest first
+    /// (`H0`, `H1`, …, deepest last). Leaves the structure empty.
+    pub(crate) fn take_all_sources(&mut self) -> Vec<Source> {
+        let mut sources =
+            vec![Source::from_memory(self.h0.drain_in_bucket_order(), &self.hash)];
+        for slot in self.levels.iter_mut().skip(1) {
+            if let Some(r) = slot.take() {
+                sources.push(Source::from_region(r));
+            }
+        }
+        sources
+    }
+
+    /// Keys currently resident in memory (`H0`) — the memory zone `M`.
+    pub(crate) fn memory_keys(&self) -> Vec<Key> {
+        self.h0.keys()
+    }
+
+    /// Appends every disk block of every level (with chains) to `out`,
+    /// bypassing I/O accounting.
+    pub(crate) fn snapshot_blocks<B: StorageBackend>(
+        &self,
+        disk: &mut Disk<B>,
+        out: &mut Vec<(BlockId, Vec<Key>)>,
+    ) -> Result<()> {
+        for region in self.levels.iter().skip(1).flatten() {
+            for q in 0..region.buckets {
+                let mut cur = Some(region.block_of(q));
+                while let Some(id) = cur {
+                    let blk = disk.backend_mut().read(id)?;
+                    out.push((id, blk.items().iter().map(|it| it.key).collect()));
+                    cur = blk.next();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The deepest non-empty level's region, if any.
+    pub(crate) fn deepest_region(&self) -> Option<&Region> {
+        self.levels.iter().skip(1).rev().flatten().next()
+    }
+}
+
+/// Lemma 5's dynamic hash table: `tu = O((γ/b)·log(n/m))` amortized
+/// insertions, `tq = O(log_γ(n/m))` lookups.
+///
+/// ```
+/// use dxh_core::{CoreConfig, LogMethodTable, ExternalDictionary};
+///
+/// let cfg = CoreConfig::lemma5(32, 1024, 2).unwrap();
+/// let mut t = LogMethodTable::new(cfg, 7).unwrap();
+/// for k in 0..10_000u64 {
+///     t.insert(k, k).unwrap();
+/// }
+/// assert_eq!(t.lookup(1234).unwrap(), Some(1234));
+/// let tu = t.total_ios() as f64 / 10_000.0;
+/// assert!(tu < 1.0, "o(1) insertions: {tu}");
+/// ```
+pub struct LogMethodTable<F: HashFn, B: StorageBackend = MemDisk> {
+    disk: Disk<B>,
+    budget: MemoryBudget,
+    log: LogStructure<F>,
+    cfg: CoreConfig,
+}
+
+impl LogMethodTable<dxh_hashfn::IdealFn, MemDisk> {
+    /// Builds a table over a fresh in-memory disk with an ideal hash
+    /// function derived from `seed`.
+    pub fn new(cfg: CoreConfig, seed: u64) -> Result<Self> {
+        Self::with_hash(cfg, dxh_hashfn::IdealFn::from_seed(seed))
+    }
+}
+
+impl<F: HashFn> LogMethodTable<F, MemDisk> {
+    /// Builds a table over a fresh in-memory disk with an explicit hash
+    /// function.
+    pub fn with_hash(cfg: CoreConfig, hash: F) -> Result<Self> {
+        let disk = Disk::new(MemDisk::new(cfg.b), cfg.b, cfg.cost);
+        Self::with_disk(disk, cfg, hash)
+    }
+}
+
+impl<F: HashFn, B: StorageBackend> LogMethodTable<F, B> {
+    /// Builds a table over a caller-provided disk.
+    pub fn with_disk(disk: Disk<B>, cfg: CoreConfig, hash: F) -> Result<Self> {
+        cfg.validate()?;
+        if disk.b() != cfg.b {
+            return Err(ExtMemError::BadConfig("disk block size ≠ cfg.b".into()));
+        }
+        let mut budget = MemoryBudget::new(cfg.m);
+        // H0 capacity + two-stream merge buffers + metadata.
+        budget.reserve(cfg.h0_capacity() + 4 * cfg.b + 16)?;
+        Ok(LogMethodTable { disk, budget, log: LogStructure::new(cfg.clone(), hash), cfg })
+    }
+
+    /// Items per level, `H0` first (diagnostics; drives the Lemma 5
+    /// experiment's table).
+    pub fn level_items(&self) -> Vec<usize> {
+        self.log.level_items()
+    }
+
+    /// Number of non-empty disk levels.
+    pub fn active_levels(&self) -> usize {
+        self.log.levels.iter().skip(1).flatten().count()
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &Disk<B> {
+        &self.disk
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+}
+
+impl<F: HashFn, B: StorageBackend> ExternalDictionary for LogMethodTable<F, B> {
+    fn insert(&mut self, key: Key, value: Value) -> Result<()> {
+        if key == KEY_TOMBSTONE {
+            return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
+        }
+        self.log.insert(&mut self.disk, key, value)
+    }
+
+    fn lookup(&mut self, key: Key) -> Result<Option<Value>> {
+        self.log.lookup(&mut self.disk, key)
+    }
+
+    /// Deletion is outside the paper's scope (query–insertion tradeoff);
+    /// always returns [`ExtMemError::BadConfig`].
+    fn delete(&mut self, _key: Key) -> Result<bool> {
+        Err(ExtMemError::BadConfig(
+            "buffered tables do not support deletion (see paper §1)".into(),
+        ))
+    }
+
+    fn len(&self) -> usize {
+        self.log.items()
+    }
+
+    fn disk_stats(&self) -> IoSnapshot {
+        self.disk.epoch()
+    }
+
+    fn cost_model(&self) -> IoCostModel {
+        self.disk.cost_model()
+    }
+
+    fn memory_used(&self) -> usize {
+        self.budget.used()
+    }
+
+    fn block_capacity(&self) -> usize {
+        self.cfg.b
+    }
+}
+
+impl<F: HashFn, B: StorageBackend> LayoutInspect for LogMethodTable<F, B> {
+    fn layout_snapshot(&mut self) -> Result<LayoutSnapshot> {
+        let mut snap = LayoutSnapshot { memory: self.log.memory_keys(), blocks: Vec::new() };
+        self.log.snapshot_blocks(&mut self.disk, &mut snap.blocks)?;
+        Ok(snap)
+    }
+
+    fn address_of(&self, key: Key) -> Option<BlockId> {
+        // The best one-I/O address the structure has is the deepest
+        // (largest) level's bucket; shallower copies are in the slow zone.
+        self.log.deepest_region().map(|r| {
+            let q = prefix_bucket(self.log.hash.hash64(key), r.buckets);
+            r.block_of(q)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(b: usize, m: usize, gamma: u64) -> CoreConfig {
+        CoreConfig::lemma5(b, m, gamma).unwrap()
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let mut t = LogMethodTable::new(cfg(4, 96, 2), 1).unwrap();
+        for k in 0..500u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert_eq!(t.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(t.lookup(k).unwrap(), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.lookup(9999).unwrap(), None);
+    }
+
+    #[test]
+    fn upsert_returns_newest_value() {
+        let mut t = LogMethodTable::new(cfg(4, 96, 2), 2).unwrap();
+        // Push enough items that early keys sink into disk levels…
+        for k in 0..200u64 {
+            t.insert(k, 1).unwrap();
+        }
+        // …then update them: new copies live in H0 / shallow levels.
+        for k in 0..200u64 {
+            t.insert(k, 2).unwrap();
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.lookup(k).unwrap(), Some(2), "shallow-first finds newest");
+        }
+    }
+
+    #[test]
+    fn level_capacities_are_respected() {
+        let c = cfg(4, 96, 2);
+        let mut t = LogMethodTable::new(c.clone(), 3).unwrap();
+        for k in 0..3000u64 {
+            t.insert(k, k).unwrap();
+            // Invariant: every level within capacity right after an insert
+            // (flush happens inside insert).
+            for (lvl, &cnt) in t.level_items().iter().enumerate() {
+                if lvl == 0 {
+                    assert!(cnt <= c.h0_capacity());
+                } else {
+                    assert!(
+                        cnt <= c.level_capacity(lvl as u32),
+                        "level {lvl} holds {cnt} > cap {}",
+                        c.level_capacity(lvl as u32)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insertions_are_sublinear_in_ios() {
+        let b = 64;
+        let m = 1024;
+        let mut t = LogMethodTable::new(cfg(b, m, 2), 4).unwrap();
+        let n = 50_000u64;
+        for k in 0..n {
+            t.insert(k, k).unwrap();
+        }
+        let tu = t.total_ios() as f64 / n as f64;
+        // Lemma 5: O((γ/b) log(n/m)) = O((2/64)·log2(48)) ≈ 0.18-ish.
+        assert!(tu < 0.7, "o(1) insertion cost expected, got {tu}");
+    }
+
+    #[test]
+    fn gamma_trades_insert_for_query() {
+        // Larger γ ⇒ fewer levels (cheaper queries), more merge traffic.
+        let run = |gamma: u64| {
+            let mut t = LogMethodTable::new(cfg(16, 256, gamma), 5).unwrap();
+            for k in 0..20_000u64 {
+                t.insert(k, k).unwrap();
+            }
+            (t.total_ios() as f64 / 20_000.0, t.active_levels())
+        };
+        let (_tu2, lv2) = run(2);
+        let (_tu8, lv8) = run(8);
+        assert!(lv8 <= lv2, "γ=8 has no more levels than γ=2 ({lv8} vs {lv2})");
+    }
+
+    #[test]
+    fn lookup_cost_bounded_by_active_levels() {
+        let mut t = LogMethodTable::new(cfg(8, 128, 2), 6).unwrap();
+        for k in 0..5000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let levels = t.active_levels() as u64;
+        let e = t.disk.epoch();
+        for k in 0..200u64 {
+            let _ = t.lookup(k * 7).unwrap();
+        }
+        let per = t.disk.since(&e).total(t.cost_model()) as f64 / 200.0;
+        // Each level costs ≥ 1 I/O; chains add a little.
+        assert!(per <= levels as f64 + 1.0, "lookup {per} ≤ {levels}+1");
+    }
+
+    #[test]
+    fn delete_is_rejected() {
+        let mut t = LogMethodTable::new(cfg(4, 96, 2), 7).unwrap();
+        t.insert(1, 1).unwrap();
+        assert!(t.delete(1).is_err());
+    }
+
+    #[test]
+    fn layout_accounts_for_every_item() {
+        let mut t = LogMethodTable::new(cfg(4, 96, 2), 8).unwrap();
+        for k in 0..777u64 {
+            t.insert(k, k).unwrap();
+        }
+        let snap = t.layout_snapshot().unwrap();
+        assert_eq!(snap.total_items(), 777);
+    }
+
+    #[test]
+    fn memory_budget_fits_m() {
+        let t = LogMethodTable::new(cfg(8, 256, 2), 9).unwrap();
+        assert!(t.memory_used() <= 256);
+    }
+
+    #[test]
+    fn works_on_file_disk() {
+        use dxh_extmem::FileDisk;
+        let c = cfg(8, 128, 2);
+        let disk = Disk::new(FileDisk::temp(8).unwrap(), 8, c.cost);
+        let mut t =
+            LogMethodTable::with_disk(disk, c, dxh_hashfn::IdealFn::from_seed(10)).unwrap();
+        for k in 0..400u64 {
+            t.insert(k, k + 9).unwrap();
+        }
+        for k in 0..400u64 {
+            assert_eq!(t.lookup(k).unwrap(), Some(k + 9));
+        }
+    }
+}

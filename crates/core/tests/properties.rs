@@ -1,0 +1,106 @@
+//! Property-based tests for the buffered constructions.
+
+use std::collections::HashMap;
+
+use dxh_core::{BootstrappedTable, CoreConfig, ExternalDictionary, LayoutInspect, LogMethodTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The log-method table behaves like a HashMap for insert/lookup
+    /// (including upserts — shallow-first lookup gives newest-wins).
+    #[test]
+    fn log_method_matches_hashmap(
+        ops in proptest::collection::vec((0u64..500, any::<u64>()), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let cfg = CoreConfig::lemma5(4, 96, 2).unwrap();
+        let mut t = LogMethodTable::new(cfg, seed).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in ops {
+            t.insert(k, v).unwrap();
+            model.insert(k, v);
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(t.lookup(k).unwrap(), Some(v));
+        }
+        prop_assert_eq!(t.lookup(10_000).unwrap(), None);
+    }
+
+    /// The bootstrapped table stores distinct keys exactly.
+    #[test]
+    fn bootstrap_stores_distinct_keys(
+        keys in proptest::collection::hash_set(0u64..100_000, 1..500),
+        seed in any::<u64>(),
+        c in 0.2f64..0.9,
+    ) {
+        let cfg = CoreConfig::theorem2(8, 128, c).unwrap();
+        let mut t = BootstrappedTable::new(cfg, seed).unwrap();
+        for &k in &keys {
+            t.insert(k, k ^ 0xABCD).unwrap();
+        }
+        prop_assert_eq!(t.len(), keys.len());
+        for &k in &keys {
+            prop_assert_eq!(t.lookup(k).unwrap(), Some(k ^ 0xABCD));
+        }
+        // A few absent keys.
+        for k in 200_000..200_005u64 {
+            prop_assert_eq!(t.lookup(k).unwrap(), None);
+        }
+    }
+
+    /// Level capacity invariant of the logarithmic method holds under any
+    /// insertion count.
+    #[test]
+    fn log_method_level_capacity_invariant(n in 1usize..3000, seed in any::<u64>()) {
+        let cfg = CoreConfig::lemma5(4, 96, 2).unwrap();
+        let mut t = LogMethodTable::new(cfg.clone(), seed).unwrap();
+        for k in 0..n as u64 {
+            t.insert(k, k).unwrap();
+        }
+        for (lvl, &cnt) in t.level_items().iter().enumerate() {
+            if lvl == 0 {
+                prop_assert!(cnt <= cfg.h0_capacity());
+            } else {
+                prop_assert!(cnt <= cfg.level_capacity(lvl as u32));
+            }
+        }
+        prop_assert_eq!(t.len(), n);
+    }
+
+    /// The Ĥ-fraction invariant: after the bootstrap phase the side
+    /// structure holds at most one batch (≈ a 1/β fraction).
+    #[test]
+    fn bootstrap_hat_fraction_invariant(n in 500usize..4000, seed in any::<u64>()) {
+        let cfg = CoreConfig::theorem2(8, 128, 0.5).unwrap();
+        let mut t = BootstrappedTable::new(cfg, seed).unwrap();
+        for k in 0..n as u64 {
+            t.insert(k, k).unwrap();
+            if t.merge_count() > 0 {
+                prop_assert!(t.side_items() <= t.batch_size());
+            }
+        }
+    }
+
+    /// Layout snapshots of both tables account for every inserted item
+    /// (distinct keys: no duplicates anywhere on disk or in memory).
+    #[test]
+    fn layouts_are_exact(n in 1usize..1500, seed in any::<u64>()) {
+        let mut log = LogMethodTable::new(CoreConfig::lemma5(4, 96, 2).unwrap(), seed).unwrap();
+        let mut boot =
+            BootstrappedTable::new(CoreConfig::theorem2(4, 96, 0.5).unwrap(), seed).unwrap();
+        for k in 0..n as u64 {
+            log.insert(k, k).unwrap();
+            boot.insert(k, k).unwrap();
+        }
+        for snap in [log.layout_snapshot().unwrap(), boot.layout_snapshot().unwrap()] {
+            prop_assert_eq!(snap.total_items(), n);
+            let mut all: Vec<u64> = snap.memory.clone();
+            all.extend(snap.blocks.iter().flat_map(|(_, ks)| ks.iter().copied()));
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), n, "no duplicate copies with distinct keys");
+        }
+    }
+}

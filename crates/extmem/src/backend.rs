@@ -1,0 +1,41 @@
+//! The storage-backend abstraction behind [`crate::Disk`].
+
+use crate::block::{Block, BlockId};
+use crate::error::Result;
+
+/// Raw block storage: an unbounded array of fixed-capacity blocks.
+///
+/// Backends are dumb — they neither count I/Os nor cache; both concerns
+/// live in [`crate::Disk`] so that accounting is uniform across backends.
+pub trait StorageBackend {
+    /// Block capacity in items (the model's `b`); constant per backend.
+    fn block_capacity(&self) -> usize;
+
+    /// Reads block `id` into an owned [`Block`].
+    fn read(&mut self, id: BlockId) -> Result<Block>;
+
+    /// Overwrites block `id`.
+    fn write(&mut self, id: BlockId, block: &Block) -> Result<()>;
+
+    /// Allocates a fresh (empty) block and returns its id. Freed ids may
+    /// be recycled.
+    fn allocate(&mut self) -> Result<BlockId>;
+
+    /// Allocates `n` blocks with **consecutive** ids and returns the first.
+    ///
+    /// Contiguity is what lets a hash table compute a bucket's block
+    /// address from `(base, bucket)` alone — an address function that fits
+    /// in O(1) words of internal memory, as the paper's model requires —
+    /// instead of keeping a per-bucket pointer table. Never recycles ids.
+    fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId>;
+
+    /// Returns block `id` to the allocator. Reading a freed id is an error
+    /// until it is re-allocated.
+    fn free(&mut self, id: BlockId) -> Result<()>;
+
+    /// Number of live (allocated) blocks.
+    fn live_blocks(&self) -> u64;
+
+    /// Flushes any OS-level buffering (no-op for in-memory backends).
+    fn sync(&mut self) -> Result<()>;
+}

@@ -1,0 +1,151 @@
+//! Configuration of the external memory model parameters.
+
+use crate::budget::{Enforcement, MemoryBudget};
+use crate::disk::Disk;
+use crate::error::{ExtMemError, Result};
+use crate::mem_disk::MemDisk;
+use crate::pool::EvictionPolicy;
+use crate::stats::IoCostModel;
+
+/// Buffer-pool sizing for [`ExtMemConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Number of block frames.
+    pub frames: usize,
+    /// Replacement policy.
+    pub policy: EvictionPolicy,
+}
+
+/// The model parameters `(b, m)` plus accounting and pooling choices.
+///
+/// The paper's parameter regime is `Ω(b^(1+2c)) < n/m < 2^o(b)` with
+/// `b > log u`; [`ExtMemConfig::validate`] checks the structural
+/// requirements (positivity, pool fits in memory) while experiments check
+/// the regime bounds for their chosen `n`.
+#[derive(Clone, Debug)]
+pub struct ExtMemConfig {
+    /// Block capacity in items.
+    pub b: usize,
+    /// Internal memory capacity in items.
+    pub m: usize,
+    /// I/O pricing convention.
+    pub cost: IoCostModel,
+    /// Optional generic buffer pool (charged against `m`).
+    pub pool: Option<PoolConfig>,
+    /// Budget enforcement policy.
+    pub enforcement: Enforcement,
+}
+
+impl ExtMemConfig {
+    /// A config with block size `b` and memory `m` (items), the paper's
+    /// cost model, no pool, and erroring budget enforcement.
+    pub fn new(b: usize, m: usize) -> Self {
+        ExtMemConfig {
+            b,
+            m,
+            cost: IoCostModel::SeekDominated,
+            pool: None,
+            enforcement: Enforcement::Error,
+        }
+    }
+
+    /// Sets the I/O cost model.
+    pub fn cost_model(mut self, cost: IoCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Attaches a generic buffer pool of `frames` frames.
+    pub fn with_pool(mut self, frames: usize, policy: EvictionPolicy) -> Self {
+        self.pool = Some(PoolConfig { frames, policy });
+        self
+    }
+
+    /// Sets the budget enforcement policy.
+    pub fn with_enforcement(mut self, e: Enforcement) -> Self {
+        self.enforcement = e;
+        self
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<()> {
+        if self.b == 0 {
+            return Err(ExtMemError::BadConfig("b must be positive".into()));
+        }
+        if self.m == 0 {
+            return Err(ExtMemError::BadConfig("m must be positive".into()));
+        }
+        if let Some(p) = &self.pool {
+            if p.frames == 0 {
+                return Err(ExtMemError::BadConfig("pool needs at least one frame".into()));
+            }
+            if p.frames * self.b > self.m {
+                return Err(ExtMemError::BadConfig(format!(
+                    "pool of {} frames × b={} items does not fit in m={}",
+                    p.frames, self.b, self.m
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds an in-memory disk and the matching budget.
+    ///
+    /// If a pool is configured it is attached and its `frames × b` items
+    /// are already reserved in the returned budget.
+    pub fn build_mem(&self) -> Result<(Disk<MemDisk>, MemoryBudget)> {
+        self.validate()?;
+        let mut disk = Disk::new(MemDisk::new(self.b), self.b, self.cost);
+        let mut budget = MemoryBudget::with_enforcement(self.m, self.enforcement);
+        if let Some(p) = &self.pool {
+            disk.attach_pool(p.frames, p.policy);
+            budget.reserve(p.frames * self.b)?;
+        }
+        Ok((disk, budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_positivity() {
+        assert!(ExtMemConfig::new(0, 10).validate().is_err());
+        assert!(ExtMemConfig::new(10, 0).validate().is_err());
+        assert!(ExtMemConfig::new(8, 64).validate().is_ok());
+    }
+
+    #[test]
+    fn pool_must_fit_in_memory() {
+        let cfg = ExtMemConfig::new(8, 64).with_pool(9, EvictionPolicy::Lru);
+        assert!(cfg.validate().is_err(), "9 frames × 8 items > m = 64");
+        let cfg = ExtMemConfig::new(8, 64).with_pool(8, EvictionPolicy::Lru);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn build_mem_reserves_pool_memory() {
+        let cfg = ExtMemConfig::new(8, 64).with_pool(4, EvictionPolicy::Lru);
+        let (disk, budget) = cfg.build_mem().unwrap();
+        assert!(disk.has_pool());
+        assert_eq!(budget.used(), 32);
+        assert_eq!(budget.remaining(), 32);
+    }
+
+    #[test]
+    fn build_without_pool_reserves_nothing() {
+        let (disk, budget) = ExtMemConfig::new(8, 64).build_mem().unwrap();
+        assert!(!disk.has_pool());
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn builder_chaining() {
+        let cfg = ExtMemConfig::new(4, 16)
+            .cost_model(IoCostModel::Strict)
+            .with_enforcement(Enforcement::Track);
+        assert_eq!(cfg.cost, IoCostModel::Strict);
+        assert_eq!(cfg.enforcement, Enforcement::Track);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the external-memory substrate.
+
+use crate::block::BlockId;
+
+/// Result alias for substrate operations.
+pub type Result<T> = std::result::Result<T, ExtMemError>;
+
+/// Errors raised by the external-memory substrate.
+#[derive(Debug)]
+pub enum ExtMemError {
+    /// An item was pushed into a block that already holds `capacity` items.
+    BlockOverflow {
+        /// The block's capacity `b` in items.
+        capacity: usize,
+    },
+    /// A block id does not name an allocated block.
+    BadBlockId(BlockId),
+    /// A reservation would exceed the internal-memory budget `m`.
+    OutOfBudget {
+        /// Items requested by the failing reservation.
+        requested: usize,
+        /// Items already in use.
+        used: usize,
+        /// The budget capacity `m`.
+        capacity: usize,
+    },
+    /// An operating-system I/O error from the file-backed disk.
+    Io(std::io::Error),
+    /// On-disk bytes that do not decode to a valid block.
+    Corrupt(String),
+    /// A structure was configured with invalid parameters.
+    BadConfig(String),
+    /// A fixed-capacity structure ran out of slots.
+    CapacityExhausted {
+        /// Items stored when capacity ran out.
+        len: usize,
+    },
+}
+
+impl core::fmt::Display for ExtMemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExtMemError::BlockOverflow { capacity } => {
+                write!(f, "block overflow: capacity is {capacity} items")
+            }
+            ExtMemError::BadBlockId(id) => write!(f, "unallocated block id {id:?}"),
+            ExtMemError::OutOfBudget { requested, used, capacity } => write!(
+                f,
+                "internal-memory budget exceeded: requested {requested} items \
+                 with {used}/{capacity} already in use"
+            ),
+            ExtMemError::Io(e) => write!(f, "file-disk I/O error: {e}"),
+            ExtMemError::Corrupt(msg) => write!(f, "corrupt block: {msg}"),
+            ExtMemError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            ExtMemError::CapacityExhausted { len } => {
+                write!(f, "fixed-capacity structure exhausted at {len} items")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtMemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExtMemError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExtMemError {
+    fn from(e: std::io::Error) -> Self {
+        ExtMemError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let s = ExtMemError::BlockOverflow { capacity: 8 }.to_string();
+        assert!(s.contains("capacity is 8"));
+        let s = ExtMemError::OutOfBudget { requested: 4, used: 10, capacity: 12 }.to_string();
+        assert!(s.contains("requested 4"));
+        assert!(s.contains("10/12"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let e: ExtMemError = std::io::Error::other("boom").into();
+        assert!(matches!(e, ExtMemError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = ExtMemError::Corrupt("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Items: the atomic records of the external memory model.
+//!
+//! The paper treats items as indivisible one-word records and identifies an
+//! item `x` with its hash value `h(x)` (§2: "we will not distinguish between
+//! an item x and its hash value h(x)"). We keep a `key` word in that role
+//! and add an optional `value` word of associated data so the library is
+//! usable as a real dictionary; capacities (`b`, `m`) are counted in
+//! **items**, exactly matching the paper's parameters.
+
+/// A key: the one-word identity of an item (its hash value in the paper).
+pub type Key = u64;
+
+/// One word of associated data carried alongside a key.
+pub type Value = u64;
+
+/// Reserved key used by structures that need a slot-level sentinel
+/// (e.g. tombstones in blocked linear probing). User keys must be strictly
+/// smaller than this value; constructors enforce it on insert.
+pub const KEY_TOMBSTONE: Key = u64::MAX;
+
+/// An indivisible record: `(key, value)`.
+///
+/// The indivisibility assumption of the paper's lower bound — items are
+/// moved or copied between memory and disk only in their entirety — is
+/// embodied by the fact that blocks store whole `Item`s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Item {
+    /// The key (hash value) of the item.
+    pub key: Key,
+    /// Associated data.
+    pub value: Value,
+}
+
+impl Item {
+    /// Creates an item from a key/value pair.
+    #[inline]
+    pub const fn new(key: Key, value: Value) -> Self {
+        Item { key, value }
+    }
+
+    /// An item carrying a key only (`value = 0`), matching the paper's
+    /// one-word items.
+    #[inline]
+    pub const fn key_only(key: Key) -> Self {
+        Item { key, value: 0 }
+    }
+
+    /// Whether this slot holds the tombstone sentinel.
+    #[inline]
+    pub const fn is_tombstone(&self) -> bool {
+        self.key == KEY_TOMBSTONE
+    }
+
+    /// The tombstone sentinel item.
+    #[inline]
+    pub const fn tombstone() -> Self {
+        Item { key: KEY_TOMBSTONE, value: 0 }
+    }
+}
+
+impl core::fmt::Debug for Item {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_tombstone() {
+            write!(f, "Item(‡)")
+        } else {
+            write!(f, "Item({}→{})", self.key, self.value)
+        }
+    }
+}
+
+impl From<(Key, Value)> for Item {
+    #[inline]
+    fn from((key, value): (Key, Value)) -> Self {
+        Item { key, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_only_zeroes_value() {
+        let it = Item::key_only(42);
+        assert_eq!(it.key, 42);
+        assert_eq!(it.value, 0);
+    }
+
+    #[test]
+    fn tombstone_is_detected() {
+        assert!(Item::tombstone().is_tombstone());
+        assert!(!Item::new(0, 0).is_tombstone());
+        assert!(Item::new(KEY_TOMBSTONE, 7).is_tombstone());
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let it: Item = (3, 9).into();
+        assert_eq!(it, Item::new(3, 9));
+    }
+
+    #[test]
+    fn debug_format_marks_tombstones() {
+        assert_eq!(format!("{:?}", Item::new(1, 2)), "Item(1→2)");
+        assert_eq!(format!("{:?}", Item::tombstone()), "Item(‡)");
+    }
+
+    #[test]
+    fn ordering_is_by_key_then_value() {
+        assert!(Item::new(1, 9) < Item::new(2, 0));
+        assert!(Item::new(1, 1) < Item::new(1, 2));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the external-memory substrate.
+
+use dxh_extmem::{
+    Block, BlockId, Disk, EvictionPolicy, FileDisk, IoCostModel, Item, MemDisk, StorageBackend,
+};
+use proptest::prelude::*;
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    (0..u64::MAX - 1, any::<u64>()).prop_map(|(k, v)| Item::new(k, v))
+}
+
+proptest! {
+    /// Encoding then decoding any block is the identity.
+    #[test]
+    fn block_codec_round_trip(
+        cap in 1usize..64,
+        items in proptest::collection::vec(arb_item(), 0..64),
+        tag in any::<u64>(),
+        next in proptest::option::of(0u64..1000),
+    ) {
+        let mut blk = Block::new(cap);
+        for it in items.into_iter().take(cap) {
+            blk.push(it).unwrap();
+        }
+        blk.set_tag(tag);
+        blk.set_next(next.map(BlockId));
+        let mut buf = vec![0u8; Block::encoded_len(cap)];
+        blk.encode_into(&mut buf);
+        let decoded = Block::decode_from(cap, &buf).unwrap();
+        prop_assert_eq!(decoded, blk);
+    }
+
+    /// MemDisk and FileDisk observe identical contents under an arbitrary
+    /// schedule of allocate / write / free operations.
+    #[test]
+    fn backends_agree(ops in proptest::collection::vec((0u8..3, any::<u64>()), 1..60)) {
+        let mut mem = MemDisk::new(4);
+        let mut file = FileDisk::temp(4).unwrap();
+        let mut live: Vec<BlockId> = Vec::new();
+        for (op, x) in ops {
+            match op {
+                0 => {
+                    let a = mem.allocate().unwrap();
+                    let b = file.allocate().unwrap();
+                    prop_assert_eq!(a, b);
+                    live.push(a);
+                }
+                1 if !live.is_empty() => {
+                    let id = live[(x % live.len() as u64) as usize];
+                    let mut blk = Block::new(4);
+                    blk.push(Item::new(x % (u64::MAX - 1), x)).unwrap();
+                    mem.write(id, &blk).unwrap();
+                    file.write(id, &blk).unwrap();
+                }
+                2 if !live.is_empty() => {
+                    let idx = (x % live.len() as u64) as usize;
+                    let id = live.swap_remove(idx);
+                    mem.free(id).unwrap();
+                    file.free(id).unwrap();
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(mem.live_blocks(), file.live_blocks());
+        for id in live {
+            prop_assert_eq!(mem.read(id).unwrap(), file.read(id).unwrap());
+        }
+    }
+
+    /// A pooled disk exposes exactly the same data as an unpooled one under
+    /// an arbitrary schedule, for every eviction policy, and never performs
+    /// MORE I/Os than the unpooled disk.
+    #[test]
+    fn pool_is_transparent(
+        ops in proptest::collection::vec((0u8..3, any::<u64>(), any::<u64>()), 1..80),
+        frames in 1usize..6,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [EvictionPolicy::Lru, EvictionPolicy::Fifo, EvictionPolicy::Clock][policy_idx];
+        let mut plain = Disk::new(MemDisk::new(4), 4, IoCostModel::Strict);
+        let mut pooled = Disk::new(MemDisk::new(4), 4, IoCostModel::Strict);
+        pooled.attach_pool(frames, policy);
+        let mut live: Vec<BlockId> = Vec::new();
+        for (op, x, y) in ops {
+            match op {
+                0 => {
+                    let a = plain.allocate().unwrap();
+                    let b = pooled.allocate().unwrap();
+                    prop_assert_eq!(a, b);
+                    live.push(a);
+                }
+                1 if !live.is_empty() => {
+                    let id = live[(x % live.len() as u64) as usize];
+                    let r1 = plain.read(id).unwrap();
+                    let r2 = pooled.read(id).unwrap();
+                    prop_assert_eq!(r1, r2);
+                }
+                2 if !live.is_empty() => {
+                    let id = live[(x % live.len() as u64) as usize];
+                    let key = y % (u64::MAX - 1);
+                    plain.read_modify_write(id, |b| {
+                        if !b.is_full() { b.push(Item::new(key, y)).unwrap(); }
+                    }).unwrap();
+                    pooled.read_modify_write(id, |b| {
+                        if !b.is_full() { b.push(Item::new(key, y)).unwrap(); }
+                    }).unwrap();
+                }
+                _ => {}
+            }
+        }
+        pooled.flush().unwrap();
+        prop_assert!(pooled.total_ios() <= plain.total_ios(),
+            "a cache never increases I/Os: pooled {} > plain {}",
+            pooled.total_ios(), plain.total_ios());
+        for id in live {
+            let a = plain.read(id).unwrap();
+            let b = pooled.backend_mut().read(id).unwrap();
+            prop_assert_eq!(a, b, "post-flush backend contents agree");
+        }
+    }
+
+    /// Budget arithmetic never goes negative and peak dominates used.
+    #[test]
+    fn budget_invariants(ops in proptest::collection::vec((any::<bool>(), 0usize..100), 0..50)) {
+        let mut b = dxh_extmem::MemoryBudget::with_enforcement(
+            1000, dxh_extmem::Enforcement::Track);
+        let mut model_used = 0usize;
+        for (is_reserve, n) in ops {
+            if is_reserve {
+                b.reserve(n).unwrap();
+                model_used += n;
+            } else {
+                let n = n.min(model_used);
+                b.release(n);
+                model_used -= n;
+            }
+            prop_assert_eq!(b.used(), model_used);
+            prop_assert!(b.peak() >= b.used());
+        }
+    }
+}

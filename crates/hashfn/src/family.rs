@@ -1,0 +1,52 @@
+//! The family/function traits.
+
+use rand::RngCore;
+
+/// A sampled hash function: a deterministic map `u64 → u64`.
+///
+/// Implementations must be cheap to clone (functions are shared between a
+/// table and the measurement harness) and `Send + Sync` so parallel trial
+/// runners can move tables across threads.
+pub trait HashFn: Clone + Send + Sync {
+    /// The 64-bit hash of `x`. All 64 output bits should be usable; where
+    /// a family has weaker guarantees (e.g. multiply-shift's low bits) the
+    /// family documents it.
+    fn hash64(&self, x: u64) -> u64;
+}
+
+/// A distribution over hash functions, from which tables draw their `h`.
+///
+/// The paper's lower bound fixes the *family* in advance (the memory can
+/// hold at most `2^(m log u)` distinct address functions) while the upper
+/// bounds sample one function per structure; this trait captures both uses.
+pub trait HashFamily {
+    /// The concrete function type this family samples.
+    type Fn: HashFn;
+
+    /// Draws a function using `rng` for the random seed/coefficients.
+    fn sample(&self, rng: &mut dyn RngCore) -> Self::Fn;
+
+    /// A short human-readable name ("ideal", "universal", …) used in
+    /// experiment output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealFamily;
+    use rand::SeedableRng;
+
+    #[test]
+    fn families_are_usable_through_the_trait() {
+        fn sample_via_trait<F: HashFamily>(f: &F, seed: u64) -> F::Fn {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            f.sample(&mut rng)
+        }
+        let f = sample_via_trait(&IdealFamily, 1);
+        let g = sample_via_trait(&IdealFamily, 1);
+        assert_eq!(f.hash64(42), g.hash64(42), "same seed, same function");
+        let h = sample_via_trait(&IdealFamily, 2);
+        assert_ne!(f.hash64(42), h.hash64(42), "different seed, different function");
+    }
+}

@@ -1,0 +1,107 @@
+//! 64-bit finalizers and a tiny deterministic RNG.
+
+/// The SplitMix64 output function (Steele, Lea, Flood): a full-avalanche
+/// bijection on `u64` after adding the golden-ratio increment.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// MurmurHash3's 64-bit finalizer (`fmix64`): a second independent
+/// full-avalanche bijection.
+#[inline]
+pub fn fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+/// A minimal deterministic RNG (SplitMix64 stream) used where a fast,
+/// dependency-light generator is wanted (e.g. filling tabulation tables).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` via Lemire's multiply-high method
+    /// (negligible bias for the `n ≪ 2^64` used here).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalizers_are_deterministic_and_distinct() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_eq!(fmix64(1), fmix64(1));
+        assert_ne!(splitmix64(1), fmix64(1));
+    }
+
+    #[test]
+    fn fmix64_is_bijective_on_a_sample() {
+        // Bijections have no collisions; check a decent sample.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(fmix64(x)));
+        }
+    }
+
+    #[test]
+    fn splitmix_stream_is_reproducible() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn avalanche_quality_smoke() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        let mut total = 0u32;
+        let trials = 64 * 100;
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            let x = rng.next_u64();
+            for bit in 0..64 {
+                total += (fmix64(x) ^ fmix64(x ^ (1 << bit))).count_ones();
+            }
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 32.0).abs() < 2.0, "poor avalanche: mean flips {mean}");
+    }
+}

@@ -1,0 +1,160 @@
+//! k-independent polynomial hashing over `Z_p`, `p = 2^61 − 1`.
+
+use rand::RngCore;
+
+use crate::family::{HashFamily, HashFn};
+
+/// The Mersenne prime `2^61 − 1` used for fast modular reduction.
+pub const MERSENNE61: u64 = (1 << 61) - 1;
+
+/// Reduces a value `< 2^122` modulo `2^61 − 1` without division.
+#[inline]
+pub(crate) fn mod_mersenne61(t: u128) -> u64 {
+    // Two folding rounds bring any t < 2^122 below 2^62, then one
+    // conditional subtraction finishes.
+    let p = MERSENNE61 as u128;
+    let r = (t & p) + (t >> 61);
+    let r = (r & p) + (r >> 61);
+    let r = r as u64;
+    if r >= MERSENNE61 {
+        r - MERSENNE61
+    } else {
+        r
+    }
+}
+
+/// A degree-(k−1) polynomial with random coefficients in `Z_p`, evaluated
+/// by Horner's rule: the classic k-independent family of Wegman–Carter.
+///
+/// `k = 2` recovers the universal family; higher `k` gives stronger
+/// independence at cost O(k) per evaluation. Output is the 61-bit residue
+/// shifted left 3 bits (same high-bit convention as
+/// [`crate::UniversalFn`]).
+#[derive(Clone, Debug)]
+pub struct PolynomialFn {
+    /// `coeffs[0]` is the constant term.
+    coeffs: Vec<u64>,
+}
+
+impl PolynomialFn {
+    /// Builds from explicit coefficients (each reduced mod p). The leading
+    /// coefficient is forced nonzero so the polynomial has full degree.
+    pub fn from_coeffs(mut coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty(), "need at least one coefficient");
+        for c in &mut coeffs {
+            *c %= MERSENNE61;
+        }
+        let n = coeffs.len();
+        if n > 1 && coeffs[n - 1] == 0 {
+            coeffs[n - 1] = 1;
+        }
+        PolynomialFn { coeffs }
+    }
+
+    /// Independence degree k (number of coefficients).
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+impl HashFn for PolynomialFn {
+    #[inline]
+    fn hash64(&self, x: u64) -> u64 {
+        // Map the 64-bit key into Z_p first (mod p), a negligible-bias fold.
+        let x = mod_mersenne61(x as u128);
+        let mut acc: u64 = 0;
+        for &c in self.coeffs.iter().rev() {
+            acc = mod_mersenne61(acc as u128 * x as u128 + c as u128);
+        }
+        acc << 3
+    }
+}
+
+/// The family of k-independent [`PolynomialFn`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct PolynomialFamily {
+    k: usize,
+}
+
+impl PolynomialFamily {
+    /// A family of k-wise independent functions (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        PolynomialFamily { k }
+    }
+}
+
+impl HashFamily for PolynomialFamily {
+    type Fn = PolynomialFn;
+
+    fn sample(&self, rng: &mut dyn RngCore) -> PolynomialFn {
+        let coeffs = (0..self.k).map(|_| rng.next_u64()).collect();
+        PolynomialFn::from_coeffs(coeffs)
+    }
+
+    fn name(&self) -> &'static str {
+        "polynomial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mersenne_reduction_matches_plain_modulo() {
+        let cases: [u128; 6] = [
+            0,
+            1,
+            MERSENNE61 as u128,
+            MERSENNE61 as u128 + 1,
+            u64::MAX as u128,
+            u128::MAX >> 6, // < 2^122
+        ];
+        for t in cases {
+            assert_eq!(mod_mersenne61(t) as u128, t % MERSENNE61 as u128, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn degree_one_is_constant() {
+        let f = PolynomialFn::from_coeffs(vec![42]);
+        assert_eq!(f.hash64(1), f.hash64(999));
+        assert_eq!(f.hash64(1), 42 << 3);
+    }
+
+    #[test]
+    fn degree_two_is_affine_and_injective_on_small_keys() {
+        let f = PolynomialFn::from_coeffs(vec![7, 3]);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(f.hash64(x)));
+        }
+    }
+
+    #[test]
+    fn leading_coefficient_forced_nonzero() {
+        let f = PolynomialFn::from_coeffs(vec![5, 0]);
+        assert_eq!(f.k(), 2);
+        assert_ne!(f.hash64(1), f.hash64(2), "degenerate constant polynomial");
+    }
+
+    #[test]
+    fn family_samples_requested_degree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let f = PolynomialFamily::new(5).sample(&mut rng);
+        assert_eq!(f.k(), 5);
+    }
+
+    #[test]
+    fn five_independent_evaluations_look_unstructured() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let f = PolynomialFamily::new(5).sample(&mut rng);
+        // crude serial-correlation check over sequential keys
+        let vals: Vec<u64> = (0..4096u64).map(|x| f.hash64(x) >> 32).collect();
+        let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        let expected = (u32::MAX as f64) / 2.0 * 2.0_f64.powi(0); // ~2^31 scale
+        assert!((mean / expected - 1.0).abs() < 0.15, "mean {mean} vs {expected}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Hash-to-bucket reductions.
+
+/// Fixed-point (multiply-high) reduction of a 64-bit hash to a bucket in
+/// `[0, nb)`: `⌊h · nb / 2^64⌋`.
+///
+/// **Hierarchy property.** For any growth factor `γ ≥ 1`:
+/// `prefix_bucket(h, γ·nb) ∈ { γ·q, …, γ·q + γ − 1 }` where
+/// `q = prefix_bucket(h, nb)`. Proof: write `h·nb / 2^64 = q + f` with
+/// `0 ≤ f < 1`; then `h·γ·nb / 2^64 = γq + γf` and `⌊γf⌋ ≤ γ − 1`.
+/// This gives the paper's log-method invariant that each bucket of `H_k`
+/// maps onto `γ` consecutive buckets of `H_{k+1}`, for arbitrary `nb`.
+#[inline]
+pub fn prefix_bucket(h: u64, nb: u64) -> u64 {
+    debug_assert!(nb > 0);
+    ((h as u128 * nb as u128) >> 64) as u64
+}
+
+/// Least-significant-bit reduction: `h mod nb` with `nb` a power of two.
+/// Classic linear hashing grows one bucket at a time and addresses with
+/// `h mod N·2^L`, which this reduction supports.
+#[inline]
+pub fn mask_bucket(h: u64, nb_pow2: u64) -> u64 {
+    debug_assert!(nb_pow2.is_power_of_two(), "mask_bucket needs a power of two");
+    h & (nb_pow2 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::SplitMix64;
+
+    #[test]
+    fn prefix_bucket_is_in_range() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let h = rng.next_u64();
+            for nb in [1u64, 2, 3, 7, 100, 1 << 20] {
+                assert!(prefix_bucket(h, nb) < nb);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_bucket_hierarchy_under_growth() {
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..10_000 {
+            let h = rng.next_u64();
+            for nb in [1u64, 3, 8, 100] {
+                for gamma in [2u64, 3, 4, 16] {
+                    let q = prefix_bucket(h, nb);
+                    let c = prefix_bucket(h, nb * gamma);
+                    assert!(
+                        (gamma * q..gamma * q + gamma).contains(&c),
+                        "h={h} nb={nb} γ={gamma}: parent {q}, child {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_bucket_is_monotone_in_h() {
+        // Fixed-point reduction preserves hash order — handy for verifying
+        // that buckets partition the hash space into contiguous ranges.
+        assert!(prefix_bucket(0, 10) <= prefix_bucket(u64::MAX / 2, 10));
+        assert!(prefix_bucket(u64::MAX / 2, 10) <= prefix_bucket(u64::MAX, 10));
+    }
+
+    #[test]
+    fn prefix_bucket_extremes() {
+        assert_eq!(prefix_bucket(0, 7), 0);
+        assert_eq!(prefix_bucket(u64::MAX, 7), 6);
+        assert_eq!(prefix_bucket(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn prefix_bucket_is_roughly_uniform() {
+        let nb = 16u64;
+        let mut counts = vec![0u64; nb as usize];
+        let mut rng = SplitMix64::new(3);
+        let n = 160_000;
+        for _ in 0..n {
+            counts[prefix_bucket(rng.next_u64(), nb) as usize] += 1;
+        }
+        let expect = n as f64 / nb as f64;
+        for c in counts {
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt(),
+                "bucket count {c} far from expectation {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_bucket_matches_modulo() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..1000 {
+            let h = rng.next_u64();
+            assert_eq!(mask_bucket(h, 64), h % 64);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn mask_bucket_rejects_non_power_of_two() {
+        let _ = mask_bucket(5, 12);
+    }
+}

@@ -1,0 +1,225 @@
+//! The (s, p, t) bin-ball game of Lemmas 3 and 4.
+//!
+//! `s` balls are thrown independently into `r` bins (each bin drawing a
+//! ball with probability ≤ `p`); then an adversary removes `t` balls so
+//! that the remaining balls occupy as few bins as possible. The game's
+//! cost — occupied bins after removal — lower-bounds the number of
+//! distinct blocks a round of hash-table insertions must touch: the
+//! thrower is the hash function directing items to (good-area) addresses,
+//! and the adversary models the table's freedom to park `t` items in the
+//! memory and slow zones.
+
+use dxh_hashfn::SplitMix64;
+
+use dxh_analysis::RunningStats;
+
+/// An (s, p, t) bin-ball game with uniform bins (`p = 1/r`).
+#[derive(Clone, Copy, Debug)]
+pub struct BinBallGame {
+    /// Balls thrown.
+    pub s: u64,
+    /// Bins (per-bin probability is `1/r`).
+    pub r: u64,
+    /// Balls the adversary may remove.
+    pub t: u64,
+}
+
+/// Monte-Carlo statistics of repeated games.
+#[derive(Clone, Debug)]
+pub struct GameStats {
+    /// Cost summary across trials.
+    pub cost: RunningStats,
+    /// Fraction of trials whose cost fell below Lemma 3's threshold
+    /// `(1−µ)(1−sp)s − t` (µ fixed at the value passed to
+    /// [`BinBallGame::monte_carlo`]).
+    pub frac_below_lemma3: f64,
+    /// Fraction of trials whose cost fell below Lemma 4's threshold
+    /// `1/(20p)`.
+    pub frac_below_lemma4: f64,
+}
+
+impl BinBallGame {
+    /// Per-ball per-bin probability `p = 1/r`.
+    pub fn p(&self) -> f64 {
+        1.0 / self.r as f64
+    }
+
+    /// Lemma 3's high-probability cost floor `(1−µ)(1−sp)s − t`.
+    pub fn lemma3_threshold(&self, mu: f64) -> f64 {
+        let sp = self.s as f64 * self.p();
+        (1.0 - mu) * (1.0 - sp) * self.s as f64 - self.t as f64
+    }
+
+    /// Lemma 3's failure-probability bound `e^(−µ²s/3)`.
+    pub fn lemma3_tail(&self, mu: f64) -> f64 {
+        (-mu * mu * self.s as f64 / 3.0).exp()
+    }
+
+    /// Lemma 4's cost floor `1/(20p) = r/20`.
+    pub fn lemma4_threshold(&self) -> f64 {
+        self.r as f64 / 20.0
+    }
+
+    /// Whether Lemma 3's hypothesis `sp ≤ 1/3` holds.
+    pub fn lemma3_applies(&self) -> bool {
+        self.s as f64 * self.p() <= 1.0 / 3.0
+    }
+
+    /// Whether Lemma 4's hypotheses `s/2 ≥ t` and `s/2 ≥ 1/p` hold.
+    pub fn lemma4_applies(&self) -> bool {
+        self.s >= 2 * self.t && self.s >= 2 * self.r
+    }
+
+    /// Plays one game, returning the adversary-minimized occupied-bin
+    /// count. Deterministic in `seed`.
+    pub fn play(&self, seed: u64) -> u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut counts = vec![0u64; self.r as usize];
+        for _ in 0..self.s {
+            counts[rng.below(self.r) as usize] += 1;
+        }
+        optimal_adversary_cost(&mut counts, self.t)
+    }
+
+    /// Plays `trials` games with distinct sub-seeds; `mu` parameterizes
+    /// the Lemma 3 threshold tracking.
+    pub fn monte_carlo(&self, trials: u64, mu: f64, seed: u64) -> GameStats {
+        let mut cost = RunningStats::new();
+        let thr3 = self.lemma3_threshold(mu);
+        let thr4 = self.lemma4_threshold();
+        let mut below3 = 0u64;
+        let mut below4 = 0u64;
+        for i in 0..trials {
+            let c = self.play(seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as f64;
+            cost.push(c);
+            if c < thr3 {
+                below3 += 1;
+            }
+            if c < thr4 {
+                below4 += 1;
+            }
+        }
+        GameStats {
+            cost,
+            frac_below_lemma3: below3 as f64 / trials as f64,
+            frac_below_lemma4: below4 as f64 / trials as f64,
+        }
+    }
+}
+
+/// The optimal adversary: to reduce the number of occupied bins by one,
+/// an entire bin must be emptied, so spending the removal budget on the
+/// smallest bins first is exactly optimal (exchange argument; verified
+/// against brute force in the tests). `counts` is clobbered.
+pub fn optimal_adversary_cost(counts: &mut [u64], t: u64) -> u64 {
+    counts.sort_unstable();
+    let mut nonempty = counts.iter().filter(|&&c| c > 0).count() as u64;
+    let mut budget = t;
+    for &c in counts.iter().filter(|&&c| c > 0) {
+        if c <= budget {
+            budget -= c;
+            nonempty -= 1;
+        } else {
+            break;
+        }
+    }
+    nonempty
+}
+
+/// Exhaustive adversary for testing: tries every subset of bins to empty
+/// (exponential; small inputs only).
+#[doc(hidden)]
+pub fn brute_force_adversary_cost(counts: &[u64], t: u64) -> u64 {
+    let bins: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    let n = bins.len();
+    assert!(n <= 20, "brute force limited to 20 bins");
+    let mut best = n as u64;
+    for mask in 0u32..(1 << n) {
+        let removed: u64 = (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| bins[i]).sum();
+        if removed <= t {
+            let emptied = mask.count_ones() as u64;
+            best = best.min(n as u64 - emptied);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_adversary_matches_brute_force() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..500 {
+            let n = 1 + (rng.below(8) as usize);
+            let mut counts: Vec<u64> = (0..n).map(|_| rng.below(6)).collect();
+            let t = rng.below(12);
+            let brute = brute_force_adversary_cost(&counts, t);
+            let greedy = optimal_adversary_cost(&mut counts, t);
+            assert_eq!(greedy, brute, "counts mismatch at t={t}");
+        }
+    }
+
+    #[test]
+    fn adversary_edge_cases() {
+        assert_eq!(optimal_adversary_cost(&mut [], 5), 0);
+        assert_eq!(optimal_adversary_cost(&mut [0, 0], 0), 0);
+        assert_eq!(optimal_adversary_cost(&mut [3, 1, 2], 0), 3);
+        assert_eq!(optimal_adversary_cost(&mut [3, 1, 2], 3), 1, "remove bins 1 and 2");
+        assert_eq!(optimal_adversary_cost(&mut [3, 1, 2], 100), 0);
+    }
+
+    #[test]
+    fn game_is_deterministic_in_seed() {
+        let g = BinBallGame { s: 100, r: 1000, t: 10 };
+        assert_eq!(g.play(7), g.play(7));
+    }
+
+    #[test]
+    fn lemma3_holds_empirically() {
+        // s = 300 balls into r = 3000 bins (sp = 0.1 ≤ 1/3), t = 30.
+        let g = BinBallGame { s: 300, r: 3000, t: 30 };
+        assert!(g.lemma3_applies());
+        let mu = 0.2;
+        let stats = g.monte_carlo(400, mu, 99);
+        // Theory: P[cost < (1−µ)(1−sp)s − t] ≤ e^{−µ²s/3} = e^{-4} ≈ 0.018.
+        let bound = g.lemma3_tail(mu);
+        assert!(
+            stats.frac_below_lemma3 <= bound + 0.05,
+            "observed {} > bound {bound} + slack",
+            stats.frac_below_lemma3
+        );
+        // And the mean must sit near (1−sp)s − t ≈ 240.
+        assert!(stats.cost.mean() > 230.0, "mean cost {}", stats.cost.mean());
+    }
+
+    #[test]
+    fn lemma4_holds_empirically() {
+        // Heavy-throw regime: s = 2000 balls into r = 100 bins, t = 1000.
+        let g = BinBallGame { s: 2000, r: 100, t: 1000 };
+        assert!(g.lemma4_applies());
+        let stats = g.monte_carlo(300, 0.1, 123);
+        assert_eq!(
+            stats.frac_below_lemma4, 0.0,
+            "cost must essentially never drop below r/20 = {}",
+            g.lemma4_threshold()
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_balls_and_shrinks_with_removals() {
+        let few = BinBallGame { s: 50, r: 1000, t: 0 }.monte_carlo(100, 0.1, 5);
+        let many = BinBallGame { s: 500, r: 1000, t: 0 }.monte_carlo(100, 0.1, 5);
+        assert!(many.cost.mean() > few.cost.mean());
+        let robbed = BinBallGame { s: 500, r: 1000, t: 400 }.monte_carlo(100, 0.1, 5);
+        assert!(robbed.cost.mean() < many.cost.mean());
+    }
+
+    #[test]
+    fn applicability_predicates() {
+        assert!(!BinBallGame { s: 1000, r: 100, t: 0 }.lemma3_applies(), "sp = 10");
+        assert!(!BinBallGame { s: 10, r: 100, t: 0 }.lemma4_applies(), "s < 2r");
+        assert!(!BinBallGame { s: 100, r: 10, t: 60 }.lemma4_applies(), "t > s/2");
+    }
+}

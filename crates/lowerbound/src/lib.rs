@@ -1,0 +1,38 @@
+//! # dxh-lowerbound — the machinery of Theorem 1
+//!
+//! The paper's lower bound works through three devices, each implemented
+//! and empirically verifiable here:
+//!
+//! * [`zones`] — the **abstraction** (§2): any hash table's layout is a
+//!   memory zone `M`, a fast zone `F` (items `x` stored in block `f(x)`
+//!   for the in-memory address function `f`), and a slow zone `S`
+//!   (everything else, ≥ 2 I/Os). Query performance forces
+//!   `E[|S|] ≤ m + δk` (Lemma 1, Eq. 1).
+//! * [`binball`] — the **(s, p, t) bin-ball game** (Lemmas 3 and 4):
+//!   `s` balls thrown into bins with per-bin probability ≤ `p`; an
+//!   adversary removes `t` balls to minimize the number of occupied
+//!   bins. The cost of the game lower-bounds the distinct blocks a round
+//!   of insertions must touch. Our adversary is *exactly optimal*
+//!   (greedy, verified by brute force).
+//! * [`adversary`] — the **end-to-end harness**: drive any
+//!   [`dxh_tables::LayoutInspect`] table through rounds of `s` random
+//!   insertions and certify, per round, a lower bound `Z` on its I/Os —
+//!   the number of distinct fast-zone addresses that received new items.
+//!   Structures with `tq ≈ 1` (chaining) are forced to `Z/s ≈ 1`;
+//!   buffered structures escape only by pushing items into the slow
+//!   zone, which the zones account immediately charges against `tq`.
+//! * [`regime`] — the parameter choices `(δ, φ, ρ, s)` of the three
+//!   tradeoffs in the proof of Theorem 1.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+pub mod binball;
+pub mod regime;
+pub mod zones;
+
+pub use adversary::{run_adversary, AdversaryReport, RoundReport};
+pub use binball::{BinBallGame, GameStats};
+pub use regime::{Regime, RegimeParams};
+pub use zones::{classify_zones, estimate_characteristic, zone_tq_lower_bound, ZoneCounts};

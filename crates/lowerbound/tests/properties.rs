@@ -1,0 +1,79 @@
+//! Property-based tests for the lower-bound machinery.
+
+use dxh_lowerbound::binball::{brute_force_adversary_cost, optimal_adversary_cost};
+use dxh_lowerbound::{classify_zones, zone_tq_lower_bound, BinBallGame, Regime, ZoneCounts};
+use dxh_tables::LayoutSnapshot;
+use dxh_extmem::BlockId;
+use proptest::prelude::*;
+
+proptest! {
+    /// The greedy adversary is exactly optimal on every instance.
+    #[test]
+    fn greedy_adversary_optimal(
+        counts in proptest::collection::vec(0u64..8, 0..12),
+        t in 0u64..30,
+    ) {
+        let brute = brute_force_adversary_cost(&counts, t);
+        let mut c = counts.clone();
+        prop_assert_eq!(optimal_adversary_cost(&mut c, t), brute);
+    }
+
+    /// Game cost is monotone: more removals never increase the cost, and
+    /// it never exceeds min(s, r).
+    #[test]
+    fn game_cost_bounds(s in 1u64..300, r in 1u64..300, t in 0u64..100, seed in any::<u64>()) {
+        let g = BinBallGame { s, r, t };
+        let cost = g.play(seed);
+        prop_assert!(cost <= s.min(r));
+        let g2 = BinBallGame { s, r, t: t + 10 };
+        prop_assert!(g2.play(seed) <= cost, "more removals can only help the adversary");
+    }
+
+    /// Zone classification is a partition: memory + fast + slow counts
+    /// every distinct key exactly once.
+    #[test]
+    fn zones_partition(
+        mem_keys in proptest::collection::hash_set(0u64..100, 0..10),
+        disk in proptest::collection::vec((0u64..8, proptest::collection::vec(0u64..100, 0..6)), 0..8),
+        addr_mod in 1u64..8,
+    ) {
+        let snapshot = LayoutSnapshot {
+            memory: mem_keys.iter().copied().collect(),
+            blocks: disk.iter().map(|(id, ks)| (BlockId(*id), ks.clone())).collect(),
+        };
+        let zones = classify_zones(&snapshot, |k| Some(BlockId(k % addr_mod)));
+        let mut distinct: std::collections::HashSet<u64> = mem_keys.clone();
+        for (_, ks) in &disk {
+            distinct.extend(ks.iter().copied());
+        }
+        prop_assert_eq!(zones.total(), distinct.len());
+        // The tq bound is always within [0, 2].
+        let bound = zone_tq_lower_bound(&zones);
+        prop_assert!((0.0..=2.0).contains(&bound));
+    }
+
+    /// The zone tq bound is monotone in slowness: moving an item from
+    /// fast to slow can only raise it.
+    #[test]
+    fn zone_bound_monotone(memory in 0usize..50, fast in 0usize..50, slow in 0usize..50) {
+        prop_assume!(memory + fast + slow > 0);
+        let z = ZoneCounts { memory, fast, slow };
+        if fast > 0 {
+            let worse = ZoneCounts { memory, fast: fast - 1, slow: slow + 1 };
+            prop_assert!(zone_tq_lower_bound(&worse) >= zone_tq_lower_bound(&z));
+        }
+    }
+
+    /// Regime parameters are always positive and rounds fit in the run.
+    #[test]
+    fn regime_params_valid(b in 4usize..512, n in 1000usize..1_000_000, c1 in 1.01f64..3.0, c3 in 0.05f64..0.95, kappa in 1.0f64..10.0) {
+        for regime in [Regime::Case1 { c: c1 }, Regime::Case2 { kappa }, Regime::Case3 { c: c3 }] {
+            let p = regime.params(b, n);
+            prop_assert!(p.delta > 0.0);
+            prop_assert!(p.phi > 0.0 && p.phi <= 1.0);
+            prop_assert!(p.rho > 0.0);
+            prop_assert!(p.s >= 1 && p.s <= n);
+            prop_assert!(regime.tu_lower_bound(b) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Model-based property tests: every external table must behave exactly
+//! like `std::collections::HashMap` under arbitrary operation sequences.
+
+use std::collections::HashMap;
+
+use dxh_hashfn::IdealFn;
+use dxh_tables::{
+    ChainingConfig, ChainingTable, ExtendibleConfig, ExtendibleTable, ExternalDictionary,
+    LayoutInspect, LinearHashConfig, LinearHashTable, LinearProbingConfig, LinearProbingTable,
+};
+use proptest::prelude::*;
+
+/// An operation in the random schedule. Keys are drawn from a small space
+/// so that upserts, deletes of present keys, and collisions are frequent.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Lookup(u64),
+    Delete(u64),
+}
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..3, 0u64..200, any::<u64>()).prop_map(|(kind, k, v)| match kind {
+            0 => Op::Insert(k, v),
+            1 => Op::Lookup(k),
+            _ => Op::Delete(k),
+        }),
+        0..max_len,
+    )
+}
+
+fn run_against_model<T: ExternalDictionary>(table: &mut T, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                table.insert(k, v).unwrap();
+                model.insert(k, v);
+            }
+            Op::Lookup(k) => {
+                prop_assert_eq!(table.lookup(k).unwrap(), model.get(&k).copied());
+            }
+            Op::Delete(k) => {
+                let was = table.delete(k).unwrap();
+                prop_assert_eq!(was, model.remove(&k).is_some());
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+    }
+    // Final sweep: every model key present with the right value; a few
+    // absent keys are absent.
+    for (&k, &v) in &model {
+        prop_assert_eq!(table.lookup(k).unwrap(), Some(v));
+    }
+    for k in 1000..1010u64 {
+        prop_assert_eq!(table.lookup(k).unwrap(), None);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chaining_matches_hashmap(ops in arb_ops(300), seed in any::<u64>(), b in 2usize..9) {
+        let cfg = ChainingConfig::new(b, 4096).initial_buckets(2);
+        let mut t = ChainingTable::new(cfg, IdealFn::from_seed(seed)).unwrap();
+        run_against_model(&mut t, &ops)?;
+    }
+
+    #[test]
+    fn linear_probing_matches_hashmap(ops in arb_ops(200), seed in any::<u64>(), b in 2usize..9) {
+        // Plenty of slots so capacity is never exhausted (≤ 200 live keys).
+        let cfg = LinearProbingConfig::new(b, 4096, (600 / b as u64).max(4));
+        let mut t = LinearProbingTable::new(cfg, IdealFn::from_seed(seed)).unwrap();
+        run_against_model(&mut t, &ops)?;
+    }
+
+    #[test]
+    fn extendible_matches_hashmap(ops in arb_ops(300), seed in any::<u64>(), b in 2usize..9) {
+        let cfg = ExtendibleConfig::new(b, 1 << 20);
+        let mut t = ExtendibleTable::new(cfg, IdealFn::from_seed(seed)).unwrap();
+        run_against_model(&mut t, &ops)?;
+    }
+
+    #[test]
+    fn linear_hashing_matches_hashmap(ops in arb_ops(300), seed in any::<u64>(), b in 2usize..9) {
+        let cfg = LinearHashConfig::new(b, 1 << 16);
+        let mut t = LinearHashTable::new(cfg, IdealFn::from_seed(seed)).unwrap();
+        run_against_model(&mut t, &ops)?;
+    }
+
+    /// The layout snapshot of any table accounts for exactly the live keys.
+    #[test]
+    fn layouts_account_for_all_items(ops in arb_ops(200), seed in any::<u64>()) {
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let cfg = ChainingConfig::new(4, 4096).initial_buckets(2);
+        let mut chain = ChainingTable::new(cfg, IdealFn::from_seed(seed)).unwrap();
+        let mut ext = ExtendibleTable::new(
+            ExtendibleConfig::new(4, 1 << 20), IdealFn::from_seed(seed)).unwrap();
+        let mut lh = LinearHashTable::new(
+            LinearHashConfig::new(4, 1 << 16), IdealFn::from_seed(seed)).unwrap();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    chain.insert(k, v).unwrap();
+                    ext.insert(k, v).unwrap();
+                    lh.insert(k, v).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    chain.delete(k).unwrap();
+                    ext.delete(k).unwrap();
+                    lh.delete(k).unwrap();
+                    model.remove(&k);
+                }
+                Op::Lookup(_) => {}
+            }
+        }
+        let mut expected: Vec<u64> = model.keys().copied().collect();
+        expected.sort_unstable();
+        for snap in [chain.layout_snapshot().unwrap(),
+                     ext.layout_snapshot().unwrap(),
+                     lh.layout_snapshot().unwrap()] {
+            let mut got: Vec<u64> = snap.blocks.iter().flat_map(|(_, ks)| ks.iter().copied()).collect();
+            got.extend_from_slice(&snap.memory);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    /// Every item is reachable from its address function by at most a
+    /// chain/probe walk starting at `address_of` — the fast-zone property
+    /// the paper's zones abstraction relies on.
+    #[test]
+    fn address_function_is_sound(keys in proptest::collection::hash_set(0u64..10_000, 1..150), seed in any::<u64>()) {
+        let cfg = ChainingConfig::new(4, 4096).initial_buckets(2);
+        let mut t = ChainingTable::new(cfg, IdealFn::from_seed(seed)).unwrap();
+        for &k in &keys {
+            t.insert(k, k).unwrap();
+        }
+        let snap = t.layout_snapshot().unwrap();
+        for &k in &keys {
+            let addr = t.address_of(k).unwrap();
+            prop_assert!(snap.blocks.iter().any(|(id, _)| *id == addr));
+        }
+    }
+}

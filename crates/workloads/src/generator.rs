@@ -1,0 +1,268 @@
+//! Workload families.
+
+use std::collections::HashSet;
+
+use dxh_extmem::Key;
+use dxh_hashfn::SplitMix64;
+
+use crate::trace::{Op, Trace};
+use crate::zipf::ZipfSampler;
+
+/// A reproducible workload: `generate(seed)` always yields the same
+/// trace for the same seed.
+pub trait Workload {
+    /// Builds the operation trace.
+    fn generate(&self, seed: u64) -> Trace;
+
+    /// Short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+fn fresh_key(rng: &mut SplitMix64, used: &mut HashSet<Key>) -> Key {
+    loop {
+        let k = rng.next_u64() >> 1;
+        if used.insert(k) {
+            return k;
+        }
+    }
+}
+
+/// The paper's model: `n` insertions of independent uniform items, no
+/// queries (queries are measured separately by the harness).
+#[derive(Clone, Copy, Debug)]
+pub struct UniformInserts {
+    /// Number of insertions.
+    pub n: usize,
+}
+
+impl Workload for UniformInserts {
+    fn generate(&self, seed: u64) -> Trace {
+        let mut rng = SplitMix64::new(seed);
+        let mut used = HashSet::with_capacity(self.n);
+        let ops = (0..self.n)
+            .map(|_| {
+                let k = fresh_key(&mut rng, &mut used);
+                Op::Insert(k, k)
+            })
+            .collect();
+        Trace { ops }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-inserts"
+    }
+}
+
+/// A mixed stream: each step inserts with probability `insert_ratio`,
+/// otherwise looks up a uniformly chosen previously inserted key.
+#[derive(Clone, Copy, Debug)]
+pub struct InsertLookupMix {
+    /// Total operations.
+    pub ops: usize,
+    /// Fraction of operations that are insertions, in `(0, 1]`.
+    pub insert_ratio: f64,
+}
+
+impl Workload for InsertLookupMix {
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.insert_ratio > 0.0 && self.insert_ratio <= 1.0);
+        let mut rng = SplitMix64::new(seed);
+        let mut used = HashSet::new();
+        let mut inserted: Vec<Key> = Vec::new();
+        let mut ops = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if inserted.is_empty() || coin < self.insert_ratio {
+                let k = fresh_key(&mut rng, &mut used);
+                inserted.push(k);
+                ops.push(Op::Insert(k, k));
+            } else {
+                let k = inserted[rng.below(inserted.len() as u64) as usize];
+                ops.push(Op::Lookup(k));
+            }
+        }
+        Trace { ops }
+    }
+
+    fn name(&self) -> &'static str {
+        "insert-lookup-mix"
+    }
+}
+
+/// The introduction's motivating scenario: *archival data management* —
+/// long runs of insertions (log records arriving) punctuated by rare
+/// point lookups, skewed toward recently archived records.
+#[derive(Clone, Copy, Debug)]
+pub struct ArchivalStream {
+    /// Total insertions.
+    pub inserts: usize,
+    /// One lookup is issued after every `lookup_every` insertions.
+    pub lookup_every: usize,
+    /// Fraction of lookups aimed at the most recent 10% of records.
+    pub recent_bias: f64,
+}
+
+impl Workload for ArchivalStream {
+    fn generate(&self, seed: u64) -> Trace {
+        assert!(self.lookup_every > 0);
+        assert!((0.0..=1.0).contains(&self.recent_bias));
+        let mut rng = SplitMix64::new(seed);
+        let mut used = HashSet::with_capacity(self.inserts);
+        let mut inserted: Vec<Key> = Vec::with_capacity(self.inserts);
+        let mut ops = Vec::with_capacity(self.inserts + self.inserts / self.lookup_every);
+        for i in 0..self.inserts {
+            let k = fresh_key(&mut rng, &mut used);
+            inserted.push(k);
+            ops.push(Op::Insert(k, i as u64));
+            if (i + 1) % self.lookup_every == 0 {
+                let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let idx = if coin < self.recent_bias {
+                    // Recent 10% window.
+                    let window = (inserted.len() / 10).max(1);
+                    inserted.len() - 1 - rng.below(window as u64) as usize
+                } else {
+                    rng.below(inserted.len() as u64) as usize
+                };
+                ops.push(Op::Lookup(inserted[idx]));
+            }
+        }
+        Trace { ops }
+    }
+
+    fn name(&self) -> &'static str {
+        "archival-stream"
+    }
+}
+
+/// Insert `inserts` keys, then issue `queries` lookups with Zipf(θ)
+/// popularity over the inserted keys (hot-key read phase).
+#[derive(Clone, Copy, Debug)]
+pub struct ZipfQueries {
+    /// Keys inserted in the load phase.
+    pub inserts: usize,
+    /// Lookups issued in the query phase.
+    pub queries: usize,
+    /// Zipf skew, in `(0, 1)`.
+    pub theta: f64,
+}
+
+impl Workload for ZipfQueries {
+    fn generate(&self, seed: u64) -> Trace {
+        let mut rng = SplitMix64::new(seed);
+        let mut used = HashSet::with_capacity(self.inserts);
+        let mut inserted = Vec::with_capacity(self.inserts);
+        let mut ops = Vec::with_capacity(self.inserts + self.queries);
+        for _ in 0..self.inserts {
+            let k = fresh_key(&mut rng, &mut used);
+            inserted.push(k);
+            ops.push(Op::Insert(k, k));
+        }
+        let zipf = ZipfSampler::new(self.inserts.max(1) as u64, self.theta);
+        for _ in 0..self.queries {
+            let rank = zipf.sample(&mut rng) as usize;
+            ops.push(Op::Lookup(inserted[rank]));
+        }
+        Trace { ops }
+    }
+
+    fn name(&self) -> &'static str {
+        "zipf-queries"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_inserts_are_distinct_and_reproducible() {
+        let w = UniformInserts { n: 1000 };
+        let a = w.generate(5);
+        let b = w.generate(5);
+        assert_eq!(a, b, "same seed, same trace");
+        let keys: HashSet<_> = a
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Insert(k, _) => *k,
+                _ => panic!("inserts only"),
+            })
+            .collect();
+        assert_eq!(keys.len(), 1000, "keys are distinct");
+        assert_ne!(a, w.generate(6), "different seed, different trace");
+    }
+
+    #[test]
+    fn mix_respects_ratio_roughly() {
+        let w = InsertLookupMix { ops: 10_000, insert_ratio: 0.3 };
+        let t = w.generate(1);
+        let (ins, looks, dels) = t.histogram();
+        assert_eq!(dels, 0);
+        assert_eq!(ins + looks, 10_000);
+        let ratio = ins as f64 / 10_000.0;
+        assert!((ratio - 0.3).abs() < 0.03, "insert ratio {ratio}");
+    }
+
+    #[test]
+    fn mix_lookups_hit_inserted_keys_only() {
+        let w = InsertLookupMix { ops: 2000, insert_ratio: 0.5 };
+        let t = w.generate(2);
+        let mut seen = HashSet::new();
+        for op in &t.ops {
+            match op {
+                Op::Insert(k, _) => {
+                    seen.insert(*k);
+                }
+                Op::Lookup(k) => assert!(seen.contains(k), "lookup of never-inserted key"),
+                Op::Delete(_) => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn archival_stream_is_insert_heavy() {
+        let w = ArchivalStream { inserts: 5000, lookup_every: 100, recent_bias: 0.8 };
+        let t = w.generate(3);
+        let (ins, looks, _) = t.histogram();
+        assert_eq!(ins, 5000);
+        assert_eq!(looks, 50);
+    }
+
+    #[test]
+    fn archival_lookups_are_valid_and_biased_recent() {
+        let w = ArchivalStream { inserts: 10_000, lookup_every: 10, recent_bias: 1.0 };
+        let t = w.generate(4);
+        let mut inserted: Vec<Key> = Vec::new();
+        let mut recent_hits = 0usize;
+        let mut total = 0usize;
+        for op in &t.ops {
+            match op {
+                Op::Insert(k, _) => inserted.push(*k),
+                Op::Lookup(k) => {
+                    let pos = inserted.iter().position(|x| x == k).expect("inserted");
+                    total += 1;
+                    if pos + inserted.len() / 10 + 1 >= inserted.len() {
+                        recent_hits += 1;
+                    }
+                }
+                Op::Delete(_) => unreachable!(),
+            }
+        }
+        assert_eq!(recent_hits, total, "bias 1.0 ⇒ all lookups in recent window");
+    }
+
+    #[test]
+    fn zipf_queries_follow_skew() {
+        let w = ZipfQueries { inserts: 100, queries: 50_000, theta: 0.9 };
+        let t = w.generate(5);
+        // Count lookups of the single most popular key.
+        let mut counts = std::collections::HashMap::new();
+        for op in &t.ops {
+            if let Op::Lookup(k) = op {
+                *counts.entry(*k).or_insert(0u64) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 50_000 / 100 * 3, "hot key dominates: {max}");
+    }
+}

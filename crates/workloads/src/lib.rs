@@ -1,0 +1,26 @@
+//! # dxh-workloads — workload generation and experiment running
+//!
+//! * [`trace`] — operation traces (insert/lookup/delete) with CSV
+//!   round-tripping, so experiments are replayable.
+//! * [`generator`] — the workload families used by the experiments:
+//!   uniform random insertions (the paper's model), insert/lookup mixes,
+//!   the intro's motivating *archival stream* (insert-heavy, occasional
+//!   point queries), and Zipf-skewed query workloads.
+//! * [`zipf`] — a Zipf(θ) rank sampler.
+//! * [`runner`] — drives any [`dxh_tables::ExternalDictionary`] through
+//!   a trace with per-operation-class I/O attribution, measures the
+//!   paper's `tu` and `tq`, and fans independent trials out across
+//!   threads (crossbeam scoped threads, one seed per trial).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod runner;
+pub mod trace;
+pub mod zipf;
+
+pub use generator::{ArchivalStream, InsertLookupMix, UniformInserts, Workload, ZipfQueries};
+pub use runner::{measure_tq, measure_tq_unsuccessful, parallel_trials, run_trace, RunReport};
+pub use trace::{Op, Trace};
+pub use zipf::ZipfSampler;

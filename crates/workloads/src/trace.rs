@@ -1,0 +1,142 @@
+//! Replayable operation traces.
+
+use dxh_extmem::{Key, Value};
+
+/// One dictionary operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Insert (or upsert) `key ↦ value`.
+    Insert(Key, Value),
+    /// Point lookup.
+    Lookup(Key),
+    /// Delete.
+    Delete(Key),
+}
+
+/// A sequence of operations, replayable against any dictionary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The operations, in execution order.
+    pub ops: Vec<Op>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Counts per operation class `(inserts, lookups, deletes)`.
+    pub fn histogram(&self) -> (usize, usize, usize) {
+        let mut h = (0, 0, 0);
+        for op in &self.ops {
+            match op {
+                Op::Insert(..) => h.0 += 1,
+                Op::Lookup(_) => h.1 += 1,
+                Op::Delete(_) => h.2 += 1,
+            }
+        }
+        h
+    }
+
+    /// Serializes as CSV lines `op,key,value` (`value` empty for
+    /// lookups/deletes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.ops.len() * 16);
+        out.push_str("op,key,value\n");
+        for op in &self.ops {
+            match op {
+                Op::Insert(k, v) => out.push_str(&format!("I,{k},{v}\n")),
+                Op::Lookup(k) => out.push_str(&format!("L,{k},\n")),
+                Op::Delete(k) => out.push_str(&format!("D,{k},\n")),
+            }
+        }
+        out
+    }
+
+    /// Parses the CSV form produced by [`Trace::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut ops = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if lineno == 0 && line.starts_with("op,") {
+                continue; // header
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let op = parts.next().ok_or_else(|| format!("line {lineno}: missing op"))?;
+            let key: Key = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: missing key"))?
+                .parse()
+                .map_err(|e| format!("line {lineno}: bad key: {e}"))?;
+            let value = parts.next().unwrap_or("");
+            ops.push(match op {
+                "I" => {
+                    let v: Value = value
+                        .parse()
+                        .map_err(|e| format!("line {lineno}: bad value: {e}"))?;
+                    Op::Insert(key, v)
+                }
+                "L" => Op::Lookup(key),
+                "D" => Op::Delete(key),
+                other => return Err(format!("line {lineno}: unknown op {other:?}")),
+            });
+        }
+        Ok(Trace { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            ops: vec![
+                Op::Insert(1, 10),
+                Op::Lookup(1),
+                Op::Delete(1),
+                Op::Insert(u64::MAX - 1, u64::MAX),
+                Op::Lookup(999),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample();
+        let csv = t.to_csv();
+        let back = Trace::from_csv(&csv).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(sample().histogram(), (2, 2, 1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::from_csv("op,key,value\nX,1,2\n").is_err());
+        assert!(Trace::from_csv("op,key,value\nI,notakey,2\n").is_err());
+        assert!(Trace::from_csv("op,key,value\nI,1,notavalue\n").is_err());
+    }
+
+    #[test]
+    fn parse_tolerates_blank_lines_and_missing_header() {
+        let t = Trace::from_csv("I,5,6\n\nL,5,\n").unwrap();
+        assert_eq!(t.ops, vec![Op::Insert(5, 6), Op::Lookup(5)]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Zipf-distributed rank sampling (YCSB-style approximation).
+
+use dxh_hashfn::SplitMix64;
+
+/// Samples ranks in `[0, n)` with `Pr[rank = i] ∝ 1/(i+1)^θ`,
+/// using the Gray et al. quick-zipf method popularized by YCSB.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfSampler {
+    /// A sampler over `n` ranks with skew `θ ∈ (0, 1)` (θ → 0 is uniform,
+    /// θ → 1 is heavily skewed).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1);
+        assert!(theta > 0.0 && theta < 1.0, "theta in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfSampler { n, theta, alpha, zetan, eta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; integral approximation beyond.
+        if n <= 100_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=100_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 100_000f64.powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(n: u64, theta: f64, draws: u64) -> Vec<u64> {
+        let s = ZipfSampler::new(n, theta);
+        let mut rng = SplitMix64::new(7);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn ranks_are_in_range() {
+        let s = ZipfSampler::new(100, 0.9);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn popularity_is_monotone_in_rank() {
+        let counts = frequencies(50, 0.9, 200_000);
+        // Head must dominate: rank 0 well above rank 10 and rank 40.
+        assert!(counts[0] > 2 * counts[10], "{} vs {}", counts[0], counts[10]);
+        assert!(counts[0] > 4 * counts[40], "{} vs {}", counts[0], counts[40]);
+    }
+
+    #[test]
+    fn low_theta_is_flatter() {
+        let skewed = frequencies(100, 0.95, 100_000);
+        let flat = frequencies(100, 0.1, 100_000);
+        let head_share = |c: &Vec<u64>| c[0] as f64 / c.iter().sum::<u64>() as f64;
+        assert!(head_share(&skewed) > 2.0 * head_share(&flat));
+    }
+
+    #[test]
+    fn single_rank_degenerates() {
+        let s = ZipfSampler::new(1, 0.5);
+        let mut rng = SplitMix64::new(2);
+        assert_eq!(s.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn large_n_zeta_approximation_is_close() {
+        // ζ via approximation at n just above the cutoff ≈ direct sum.
+        let direct = ZipfSampler::zeta(100_000, 0.7);
+        let approx = ZipfSampler::zeta(100_001, 0.7);
+        assert!((approx - direct) / direct < 1e-3);
+    }
+}

@@ -1,0 +1,60 @@
+//! The paper's motivating scenario (§1): *managing archival data* —
+//! a stream dominated by insertions with occasional point lookups.
+//!
+//! Compares the standard external hash table (queries ≈ 1 I/O, but every
+//! insert pays ≈ 1 I/O) with the bootstrapped table (inserts in o(1),
+//! queries still ≈ 1) on the same archival stream — the exact tradeoff
+//! Figure 1 is about.
+//!
+//! Run: `cargo run --release --example archival_log`
+
+use dyn_ext_hash::core::{DynamicHashTable, TradeoffTarget};
+use dyn_ext_hash::workloads::{run_trace, ArchivalStream, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let b = 64;
+    let m = 1024;
+    // 200k archived records; one lookup per 50 inserts, biased to recent.
+    let workload = ArchivalStream { inserts: 200_000, lookup_every: 50, recent_bias: 0.7 };
+    let trace = workload.generate(7);
+    let (ins, looks, _) = trace.histogram();
+    println!("archival stream: {ins} inserts, {looks} lookups (recent-biased)\n");
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>12}",
+        "structure", "tu", "tq(trace)", "insert I/Os", "lookup I/Os"
+    );
+    let mut totals = Vec::new();
+    for (name, target) in [
+        ("standard (chaining)", TradeoffTarget::QueryOptimal),
+        ("bootstrapped c=0.5", TradeoffTarget::InsertOptimal { c: 0.5 }),
+        ("boundary ε=0.25", TradeoffTarget::Boundary { eps: 0.25 }),
+    ] {
+        let mut table = DynamicHashTable::for_target(target, b, m, 99)?;
+        let report = run_trace(&mut table, &trace)?;
+        println!(
+            "{:<24} {:>10.4} {:>10.4} {:>12} {:>12}",
+            name,
+            report.tu(),
+            report.trace_tq(),
+            report.insert_ios,
+            report.lookup_ios
+        );
+        totals.push((name, report.insert_ios + report.lookup_ios));
+    }
+
+    let (base_name, base) = totals[0];
+    println!();
+    for &(name, total) in &totals[1..] {
+        println!(
+            "{name}: {:.1}× fewer total I/Os than {base_name} on this stream",
+            base as f64 / total as f64
+        );
+    }
+    println!(
+        "\nThis is the paper's point: when insertions dominate (archives, logs),\n\
+         giving up O(1/b^c) on each query buys back almost the entire insertion\n\
+         cost — and Theorem 1 says you cannot do better."
+    );
+    Ok(())
+}

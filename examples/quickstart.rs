@@ -1,0 +1,47 @@
+//! Quickstart: build the paper's bootstrapped hash table, insert a
+//! stream of keys, and watch the tradeoff — insertions cost `o(1)` I/Os
+//! amortized while successful lookups stay at ≈ 1 I/O.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use dyn_ext_hash::core::{BootstrappedTable, CoreConfig, ExternalDictionary};
+use dyn_ext_hash::workloads::measure_tq;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The external memory model parameters: blocks of b = 64 items, an
+    // internal memory of m = 1024 items. Theorem 2 with c = 1/2 picks
+    // β = √b = 8: amortized O(1/√b) insertions, queries at 1 + O(1/√b).
+    let b = 64;
+    let m = 1024;
+    let cfg = CoreConfig::theorem2(b, m, 0.5)?;
+    println!("bootstrapped table: b = {b}, m = {m}, γ = {}, β = {:.1}", cfg.gamma, cfg.beta);
+
+    let mut table = BootstrappedTable::new(cfg, 0xC0FFEE)?;
+    let n: u64 = 100_000;
+    let keys: Vec<u64> = (0..n).map(|i| i * 2 + 1).collect();
+    for &k in &keys {
+        table.insert(k, k * 10)?;
+    }
+
+    // Point lookups work like any dictionary.
+    assert_eq!(table.lookup(12_345)?, Some(123_450));
+    assert_eq!(table.lookup(2)?, None); // even keys were never inserted
+
+    // The paper's two quantities.
+    let tu = table.total_ios() as f64 / n as f64;
+    let tq = measure_tq(&mut table, &keys, 2_000, 42)?;
+    println!("inserted n = {n} items");
+    println!("  tu (amortized insert I/Os)     = {tu:.4}   — o(1): the buffer is working");
+    println!("  tq (expected successful query) = {tq:.4}   — within O(1/√b) of 1");
+    println!(
+        "  Ĥ holds {:.1}% of items across {} merges (invariant ≥ 1 − 1/β = {:.1}%)",
+        table.hat_fraction() * 100.0,
+        table.merge_count(),
+        (1.0 - 1.0 / table.config().beta) * 100.0
+    );
+    println!("  internal memory used: {} / {m} items", table.memory_used());
+
+    assert!(tu < 1.0, "buffering must beat one I/O per insert");
+    assert!(tq < 1.3, "queries must stay near one I/O");
+    Ok(())
+}

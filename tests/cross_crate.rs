@@ -1,0 +1,140 @@
+//! Integration tests spanning the whole stack: facade → workloads →
+//! lower-bound harness → analysis, exercised together the way the
+//! experiment binaries use them.
+
+use dyn_ext_hash::analysis::{theorem1_tu_lower, theorem2_tu_upper};
+use dyn_ext_hash::core::{DynamicHashTable, ExternalDictionary, LayoutInspect, TradeoffTarget};
+use dyn_ext_hash::hashfn::SplitMix64;
+use dyn_ext_hash::lowerbound::{classify_zones, run_adversary, zone_tq_lower_bound, Regime};
+use dyn_ext_hash::workloads::{measure_tq, run_trace, UniformInserts, Workload};
+
+fn fill(table: &mut DynamicHashTable, n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut keys = Vec::with_capacity(n);
+    while keys.len() < n {
+        let k = rng.next_u64() >> 1;
+        if seen.insert(k) {
+            table.insert(k, k).unwrap();
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+/// The headline orderings of Figure 1 hold end-to-end.
+#[test]
+fn figure1_orderings_hold() {
+    let (b, m, n) = (64, 1024, 30_000);
+    let mut chain = DynamicHashTable::for_target(TradeoffTarget::QueryOptimal, b, m, 1).unwrap();
+    let mut boot =
+        DynamicHashTable::for_target(TradeoffTarget::InsertOptimal { c: 0.5 }, b, m, 1).unwrap();
+    let mut log =
+        DynamicHashTable::for_target(TradeoffTarget::LogMethod { gamma: 2 }, b, m, 1).unwrap();
+
+    let keys_c = fill(&mut chain, n, 2);
+    let keys_b = fill(&mut boot, n, 2);
+    let keys_l = fill(&mut log, n, 2);
+
+    let tu_chain = chain.total_ios() as f64 / n as f64;
+    let tu_boot = boot.total_ios() as f64 / n as f64;
+    let tu_log = log.total_ios() as f64 / n as f64;
+    let tq_chain = measure_tq(&mut chain, &keys_c, 1500, 3).unwrap();
+    let tq_boot = measure_tq(&mut boot, &keys_b, 1500, 3).unwrap();
+    let tq_log = measure_tq(&mut log, &keys_l, 1500, 3).unwrap();
+
+    // Insertion: buffering wins, log-method most of all.
+    assert!(tu_boot < tu_chain, "boot {tu_boot} < chain {tu_chain}");
+    assert!(tu_log < tu_chain, "log {tu_log} < chain {tu_chain}");
+    // Query: chaining ≈ 1; bootstrapped close behind; log-method pays logs.
+    assert!(tq_chain < 1.05, "chain tq {tq_chain}");
+    assert!(tq_boot < 1.3, "boot tq {tq_boot}");
+    assert!(tq_log > 1.5, "log tq {tq_log} must show the log factor");
+    // Theory sandwich for the bootstrapped point (constants are loose:
+    // the unit-constant bounds may sit a factor ≈ 4–6 below measurement).
+    let ub = theorem2_tu_upper(b, 0.5);
+    let lb = theorem1_tu_lower(b, 0.5);
+    assert!(tu_boot >= lb, "measured {tu_boot} ≥ lower bound {lb}");
+    assert!(tu_boot <= 8.0 * ub, "measured {tu_boot} within constants of upper {ub}");
+}
+
+/// The zones account is sound: the zone-implied tq lower bound never
+/// exceeds the measured tq (within sampling noise).
+#[test]
+fn zone_bound_is_below_measured_tq() {
+    for target in [
+        TradeoffTarget::QueryOptimal,
+        TradeoffTarget::InsertOptimal { c: 0.5 },
+        TradeoffTarget::LogMethod { gamma: 2 },
+    ] {
+        let mut t = DynamicHashTable::for_target(target, 32, 512, 5).unwrap();
+        let keys = fill(&mut t, 8000, 6);
+        let measured = measure_tq(&mut t, &keys, 1200, 7).unwrap();
+        let snap = t.layout_snapshot().unwrap();
+        let zones = classify_zones(&snap, |k| t.address_of(k));
+        let bound = zone_tq_lower_bound(&zones);
+        assert!(
+            bound <= measured + 0.1,
+            "{}: zone bound {bound} vs measured {measured}",
+            t.name()
+        );
+    }
+}
+
+/// The adversary harness certificate is monotone with the real cost on
+/// every structure the facade offers.
+#[test]
+fn adversary_certificate_is_sound_for_all_structures() {
+    for target in [
+        TradeoffTarget::QueryOptimal,
+        TradeoffTarget::InsertOptimal { c: 0.5 },
+        TradeoffTarget::LogMethod { gamma: 2 },
+    ] {
+        let mut t = DynamicHashTable::for_target(target, 32, 512, 8).unwrap();
+        let params = Regime::Case2 { kappa: 2.0 }.params(32, 6000);
+        let report = run_adversary(&mut t, 6000, &params, 9).unwrap();
+        assert!(
+            report.certified_tu_lower <= report.measured_tu + 1e-9,
+            "{}: certificate {} exceeds measurement {}",
+            t.name(),
+            report.certified_tu_lower,
+            report.measured_tu
+        );
+    }
+}
+
+/// Replaying the same workload trace on two facade tables with the same
+/// seed gives identical I/O counts — full determinism across the stack.
+#[test]
+fn determinism_end_to_end() {
+    let trace = UniformInserts { n: 5000 }.generate(11);
+    let run = || {
+        let mut t =
+            DynamicHashTable::for_target(TradeoffTarget::InsertOptimal { c: 0.5 }, 32, 512, 12)
+                .unwrap();
+        let report = run_trace(&mut t, &trace).unwrap();
+        (report.insert_ios, t.len())
+    };
+    assert_eq!(run(), run());
+}
+
+/// The memory budget never exceeds m across structures and phases.
+#[test]
+fn memory_budgets_respected() {
+    for target in [
+        TradeoffTarget::QueryOptimal,
+        TradeoffTarget::InsertOptimal { c: 0.25 },
+        TradeoffTarget::Boundary { eps: 0.5 },
+        TradeoffTarget::LogMethod { gamma: 4 },
+    ] {
+        let m = 2048;
+        let mut t = DynamicHashTable::for_target(target, 64, m, 13).unwrap();
+        fill(&mut t, 20_000, 14);
+        assert!(
+            t.memory_used() <= m,
+            "{} uses {} > m = {m}",
+            t.name(),
+            t.memory_used()
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Failure injection: every structure must surface backend I/O errors as
+//! `Err`, never panic, and never corrupt its accounting.
+
+use dyn_ext_hash::extmem::{
+    Block, BlockId, Disk, ExtMemError, IoCostModel, MemDisk, Result, StorageBackend,
+};
+
+/// A backend that starts failing every operation after a fuse of `okay`
+/// successful calls burns out.
+struct FailingDisk {
+    inner: MemDisk,
+    okay: u64,
+}
+
+impl FailingDisk {
+    fn new(b: usize, okay: u64) -> Self {
+        FailingDisk { inner: MemDisk::new(b), okay }
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        if self.okay == 0 {
+            return Err(ExtMemError::Io(std::io::Error::other(
+                "injected fault",
+            )));
+        }
+        self.okay -= 1;
+        Ok(())
+    }
+}
+
+impl StorageBackend for FailingDisk {
+    fn block_capacity(&self) -> usize {
+        self.inner.block_capacity()
+    }
+
+    fn read(&mut self, id: BlockId) -> Result<Block> {
+        self.tick()?;
+        self.inner.read(id)
+    }
+
+    fn write(&mut self, id: BlockId, block: &Block) -> Result<()> {
+        self.tick()?;
+        self.inner.write(id, block)
+    }
+
+    fn allocate(&mut self) -> Result<BlockId> {
+        self.tick()?;
+        self.inner.allocate()
+    }
+
+    fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId> {
+        self.tick()?;
+        self.inner.allocate_contiguous(n)
+    }
+
+    fn free(&mut self, id: BlockId) -> Result<()> {
+        self.tick()?;
+        self.inner.free(id)
+    }
+
+    fn live_blocks(&self) -> u64 {
+        self.inner.live_blocks()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.tick()?;
+        self.inner.sync()
+    }
+}
+
+#[test]
+fn disk_operations_propagate_faults() {
+    let mut d = Disk::new(FailingDisk::new(4, 3), 4, IoCostModel::SeekDominated);
+    let id = d.allocate().unwrap(); // 1
+    let _ = d.read(id).unwrap(); // 2
+    d.write(id, &Block::new(4)).unwrap(); // 3 — fuse burnt
+    assert!(matches!(d.read(id), Err(ExtMemError::Io(_))));
+    assert!(matches!(d.read_modify_write(id, |_| ()), Err(ExtMemError::Io(_))));
+    assert!(matches!(d.allocate(), Err(ExtMemError::Io(_))));
+}
+
+#[test]
+fn chaining_table_fails_cleanly_at_any_fuse_length() {
+    use dyn_ext_hash::hashfn::IdealFn;
+    use dyn_ext_hash::tables::{ChainingConfig, ChainingTable, ExternalDictionary};
+    // Find how many backend ops a full healthy run needs, then re-run
+    // with every possible truncation; each must end in Err, not panic.
+    let healthy_ops = {
+        let disk = Disk::new(FailingDisk::new(4, u64::MAX), 4, IoCostModel::SeekDominated);
+        let mut t =
+            ChainingTable::with_disk(disk, ChainingConfig::new(4, 4096), IdealFn::from_seed(1))
+                .unwrap();
+        for k in 0..200u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Fuse length is generous: reads+writes+rmws+allocs+frees.
+        let s = t.disk_stats();
+        s.reads + s.writes + 2 * s.rmws + s.allocs + s.frees + 64
+    };
+    let mut failures = 0;
+    for fuse in (0..healthy_ops).step_by(37) {
+        let disk = Disk::new(FailingDisk::new(4, fuse), 4, IoCostModel::SeekDominated);
+        let result = ChainingTable::with_disk(
+            disk,
+            ChainingConfig::new(4, 4096),
+            IdealFn::from_seed(1),
+        )
+        .and_then(|mut t| {
+            for k in 0..200u64 {
+                t.insert(k, k)?;
+            }
+            Ok(())
+        });
+        if result.is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "some truncations must fail");
+}
+
+#[test]
+fn bootstrapped_table_fails_cleanly_mid_merge() {
+    use dyn_ext_hash::core::{BootstrappedTable, CoreConfig, ExternalDictionary};
+    use dyn_ext_hash::hashfn::IdealFn;
+    // Pick fuses that land inside Ĥ merges (the most stateful phase).
+    for fuse in [50u64, 200, 500, 1500, 4000] {
+        let cfg = CoreConfig::theorem2(8, 128, 0.5).unwrap();
+        let disk = Disk::new(FailingDisk::new(8, fuse), 8, cfg.cost);
+        let result = BootstrappedTable::with_disk(disk, cfg, IdealFn::from_seed(2)).and_then(
+            |mut t| {
+                for k in 0..3000u64 {
+                    t.insert(k, k)?;
+                }
+                Ok(())
+            },
+        );
+        // Either the fuse outlasted the run, or we got a clean error.
+        if let Err(e) = result {
+            assert!(matches!(e, ExtMemError::Io(_)), "unexpected error kind {e}");
+        }
+    }
+}
+
+#[test]
+fn btree_fails_cleanly_mid_split() {
+    use dyn_ext_hash::btree::{BPlusTree, BPlusTreeConfig};
+    use dyn_ext_hash::tables::ExternalDictionary;
+    for fuse in [10u64, 60, 150, 400] {
+        let cfg = BPlusTreeConfig::new(4, 4096);
+        let disk = Disk::new(FailingDisk::new(4, fuse), 4, cfg.cost);
+        let result = BPlusTree::with_disk(disk, cfg).and_then(|mut t| {
+            for k in 0..300u64 {
+                t.insert(k, k)?;
+            }
+            Ok(())
+        });
+        if let Err(e) = result {
+            assert!(matches!(e, ExtMemError::Io(_)));
+        }
+    }
+}

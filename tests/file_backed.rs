@@ -1,0 +1,65 @@
+//! The file-backed disk is a drop-in replacement: identical contents and
+//! identical I/O accounting as the in-memory simulator on the same
+//! operation sequence.
+
+use dyn_ext_hash::core::{BootstrappedTable, CoreConfig, ExternalDictionary, LogMethodTable};
+use dyn_ext_hash::extmem::{Disk, FileDisk, IoCostModel, MemDisk};
+use dyn_ext_hash::hashfn::IdealFn;
+use dyn_ext_hash::tables::{ChainingConfig, ChainingTable};
+
+#[test]
+fn chaining_identical_on_both_backends() {
+    let cfg = ChainingConfig::new(8, 4096);
+    let mem_disk = Disk::new(MemDisk::new(8), 8, IoCostModel::SeekDominated);
+    let file_disk =
+        Disk::new(FileDisk::temp(8).unwrap(), 8, IoCostModel::SeekDominated);
+    let mut a = ChainingTable::with_disk(mem_disk, cfg.clone(), IdealFn::from_seed(1)).unwrap();
+    let mut b = ChainingTable::with_disk(file_disk, cfg, IdealFn::from_seed(1)).unwrap();
+    for k in 0..2000u64 {
+        a.insert(k, k * 3).unwrap();
+        b.insert(k, k * 3).unwrap();
+    }
+    for k in (0..2000u64).step_by(7) {
+        assert_eq!(a.lookup(k).unwrap(), b.lookup(k).unwrap());
+    }
+    for k in (0..2000u64).step_by(3) {
+        assert_eq!(a.delete(k).unwrap(), b.delete(k).unwrap());
+    }
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.total_ios(), b.total_ios(), "accounting is backend-independent");
+}
+
+#[test]
+fn bootstrapped_identical_on_both_backends() {
+    let cfg = CoreConfig::theorem2(8, 128, 0.5).unwrap();
+    let mem = Disk::new(MemDisk::new(8), 8, cfg.cost);
+    let file = Disk::new(FileDisk::temp(8).unwrap(), 8, cfg.cost);
+    let mut a = BootstrappedTable::with_disk(mem, cfg.clone(), IdealFn::from_seed(2)).unwrap();
+    let mut b = BootstrappedTable::with_disk(file, cfg, IdealFn::from_seed(2)).unwrap();
+    for k in 0..3000u64 {
+        a.insert(k, k).unwrap();
+        b.insert(k, k).unwrap();
+    }
+    assert_eq!(a.total_ios(), b.total_ios());
+    assert_eq!(a.hat_items(), b.hat_items());
+    assert_eq!(a.merge_count(), b.merge_count());
+    for k in (0..3000u64).step_by(11) {
+        assert_eq!(a.lookup(k).unwrap(), Some(k));
+        assert_eq!(b.lookup(k).unwrap(), Some(k));
+    }
+}
+
+#[test]
+fn log_method_identical_on_both_backends() {
+    let cfg = CoreConfig::lemma5(8, 128, 2).unwrap();
+    let mem = Disk::new(MemDisk::new(8), 8, cfg.cost);
+    let file = Disk::new(FileDisk::temp(8).unwrap(), 8, cfg.cost);
+    let mut a = LogMethodTable::with_disk(mem, cfg.clone(), IdealFn::from_seed(3)).unwrap();
+    let mut b = LogMethodTable::with_disk(file, cfg, IdealFn::from_seed(3)).unwrap();
+    for k in 0..2500u64 {
+        a.insert(k, k + 1).unwrap();
+        b.insert(k, k + 1).unwrap();
+    }
+    assert_eq!(a.total_ios(), b.total_ios());
+    assert_eq!(a.level_items(), b.level_items());
+}
