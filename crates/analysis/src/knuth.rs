@@ -60,11 +60,7 @@ pub fn chaining_costs(b: usize, alpha: f64) -> ChainingCosts {
         let extend = if j > 0 && rem == 0 { 2.0 } else { 0.0 };
         insert += p * (blocks + extend);
     }
-    ChainingCosts {
-        successful_lookup: succ_weighted / lambda,
-        unsuccessful_lookup: unsucc,
-        insert,
-    }
+    ChainingCosts { successful_lookup: succ_weighted / lambda, unsuccessful_lookup: unsucc, insert }
 }
 
 /// The probability that a bucket overflows its primary block:

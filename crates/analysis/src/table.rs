@@ -155,7 +155,7 @@ mod tests {
     }
 
     #[test]
-    fn write_csv_round_trips(){
+    fn write_csv_round_trips() {
         let mut t = TextTable::new(["a"]);
         t.row(["1"]);
         let dir = std::env::temp_dir().join(format!("dxh-table-{}", std::process::id()));

@@ -17,9 +17,7 @@ use dxh_analysis::{table::fmt_f, TextTable};
 use dxh_bench::{emit, insert_uniform, ExpArgs};
 use dxh_core::{BootstrappedTable, CoreConfig, ExternalDictionary};
 use dxh_extmem::{EvictionPolicy, IoCostModel};
-use dxh_hashfn::{
-    HashFamily, IdealFamily, MultiplyShiftFamily, TabulationFamily, UniversalFamily,
-};
+use dxh_hashfn::{HashFamily, IdealFamily, MultiplyShiftFamily, TabulationFamily, UniversalFamily};
 use dxh_tables::{ChainingConfig, ChainingTable};
 use dxh_workloads::measure_tq;
 use rand::SeedableRng;
@@ -86,7 +84,14 @@ fn ablation_cache(args: &ExpArgs) {
     emit("A1 — generic cache vs structural buffering", &t, args, "exp_ablation_cache.csv");
 }
 
-fn run_family<F: HashFamily>(family: &F, b: usize, n: usize, samples: usize, sequential: bool, seed: u64) -> (f64, f64)
+fn run_family<F: HashFamily>(
+    family: &F,
+    b: usize,
+    n: usize,
+    samples: usize,
+    sequential: bool,
+    seed: u64,
+) -> (f64, f64)
 where
     F::Fn: 'static,
 {
@@ -156,13 +161,7 @@ fn ablation_hashfn(args: &ExpArgs) {
             fmt_f(tq, 4),
         ]);
         let (tu, tq) = run_family(&TabulationFamily, b, n, samples, sequential, 14);
-        t.row([
-            "tabulation".to_string(),
-            "prefix".into(),
-            kind.into(),
-            fmt_f(tu, 4),
-            fmt_f(tq, 4),
-        ]);
+        t.row(["tabulation".to_string(), "prefix".into(), kind.into(), fmt_f(tu, 4), fmt_f(tq, 4)]);
     }
     // Mask (low-bit) reduction on strided keys: the failure mode.
     let n_masked = args.scale(4000, 1500);
@@ -238,7 +237,8 @@ fn ablation_merge_style(args: &ExpArgs) {
     let b = 64;
     let m = 1024;
     let n = args.scale(100_000, 12_000);
-    let mut t = TextTable::new(["structure", "merge style", "tu (meas)", "reads", "writes", "rmws"]);
+    let mut t =
+        TextTable::new(["structure", "merge style", "tu (meas)", "reads", "writes", "rmws"]);
     for rewrite_only in [false, true] {
         let style = if rewrite_only { "rewrite (2 xfers/block)" } else { "in-place (fused rmw)" };
         {

@@ -65,12 +65,9 @@ fn main() {
             "min cost",
             "P[cost<thr] (emp)",
         ]);
-        for (s, r, t) in [
-            (200u64, 50u64, 100u64),
-            (1000, 100, 500),
-            (2000, 100, 1000),
-            (5000, 500, 2500),
-        ] {
+        for (s, r, t) in
+            [(200u64, 50u64, 100u64), (1000, 100, 500), (2000, 100, 1000), (5000, 500, 2500)]
+        {
             let g = BinBallGame { s, r, t };
             assert!(g.lemma4_applies());
             let stats = g.monte_carlo(trials, 0.1, 0xBB44);

@@ -13,7 +13,9 @@
 //!
 //! Run: `cargo run -p dxh-bench --release --bin exp_bootstrap [--quick]`
 
-use dxh_analysis::{stats::RunningStats, table::fmt_f, theorem2_tq_upper, theorem2_tu_upper, TextTable};
+use dxh_analysis::{
+    stats::RunningStats, table::fmt_f, theorem2_tq_upper, theorem2_tu_upper, TextTable,
+};
 use dxh_bench::{emit, insert_uniform, ExpArgs};
 use dxh_core::{BootstrappedTable, CoreConfig, ExternalDictionary};
 use dxh_workloads::{measure_tq, parallel_trials};
@@ -71,14 +73,12 @@ fn main() {
             fmt_f(merges.mean(), 0),
         ]);
     }
-    println!(
-        "Theorem 2 (bootstrapped table): b = {b}, m = {m}, n = {n}, {} trials.",
-        args.trials
-    );
+    println!("Theorem 2 (bootstrapped table): b = {b}, m = {m}, n = {n}, {} trials.", args.trials);
     emit("Theorem 2 — c sweep (β = b^c, γ = 2)", &t1, &args, "exp_bootstrap_c.csv");
 
     // Sweep 2: the ε form.
-    let mut t2 = TextTable::new(["ε", "β", "tu (meas)", "tu target ε", "tq (meas)", "tq bound 1+O(1/b)"]);
+    let mut t2 =
+        TextTable::new(["ε", "β", "tu (meas)", "tu target ε", "tq (meas)", "tq bound 1+O(1/b)"]);
     for eps in [0.125, 0.25, 0.5, 1.0] {
         let rows = parallel_trials(args.trials, 0xE125, |seed| {
             let cfg = CoreConfig::boundary(b, m, eps).unwrap();

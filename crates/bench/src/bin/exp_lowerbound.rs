@@ -57,9 +57,8 @@ fn main() {
                 // Fixed chaining table at load ≤ 1/2: the tq ≈ 1 regime.
                 let buckets = (2 * n / b) as u64;
                 let cfg = ChainingConfig::fixed(b, 4096, buckets);
-                let mut t =
-                    ChainingTable::new(cfg, IdealFn::from_seed(0xAD5E ^ idx as u64))
-                        .expect("table");
+                let mut t = ChainingTable::new(cfg, IdealFn::from_seed(0xAD5E ^ idx as u64))
+                    .expect("table");
                 run_adversary(&mut t, n, &params, 0x1357 + idx as u64).expect("run")
             }
         };

@@ -126,10 +126,7 @@ fn main() {
             s.tu_lower.clone(),
         ]);
     }
-    for (label, pick) in [
-        ("extendible (m=Θ(n/b))", 0usize),
-        ("linear hash (m=Θ(n/b))", 1usize),
-    ] {
+    for (label, pick) in [("extendible (m=Θ(n/b))", 0usize), ("linear hash (m=Θ(n/b))", 1usize)] {
         let mut tu = RunningStats::new();
         let mut tq = RunningStats::new();
         for (e, l) in &classics {

@@ -55,10 +55,8 @@ impl ExpArgs {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--trials" => {
-                    out.trials = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--trials needs a number");
+                    out.trials =
+                        args.next().and_then(|v| v.parse().ok()).expect("--trials needs a number");
                 }
                 "--out" => {
                     out.out_dir = PathBuf::from(args.next().expect("--out needs a path"));

@@ -15,8 +15,8 @@
 //! like the paper's hash tables, the structure itself lives on disk.
 
 use dxh_extmem::{
-    Block, BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk,
-    MemoryBudget, Result, StorageBackend, Value, KEY_TOMBSTONE,
+    Block, BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget,
+    Result, StorageBackend, Value, KEY_TOMBSTONE,
 };
 use dxh_tables::ExternalDictionary;
 

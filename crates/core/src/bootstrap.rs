@@ -188,10 +188,11 @@ impl<F: HashFn, B: StorageBackend> ExternalDictionary for BootstrappedTable<F, B
 
     fn lookup(&mut self, key: Key) -> Result<Option<Value>> {
         // H0: free (memory).
-        if let Some(v) = self.log.h0.lookup(
-            prefix_bucket(self.log.hash.hash64(key), self.cfg.nb0()) as usize,
-            key,
-        ) {
+        if let Some(v) = self
+            .log
+            .h0
+            .lookup(prefix_bucket(self.log.hash.hash64(key), self.cfg.nb0()) as usize, key)
+        {
             return Ok(Some(v));
         }
         // Ĥ first — this is where tq ≈ 1 comes from.
@@ -207,9 +208,7 @@ impl<F: HashFn, B: StorageBackend> ExternalDictionary for BootstrappedTable<F, B
 
     /// Deletion is outside the paper's scope; always an error.
     fn delete(&mut self, _key: Key) -> Result<bool> {
-        Err(ExtMemError::BadConfig(
-            "buffered tables do not support deletion (see paper §1)".into(),
-        ))
+        Err(ExtMemError::BadConfig("buffered tables do not support deletion (see paper §1)".into()))
     }
 
     fn len(&self) -> usize {
@@ -446,10 +445,7 @@ mod tests {
         };
         let fused = run(false);
         let rewrite = run(true);
-        assert!(
-            fused < rewrite,
-            "in-place merges must be cheaper: {fused} vs {rewrite}"
-        );
+        assert!(fused < rewrite, "in-place merges must be cheaper: {fused} vs {rewrite}");
     }
 
     #[test]

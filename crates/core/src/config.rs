@@ -37,7 +37,14 @@ impl CoreConfig {
     /// Lemma 5 parameters: plain logarithmic method with growth factor
     /// `gamma`.
     pub fn lemma5(b: usize, m: usize, gamma: u64) -> Result<Self> {
-        let cfg = CoreConfig { b, m, gamma, beta: 2.0, cost: IoCostModel::SeekDominated, rewrite_merges_only: false };
+        let cfg = CoreConfig {
+            b,
+            m,
+            gamma,
+            beta: 2.0,
+            cost: IoCostModel::SeekDominated,
+            rewrite_merges_only: false,
+        };
         cfg.validate()?;
         Ok(cfg)
     }
@@ -47,12 +54,17 @@ impl CoreConfig {
     /// `tq = 1 + O(1/b^c)` expected successful lookups.
     pub fn theorem2(b: usize, m: usize, c: f64) -> Result<Self> {
         if !(0.0 < c && c < 1.0) {
-            return Err(ExtMemError::BadConfig(format!(
-                "theorem2 requires 0 < c < 1, got {c}"
-            )));
+            return Err(ExtMemError::BadConfig(format!("theorem2 requires 0 < c < 1, got {c}")));
         }
         let beta = (b as f64).powf(c).clamp(2.0, b as f64);
-        let cfg = CoreConfig { b, m, gamma: 2, beta, cost: IoCostModel::SeekDominated, rewrite_merges_only: false };
+        let cfg = CoreConfig {
+            b,
+            m,
+            gamma: 2,
+            beta,
+            cost: IoCostModel::SeekDominated,
+            rewrite_merges_only: false,
+        };
         cfg.validate()?;
         Ok(cfg)
     }
@@ -65,14 +77,28 @@ impl CoreConfig {
             return Err(ExtMemError::BadConfig("eps must be positive".into()));
         }
         let beta = (eps * b as f64 / 4.0).clamp(2.0, b as f64);
-        let cfg = CoreConfig { b, m, gamma: 2, beta, cost: IoCostModel::SeekDominated, rewrite_merges_only: false };
+        let cfg = CoreConfig {
+            b,
+            m,
+            gamma: 2,
+            beta,
+            cost: IoCostModel::SeekDominated,
+            rewrite_merges_only: false,
+        };
         cfg.validate()?;
         Ok(cfg)
     }
 
     /// Explicit parameters (validated).
     pub fn custom(b: usize, m: usize, gamma: u64, beta: f64) -> Result<Self> {
-        let cfg = CoreConfig { b, m, gamma, beta, cost: IoCostModel::SeekDominated, rewrite_merges_only: false };
+        let cfg = CoreConfig {
+            b,
+            m,
+            gamma,
+            beta,
+            cost: IoCostModel::SeekDominated,
+            rewrite_merges_only: false,
+        };
         cfg.validate()?;
         Ok(cfg)
     }

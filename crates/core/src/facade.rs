@@ -1,9 +1,7 @@
 //! A façade that picks the right construction for a target point on the
 //! Figure 1 tradeoff curve.
 
-use dxh_extmem::{
-    BlockId, IoCostModel, IoSnapshot, Key, MemDisk, Result, Value,
-};
+use dxh_extmem::{BlockId, IoCostModel, IoSnapshot, Key, MemDisk, Result, Value};
 use dxh_hashfn::IdealFn;
 use dxh_tables::{
     ChainingConfig, ChainingTable, ExternalDictionary, LayoutInspect, LayoutSnapshot,
@@ -66,20 +64,19 @@ impl DynamicHashTable {
                 // exponentially small in b.
                 let mut cfg = ChainingConfig::new(b, m);
                 cfg.max_load = 0.5;
-                DynamicHashTable::Standard(ChainingTable::new(
-                    cfg,
-                    IdealFn::from_seed(seed),
-                )?)
+                DynamicHashTable::Standard(ChainingTable::new(cfg, IdealFn::from_seed(seed))?)
             }
-            TradeoffTarget::Boundary { eps } => DynamicHashTable::Boot(
-                BootstrappedTable::new(CoreConfig::boundary(b, m, eps)?, seed)?,
-            ),
-            TradeoffTarget::InsertOptimal { c } => DynamicHashTable::Boot(
-                BootstrappedTable::new(CoreConfig::theorem2(b, m, c)?, seed)?,
-            ),
-            TradeoffTarget::LogMethod { gamma } => DynamicHashTable::Log(
-                LogMethodTable::new(CoreConfig::lemma5(b, m, gamma)?, seed)?,
-            ),
+            TradeoffTarget::Boundary { eps } => DynamicHashTable::Boot(BootstrappedTable::new(
+                CoreConfig::boundary(b, m, eps)?,
+                seed,
+            )?),
+            TradeoffTarget::InsertOptimal { c } => DynamicHashTable::Boot(BootstrappedTable::new(
+                CoreConfig::theorem2(b, m, c)?,
+                seed,
+            )?),
+            TradeoffTarget::LogMethod { gamma } => {
+                DynamicHashTable::Log(LogMethodTable::new(CoreConfig::lemma5(b, m, gamma)?, seed)?)
+            }
         })
     }
 

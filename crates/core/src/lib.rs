@@ -50,8 +50,8 @@ pub use bootstrap::BootstrappedTable;
 pub use config::CoreConfig;
 pub use facade::{DynamicHashTable, TradeoffTarget};
 pub use log_method::LogMethodTable;
-pub use sharded::ShardedTable;
 pub use mem_table::MemTable;
+pub use sharded::ShardedTable;
 
 // Re-exported so downstream code can name the dictionary trait without
 // depending on dxh-tables directly.

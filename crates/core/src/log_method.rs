@@ -1,8 +1,8 @@
 //! Lemma 5: the logarithmic method applied to external hashing.
 
 use dxh_extmem::{
-    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget,
-    Result, StorageBackend, Value, KEY_TOMBSTONE,
+    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget, Result,
+    StorageBackend, Value, KEY_TOMBSTONE,
 };
 use dxh_hashfn::{prefix_bucket, HashFn};
 use dxh_tables::{chain_lookup, ExternalDictionary, LayoutInspect, LayoutSnapshot};
@@ -80,8 +80,7 @@ impl<F: HashFn> LogStructure<F> {
         self.merge_into_level(disk, vec![mem], 1)?;
         // Cascade: H_k full ⇒ migrate into H_{k+1}.
         let mut k = 1usize;
-        while self.levels[k].as_ref().is_some_and(|r| r.items > self.cfg.level_capacity(k as u32))
-        {
+        while self.levels[k].as_ref().is_some_and(|r| r.items > self.cfg.level_capacity(k as u32)) {
             self.ensure_level_slot(k + 1);
             let src = Source::from_region(self.levels[k].take().expect("checked nonempty"));
             self.merge_into_level(disk, vec![src], k + 1)?;
@@ -107,9 +106,7 @@ impl<F: HashFn> LogStructure<F> {
             .sum();
         let cap = self.cfg.level_capacity(k as u32);
         match self.levels[k].take() {
-            Some(mut region)
-                if !self.cfg.rewrite_merges_only && region.items + incoming <= cap =>
-            {
+            Some(mut region) if !self.cfg.rewrite_merges_only && region.items + incoming <= cap => {
                 merge_in_place(disk, &self.hash, sources, &mut region)?;
                 self.levels[k] = Some(region);
             }
@@ -170,8 +167,7 @@ impl<F: HashFn> LogStructure<F> {
     /// Drains the entire structure into merge sources, newest first
     /// (`H0`, `H1`, …, deepest last). Leaves the structure empty.
     pub(crate) fn take_all_sources(&mut self) -> Vec<Source> {
-        let mut sources =
-            vec![Source::from_memory(self.h0.drain_in_bucket_order(), &self.hash)];
+        let mut sources = vec![Source::from_memory(self.h0.drain_in_bucket_order(), &self.hash)];
         for slot in self.levels.iter_mut().skip(1) {
             if let Some(r) = slot.take() {
                 sources.push(Source::from_region(r));
@@ -300,9 +296,7 @@ impl<F: HashFn, B: StorageBackend> ExternalDictionary for LogMethodTable<F, B> {
     /// Deletion is outside the paper's scope (query–insertion tradeoff);
     /// always returns [`ExtMemError::BadConfig`].
     fn delete(&mut self, _key: Key) -> Result<bool> {
-        Err(ExtMemError::BadConfig(
-            "buffered tables do not support deletion (see paper §1)".into(),
-        ))
+        Err(ExtMemError::BadConfig("buffered tables do not support deletion (see paper §1)".into()))
     }
 
     fn len(&self) -> usize {
@@ -475,8 +469,7 @@ mod tests {
         use dxh_extmem::FileDisk;
         let c = cfg(8, 128, 2);
         let disk = Disk::new(FileDisk::temp(8).unwrap(), 8, c.cost);
-        let mut t =
-            LogMethodTable::with_disk(disk, c, dxh_hashfn::IdealFn::from_seed(10)).unwrap();
+        let mut t = LogMethodTable::with_disk(disk, c, dxh_hashfn::IdealFn::from_seed(10)).unwrap();
         for k in 0..400u64 {
             t.insert(k, k + 9).unwrap();
         }

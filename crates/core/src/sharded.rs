@@ -43,11 +43,7 @@ impl<T: ExternalDictionary + Send> ShardedTable<T> {
     /// Builds `shards` tables with the caller's constructor; `seed`
     /// derives the routing hash (kept independent of any shard-internal
     /// hash by construction — pass different seeds to `build`).
-    pub fn new(
-        shards: usize,
-        seed: u64,
-        build: impl FnMut(usize) -> Result<T>,
-    ) -> Result<Self> {
+    pub fn new(shards: usize, seed: u64, build: impl FnMut(usize) -> Result<T>) -> Result<Self> {
         if shards == 0 {
             return Err(ExtMemError::BadConfig("need at least one shard".into()));
         }

@@ -83,12 +83,7 @@ impl DiskStream {
         self.next_bucket as u128 * nb_dst as u128 >= (q + 1) as u128 * self.region.buckets as u128
     }
 
-    fn refill<B: StorageBackend>(
-        &mut self,
-        disk: &mut Disk<B>,
-        q: u64,
-        nb_dst: u64,
-    ) -> Result<()> {
+    fn refill<B: StorageBackend>(&mut self, disk: &mut Disk<B>, q: u64, nb_dst: u64) -> Result<()> {
         while !self.covered(q, nb_dst) && self.next_bucket < self.region.buckets {
             let head = self.region.block_of(self.next_bucket);
             chain_collect(disk, head, true, &mut self.buf)?;
@@ -124,8 +119,7 @@ impl Source {
     ) -> Result<()> {
         match self {
             Source::Mem { items, pos } => {
-                while *pos < items.len()
-                    && prefix_bucket(hash.hash64(items[*pos].key), nb_dst) == q
+                while *pos < items.len() && prefix_bucket(hash.hash64(items[*pos].key), nb_dst) == q
                 {
                     out.push(items[*pos]);
                     *pos += 1;
@@ -274,8 +268,7 @@ pub(crate) fn merge_in_place<B: StorageBackend, F: HashFn>(
                 let mut old = Vec::new();
                 chain_collect(disk, head, false, &mut old)?;
                 let mut removed = 0;
-                let incoming_keys: HashSet<Key> =
-                    incoming.iter().map(|it| it.key).collect();
+                let incoming_keys: HashSet<Key> = incoming.iter().map(|it| it.key).collect();
                 old.retain(|it| {
                     let dup = incoming_keys.contains(&it.key);
                     removed += dup as usize;
@@ -339,13 +332,8 @@ mod tests {
         let h = hash();
         let a = build_region(&mut d, &h, 2, &[1, 2, 3, 4, 5]);
         let b = build_region(&mut d, &h, 4, &[10, 11, 12, 13, 14, 15, 16]);
-        let (merged, stats) = compact(
-            &mut d,
-            &h,
-            vec![Source::from_region(a), Source::from_region(b)],
-            8,
-        )
-        .unwrap();
+        let (merged, stats) =
+            compact(&mut d, &h, vec![Source::from_region(a), Source::from_region(b)], 8).unwrap();
         assert_eq!(stats.items, 12);
         assert_eq!(stats.shadowed, 0);
         let mut keys = region_keys(&mut d, &merged);
@@ -367,13 +355,9 @@ mod tests {
             blk.replace(7, 99);
         })
         .unwrap();
-        let (merged, stats) = compact(
-            &mut d,
-            &h,
-            vec![Source::from_region(newer), Source::from_region(older)],
-            4,
-        )
-        .unwrap();
+        let (merged, stats) =
+            compact(&mut d, &h, vec![Source::from_region(newer), Source::from_region(older)], 4)
+                .unwrap();
         assert_eq!(stats.shadowed, 1);
         assert_eq!(stats.items, 2);
         // Find key 7's value in the merged region.
@@ -507,8 +491,7 @@ mod tests {
         let mut region = build_region(&mut d, &h, 16, &(0..32).collect::<Vec<_>>());
         let incoming: Vec<Item> = (1000..1016).map(|k| Item::new(k, k)).collect();
         let e = d.epoch();
-        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region)
-            .unwrap();
+        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region).unwrap();
         let io = d.since(&e).total(d.cost_model());
         // At most one combined I/O per bucket (16), usually fewer since
         // some buckets receive nothing.
@@ -521,8 +504,7 @@ mod tests {
         let h = hash();
         let mut region = build_region(&mut d, &h, 2, &(0..4).collect::<Vec<_>>());
         let incoming: Vec<Item> = (100..110).map(|k| Item::new(k, k)).collect();
-        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region)
-            .unwrap();
+        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region).unwrap();
         assert_eq!(region.items, 14);
         let mut keys = region_keys(&mut d, &region);
         keys.sort_unstable();

@@ -31,12 +31,8 @@ impl FileDisk {
     /// capacity `b` items.
     pub fn create(path: &Path, block_capacity: usize) -> Result<Self> {
         assert!(block_capacity > 0, "block capacity must be positive");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let block_bytes = Block::encoded_len(block_capacity);
         Ok(FileDisk {
             file,

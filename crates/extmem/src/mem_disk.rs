@@ -74,8 +74,7 @@ impl StorageBackend for MemDisk {
     }
 
     fn free(&mut self, id: BlockId) -> Result<()> {
-        let slot =
-            self.slots.get_mut(id.raw() as usize).ok_or(ExtMemError::BadBlockId(id))?;
+        let slot = self.slots.get_mut(id.raw() as usize).ok_or(ExtMemError::BadBlockId(id))?;
         if slot.is_none() {
             return Err(ExtMemError::BadBlockId(id));
         }

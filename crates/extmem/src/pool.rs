@@ -380,7 +380,7 @@ mod tests {
         p.insert(BlockId(1), blk(4, 1), false);
         p.insert(BlockId(2), blk(4, 2), false);
         let _ = p.get(BlockId(1)); // sets refbit on 1 (already set on insert)
-        // Insert: hand sweeps, clears bits, eventually evicts someone.
+                                   // Insert: hand sweeps, clears bits, eventually evicts someone.
         p.insert(BlockId(3), blk(4, 3), false);
         assert_eq!(p.len(), 2);
         assert!(p.contains(BlockId(3)));

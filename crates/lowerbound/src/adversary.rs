@@ -105,16 +105,12 @@ pub fn run_adversary<T: ExternalDictionary + LayoutInspect>(
             table.insert(k, k)?;
             round_keys.push(k);
         }
-        let actual_ios =
-            table.disk_stats().since(&before).total(table.cost_model());
+        let actual_ios = table.disk_stats().since(&before).total(table.cost_model());
         // End-of-round snapshot: zones + the certified Z.
         let snapshot = table.layout_snapshot()?;
         let zones = classify_zones(&snapshot, |k| table.address_of(k));
-        let block_sets: std::collections::HashMap<_, HashSet<Key>> = snapshot
-            .blocks
-            .iter()
-            .map(|(id, ks)| (*id, ks.iter().copied().collect()))
-            .collect();
+        let block_sets: std::collections::HashMap<_, HashSet<Key>> =
+            snapshot.blocks.iter().map(|(id, ks)| (*id, ks.iter().copied().collect())).collect();
         let mut fast_addresses: HashSet<_> = HashSet::new();
         for &k in &round_keys {
             if let Some(addr) = table.address_of(k) {

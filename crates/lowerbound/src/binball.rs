@@ -201,7 +201,8 @@ mod tests {
         assert!(g.lemma4_applies());
         let stats = g.monte_carlo(300, 0.1, 123);
         assert_eq!(
-            stats.frac_below_lemma4, 0.0,
+            stats.frac_below_lemma4,
+            0.0,
             "cost must essentially never drop below r/20 = {}",
             g.lemma4_threshold()
         );

@@ -50,9 +50,8 @@ pub fn classify_zones(
         if memory.contains(&k) {
             continue; // already answerable for free
         }
-        let fast = address(k)
-            .and_then(|id| block_contents.get(&id))
-            .is_some_and(|set| set.contains(&k));
+        let fast =
+            address(k).and_then(|id| block_contents.get(&id)).is_some_and(|set| set.contains(&k));
         if fast {
             z.fast += 1;
         } else {

@@ -1,9 +1,9 @@
 //! Property-based tests for the lower-bound machinery.
 
+use dxh_extmem::BlockId;
 use dxh_lowerbound::binball::{brute_force_adversary_cost, optimal_adversary_cost};
 use dxh_lowerbound::{classify_zones, zone_tq_lower_bound, BinBallGame, Regime, ZoneCounts};
 use dxh_tables::LayoutSnapshot;
-use dxh_extmem::BlockId;
 use proptest::prelude::*;
 
 proptest! {

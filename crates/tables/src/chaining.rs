@@ -14,12 +14,14 @@
 //! paper's introduction.
 
 use dxh_extmem::{
-    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget,
-    Result, StorageBackend, Value, KEY_TOMBSTONE,
+    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget, Result,
+    StorageBackend, Value, KEY_TOMBSTONE,
 };
 use dxh_hashfn::{prefix_bucket, HashFn};
 
-use crate::chain::{chain_collect, chain_delete, chain_lookup, chain_upsert, write_bucket, UpsertOutcome};
+use crate::chain::{
+    chain_collect, chain_delete, chain_lookup, chain_upsert, write_bucket, UpsertOutcome,
+};
 use crate::dictionary::ExternalDictionary;
 use crate::layout::{LayoutInspect, LayoutSnapshot};
 
@@ -416,10 +418,7 @@ mod tests {
         }
         let ios = t.disk.since(&e).total(t.cost_model());
         let per_insert = ios as f64 / n as f64;
-        assert!(
-            per_insert < 1.02,
-            "amortized insert cost should be ≈ 1 I/O, got {per_insert}"
-        );
+        assert!(per_insert < 1.02, "amortized insert cost should be ≈ 1 I/O, got {per_insert}");
         assert!(per_insert >= 1.0, "cannot be below 1 without memory buffering");
     }
 
@@ -503,10 +502,6 @@ mod tests {
         // Live blocks should be about nb (plus rare chains), not the sum of
         // all generations.
         let live = t.disk.live_blocks();
-        assert!(
-            live <= t.buckets() + 16,
-            "old regions freed: live={live}, nb={}",
-            t.buckets()
-        );
+        assert!(live <= t.buckets() + 16, "old regions freed: live={live}, nb={}", t.buckets());
     }
 }

@@ -16,8 +16,8 @@
 //! `[p·2^(g−l), (p+1)·2^(g−l))` for its length-`l` prefix `p`.
 
 use dxh_extmem::{
-    Block, BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk,
-    MemoryBudget, Result, StorageBackend, Value, KEY_TOMBSTONE,
+    Block, BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget,
+    Result, StorageBackend, Value, KEY_TOMBSTONE,
 };
 use dxh_hashfn::{prefix_bucket, HashFn};
 

@@ -13,12 +13,14 @@
 //! table (charged to the budget) plus three words (`level`, `sp`, `len`).
 
 use dxh_extmem::{
-    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget,
-    Result, StorageBackend, Value, KEY_TOMBSTONE,
+    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget, Result,
+    StorageBackend, Value, KEY_TOMBSTONE,
 };
 use dxh_hashfn::{mask_bucket, HashFn};
 
-use crate::chain::{chain_collect, chain_delete, chain_lookup, chain_upsert, write_bucket, UpsertOutcome};
+use crate::chain::{
+    chain_collect, chain_delete, chain_lookup, chain_upsert, write_bucket, UpsertOutcome,
+};
 use crate::dictionary::ExternalDictionary;
 use crate::layout::{LayoutInspect, LayoutSnapshot};
 
@@ -337,11 +339,8 @@ mod tests {
     #[test]
     fn amortized_insert_cost_is_constant() {
         let b = 32;
-        let mut t = LinearHashTable::new(
-            LinearHashConfig::new(b, 1 << 16),
-            IdealFn::from_seed(2),
-        )
-        .unwrap();
+        let mut t =
+            LinearHashTable::new(LinearHashConfig::new(b, 1 << 16), IdealFn::from_seed(2)).unwrap();
         let n = 20_000u64;
         let e = t.disk.epoch();
         for k in 0..n {

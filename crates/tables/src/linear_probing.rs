@@ -13,8 +13,8 @@
 //! [`crate::ExtendibleTable`] or [`crate::LinearHashTable`].
 
 use dxh_extmem::{
-    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget,
-    Result, StorageBackend, Value, KEY_TOMBSTONE,
+    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget, Result,
+    StorageBackend, Value, KEY_TOMBSTONE,
 };
 use dxh_hashfn::{prefix_bucket, HashFn};
 

@@ -30,7 +30,10 @@ fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-fn run_against_model<T: ExternalDictionary>(table: &mut T, ops: &[Op]) -> Result<(), TestCaseError> {
+fn run_against_model<T: ExternalDictionary>(
+    table: &mut T,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
     let mut model: HashMap<u64, u64> = HashMap::new();
     for op in ops {
         match *op {

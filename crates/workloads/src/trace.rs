@@ -84,9 +84,8 @@ impl Trace {
             let value = parts.next().unwrap_or("");
             ops.push(match op {
                 "I" => {
-                    let v: Value = value
-                        .parse()
-                        .map_err(|e| format!("line {lineno}: bad value: {e}"))?;
+                    let v: Value =
+                        value.parse().map_err(|e| format!("line {lineno}: bad value: {e}"))?;
                     Op::Insert(key, v)
                 }
                 "L" => Op::Lookup(key),

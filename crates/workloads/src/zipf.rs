@@ -32,8 +32,8 @@ impl ZipfSampler {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
             let head: f64 = (1..=100_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-            let tail = ((n as f64).powf(1.0 - theta) - 100_000f64.powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - 100_000f64.powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }

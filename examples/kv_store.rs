@@ -37,20 +37,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = CoreConfig::lemma5(b, m, 2)?;
     let disk = Disk::new(FileDisk::create(&path, b)?, b, IoCostModel::SeekDominated);
-    let mut store = LogMethodTable::with_disk(
-        disk,
-        cfg,
-        dyn_ext_hash::hashfn::IdealFn::from_seed(0xCE4),
-    )?;
+    let mut store =
+        LogMethodTable::with_disk(disk, cfg, dyn_ext_hash::hashfn::IdealFn::from_seed(0xCE4))?;
 
     // A word-frequency counter over a synthetic corpus.
     let corpus: Vec<String> = {
-        let words = ["external", "hashing", "buffer", "block", "disk", "memory", "query",
-                     "insert", "tradeoff", "bound"];
-        (0..50_000).map(|i| {
-            let w = words[(splitmix64(i) % words.len() as u64) as usize];
-            format!("{w}-{}", splitmix64(i * 31) % 997)
-        }).collect()
+        let words = [
+            "external", "hashing", "buffer", "block", "disk", "memory", "query", "insert",
+            "tradeoff", "bound",
+        ];
+        (0..50_000)
+            .map(|i| {
+                let w = words[(splitmix64(i) % words.len() as u64) as usize];
+                format!("{w}-{}", splitmix64(i * 31) % 997)
+            })
+            .collect()
     };
     for word in &corpus {
         let k = string_key(word);

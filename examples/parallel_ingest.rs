@@ -13,8 +13,7 @@ use dyn_ext_hash::core::{BootstrappedTable, CoreConfig, ShardedTable};
 use dyn_ext_hash::hashfn::SplitMix64;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let shards =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(4, 8);
+    let shards = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).clamp(4, 8);
     let n = 400_000usize;
     let mut rng = SplitMix64::new(42);
     let pairs: Vec<(u64, u64)> = (0..n).map(|_| (rng.next_u64() >> 1, rng.next_u64())).collect();

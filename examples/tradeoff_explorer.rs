@@ -63,12 +63,7 @@ fn main() {
     let (tu, tq) = measure(TradeoffTarget::LogMethod { gamma: 2 }, b, m, n);
     println!(
         "{:<22} {:>9.4} {:>9.4}   {:>12} {:>12} {:>12}",
-        "log-method γ=2",
-        tq,
-        tu,
-        "Θ(log n/m)",
-        "o(1)",
-        "-"
+        "log-method γ=2", tq, tu, "Θ(log n/m)", "o(1)", "-"
     );
     println!(
         "\nAs c grows, tq approaches 1 like 1 + 1/b^c while tu climbs like\n\

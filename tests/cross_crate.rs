@@ -73,11 +73,7 @@ fn zone_bound_is_below_measured_tq() {
         let snap = t.layout_snapshot().unwrap();
         let zones = classify_zones(&snap, |k| t.address_of(k));
         let bound = zone_tq_lower_bound(&zones);
-        assert!(
-            bound <= measured + 0.1,
-            "{}: zone bound {bound} vs measured {measured}",
-            t.name()
-        );
+        assert!(bound <= measured + 0.1, "{}: zone bound {bound} vs measured {measured}", t.name());
     }
 }
 
@@ -130,11 +126,6 @@ fn memory_budgets_respected() {
         let m = 2048;
         let mut t = DynamicHashTable::for_target(target, 64, m, 13).unwrap();
         fill(&mut t, 20_000, 14);
-        assert!(
-            t.memory_used() <= m,
-            "{} uses {} > m = {m}",
-            t.name(),
-            t.memory_used()
-        );
+        assert!(t.memory_used() <= m, "{} uses {} > m = {m}", t.name(), t.memory_used());
     }
 }

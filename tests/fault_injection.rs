@@ -19,9 +19,7 @@ impl FailingDisk {
 
     fn tick(&mut self) -> Result<()> {
         if self.okay == 0 {
-            return Err(ExtMemError::Io(std::io::Error::other(
-                "injected fault",
-            )));
+            return Err(ExtMemError::Io(std::io::Error::other("injected fault")));
         }
         self.okay -= 1;
         Ok(())
@@ -100,17 +98,14 @@ fn chaining_table_fails_cleanly_at_any_fuse_length() {
     let mut failures = 0;
     for fuse in (0..healthy_ops).step_by(37) {
         let disk = Disk::new(FailingDisk::new(4, fuse), 4, IoCostModel::SeekDominated);
-        let result = ChainingTable::with_disk(
-            disk,
-            ChainingConfig::new(4, 4096),
-            IdealFn::from_seed(1),
-        )
-        .and_then(|mut t| {
-            for k in 0..200u64 {
-                t.insert(k, k)?;
-            }
-            Ok(())
-        });
+        let result =
+            ChainingTable::with_disk(disk, ChainingConfig::new(4, 4096), IdealFn::from_seed(1))
+                .and_then(|mut t| {
+                    for k in 0..200u64 {
+                        t.insert(k, k)?;
+                    }
+                    Ok(())
+                });
         if result.is_err() {
             failures += 1;
         }
@@ -126,14 +121,13 @@ fn bootstrapped_table_fails_cleanly_mid_merge() {
     for fuse in [50u64, 200, 500, 1500, 4000] {
         let cfg = CoreConfig::theorem2(8, 128, 0.5).unwrap();
         let disk = Disk::new(FailingDisk::new(8, fuse), 8, cfg.cost);
-        let result = BootstrappedTable::with_disk(disk, cfg, IdealFn::from_seed(2)).and_then(
-            |mut t| {
+        let result =
+            BootstrappedTable::with_disk(disk, cfg, IdealFn::from_seed(2)).and_then(|mut t| {
                 for k in 0..3000u64 {
                     t.insert(k, k)?;
                 }
                 Ok(())
-            },
-        );
+            });
         // Either the fuse outlasted the run, or we got a clean error.
         if let Err(e) = result {
             assert!(matches!(e, ExtMemError::Io(_)), "unexpected error kind {e}");

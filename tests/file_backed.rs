@@ -11,8 +11,7 @@ use dyn_ext_hash::tables::{ChainingConfig, ChainingTable};
 fn chaining_identical_on_both_backends() {
     let cfg = ChainingConfig::new(8, 4096);
     let mem_disk = Disk::new(MemDisk::new(8), 8, IoCostModel::SeekDominated);
-    let file_disk =
-        Disk::new(FileDisk::temp(8).unwrap(), 8, IoCostModel::SeekDominated);
+    let file_disk = Disk::new(FileDisk::temp(8).unwrap(), 8, IoCostModel::SeekDominated);
     let mut a = ChainingTable::with_disk(mem_disk, cfg.clone(), IdealFn::from_seed(1)).unwrap();
     let mut b = ChainingTable::with_disk(file_disk, cfg, IdealFn::from_seed(1)).unwrap();
     for k in 0..2000u64 {

@@ -1,0 +1,327 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset this workspace's `[[bench]]` targets use —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a
+//! statistics-light runner: per benchmark it warms up, picks an iteration
+//! count targeting a fixed per-sample wall time, takes `sample_size`
+//! samples, and prints min/mean/median per iteration. Machine-readable
+//! output (one JSON line per benchmark on stdout, prefixed
+//! `CRITERION-JSON:`) feeds `BENCH_BASELINE.json`.
+//!
+//! Honors the harness CLI convention: `cargo bench` passes `--bench`,
+//! which enables full measurement; any invocation *without* `--bench`
+//! (`cargo test --benches`, running the binary directly) runs each
+//! benchmark exactly once, so `harness = false` bench targets stay
+//! cheap in the test job.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample wall-time target the runner aims at when sizing iteration
+/// counts (kept small: these are smoke benches, not publication numbers).
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Re-export point for the classic `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just a parameter value (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One recorded sample: iteration count and total wall time.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+fn run_one(id: &str, sample_size: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode {
+        // `cargo test` smoke mode: one iteration, no reporting.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+    // Calibration: double the iteration count until a sample is long
+    // enough to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        let scale = (SAMPLE_TARGET.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9)).min(64.0);
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    }
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(Sample { iters: b.iters, elapsed: b.elapsed });
+    }
+    report(id, &samples);
+}
+
+fn report(id: &str, samples: &[Sample]) {
+    let mut per_iter: Vec<f64> =
+        samples.iter().map(|s| s.elapsed.as_secs_f64() * 1e9 / s.iters as f64).collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench {id:<40} min {:>12}  mean {:>12}  median {:>12}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(median),
+        per_iter.len(),
+    );
+    println!(
+        "CRITERION-JSON: {{\"id\":\"{id}\",\"min_ns\":{min:.1},\"mean_ns\":{mean:.1},\
+         \"median_ns\":{median:.1},\"samples\":{}}}",
+        per_iter.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, test_mode: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Applies harness CLI arguments: an optional name filter
+    /// (`cargo bench <filter>`) and the `--bench`/`--test` mode flags.
+    /// Like real criterion, full measurement only happens when cargo
+    /// passes `--bench` (i.e. under `cargo bench`); without it — e.g.
+    /// `cargo test --benches` or running the binary directly — every
+    /// benchmark runs exactly one iteration as a smoke test. Other
+    /// criterion flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        // Criterion flags that consume a separate value token; everything
+        // else starting with `--` is boolean or `--flag=value` style.
+        const VALUE_FLAGS: &[&str] = &[
+            "--sample-size",
+            "--warm-up-time",
+            "--measurement-time",
+            "--save-baseline",
+            "--baseline",
+            "--load-baseline",
+            "--output-format",
+            "--color",
+            "--significance-level",
+            "--noise-threshold",
+            "--confidence-level",
+            "--profile-time",
+            "--logfile",
+        ];
+        let mut saw_bench = false;
+        let mut saw_test = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => saw_bench = true,
+                "--test" => saw_test = true,
+                s if s.starts_with("--") => {
+                    if VALUE_FLAGS.contains(&s) {
+                        let _ = args.next();
+                    }
+                }
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self.test_mode = saw_test || !saw_bench;
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.selected(&id.id) {
+            run_one(&id.id, self.sample_size, self.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Prints the final banner (no aggregate statistics in this stand-in).
+    pub fn final_summary(&mut self) {
+        if !self.test_mode {
+            println!("benchmarks complete");
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.selected(&id) {
+            let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(&id, samples, self.criterion.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each target benchmark, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the harness `main` that runs every group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_all_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut calls = 0u64;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_unselected() {
+        let mut c =
+            Criterion { test_mode: true, filter: Some("match".into()), ..Criterion::default() };
+        let mut calls = 0u64;
+        c.bench_function("no", |b| b.iter(|| calls += 1));
+        c.bench_function("does_match", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

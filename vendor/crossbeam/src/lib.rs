@@ -1,0 +1,169 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate's scoped threads, backed by `std::thread::scope` (stable since
+//! Rust 1.63, which post-dates crossbeam's scoped-thread API).
+//!
+//! Semantics mirrored from `crossbeam::thread`:
+//!
+//! * [`thread::scope`] returns `Err(payload)` if any spawned thread
+//!   panicked and was **not** explicitly joined; `Ok(ret)` otherwise.
+//! * [`thread::ScopedJoinHandle::join`] returns the panic payload of its
+//!   own thread as `Err`, consuming it (a joined panic does not also fail
+//!   the scope).
+//!
+//! One deliberate simplification: the closure passed to `Scope::spawn`
+//! receives `()` instead of a nested `&Scope` (this workspace only ever
+//! spawns with `|_| …`; nested spawning from inside a child thread is not
+//! supported).
+
+pub use crate::thread::scope;
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a scope or a join: `Err` carries a panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Bookkeeping shared between a spawned thread, its join handle, and
+    /// the owning scope: the panic payload (if the thread panicked) and
+    /// whether the handle was explicitly joined.
+    #[derive(Default)]
+    struct Slot {
+        payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+        joined: AtomicBool,
+    }
+
+    /// A scope for spawning threads that may borrow from the caller's
+    /// stack, mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        slots: Arc<Mutex<Vec<Arc<Slot>>>>,
+    }
+
+    /// Handle to a scoped thread, mirroring
+    /// `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+        slot: Arc<Slot>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's `()` argument stands in
+        /// for crossbeam's nested `&Scope` (see crate docs).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let slot = Arc::new(Slot::default());
+            self.slots.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&slot));
+            let thread_slot = Arc::clone(&slot);
+            let inner = self.inner.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(()))) {
+                Ok(value) => Some(value),
+                Err(payload) => {
+                    *thread_slot.payload.lock().unwrap_or_else(|e| e.into_inner()) = Some(payload);
+                    None
+                }
+            });
+            ScopedJoinHandle { inner, slot }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.slot.joined.store(true, Ordering::Release);
+            match self.inner.join() {
+                Ok(Some(value)) => Ok(value),
+                Ok(None) => {
+                    let payload = self
+                        .slot
+                        .payload
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .unwrap_or_else(|| Box::new("scoped thread panicked"));
+                    Err(payload)
+                }
+                // Unreachable: the spawned closure catches its own panics.
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    /// Creates a scope, runs `f` inside it, and joins all spawned threads
+    /// before returning. Returns `Err` with the first unjoined panic
+    /// payload, like `crossbeam::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let slots: Arc<Mutex<Vec<Arc<Slot>>>> = Arc::new(Mutex::new(Vec::new()));
+        let scope_slots = Arc::clone(&slots);
+        let ret = std::thread::scope(move |s| {
+            let wrapper = Scope { inner: s, slots: scope_slots };
+            f(&wrapper)
+        });
+        let slots = std::mem::take(&mut *slots.lock().unwrap_or_else(|e| e.into_inner()));
+        for slot in slots {
+            if !slot.joined.load(Ordering::Acquire) {
+                if let Some(payload) = slot.payload.lock().unwrap_or_else(|e| e.into_inner()).take()
+                {
+                    return Err(payload);
+                }
+            }
+        }
+        Ok(ret)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scope_returns_closure_value() {
+            let r = scope(|s| {
+                let h = s.spawn(|_| 21);
+                h.join().expect("no panic") * 2
+            })
+            .unwrap();
+            assert_eq!(r, 42);
+        }
+
+        #[test]
+        fn borrowed_state_is_visible_after_scope() {
+            let mut counter = 0u64;
+            let shared = Mutex::new(&mut counter);
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        **shared.lock().unwrap() += 1;
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter, 4);
+        }
+
+        #[test]
+        fn unjoined_panic_fails_the_scope() {
+            let r = scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn joined_panic_is_consumed_by_join() {
+            let r = scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                assert!(h.join().is_err());
+                "scope itself is fine"
+            });
+            assert_eq!(r.unwrap(), "scope itself is fine");
+        }
+    }
+}

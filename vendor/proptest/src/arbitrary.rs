@@ -1,0 +1,64 @@
+//! The [`Arbitrary`] trait and [`any`], mirroring `proptest::arbitrary`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy generating any value of `T`, returned by [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_covers_high_bits() {
+        let mut rng = TestRng::for_test("any-u64");
+        let high = (0..64).map(|_| any::<u64>().generate(&mut rng)).any(|v| v > u64::MAX / 2);
+        assert!(high, "64 draws should hit the upper half at least once");
+    }
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::for_test("any-bool");
+        let draws: Vec<bool> = (0..64).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+}

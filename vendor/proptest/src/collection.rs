@@ -1,0 +1,141 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+/// A size specification for generated collections. Only `Range<usize>` is
+/// needed by this workspace; the real crate's `SizeRange` accepts more.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range {range:?}");
+        SizeRange { start: range.start, end: range.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { start: exact, end: exact + 1 }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`, mirroring
+/// `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Output of [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>`, mirroring
+/// `proptest::collection::btree_set`. Like the real crate, duplicates
+/// collapse, so the set can come out smaller than the drawn size.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// Output of [`btree_set`].
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>`, mirroring
+/// `proptest::collection::hash_set`. Duplicates collapse.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// Output of [`hash_set`].
+#[derive(Clone, Debug)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::for_test("vec-sizes");
+        let strategy = vec(any::<u64>(), 2..5);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn sets_dedup_but_stay_bounded() {
+        let mut rng = TestRng::for_test("set-sizes");
+        let bs = btree_set(0u64..4, 1..10);
+        let hs = hash_set(0u64..4, 1..10);
+        for _ in 0..50 {
+            assert!(bs.generate(&mut rng).len() <= 4);
+            assert!(hs.generate(&mut rng).len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the subset of proptest its four property suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(…)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * [`strategy::Strategy`] with `prop_map`, integer-range and tuple
+//!   strategies, [`arbitrary::any`], [`collection`] (`vec`, `btree_set`,
+//!   `hash_set`), and [`option::of`].
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs via the
+//!   panic message (`Debug`-formatted) but is not minimized.
+//! * **Deterministic by default.** Every test function derives its RNG
+//!   seed from its own name, so runs are reproducible without a
+//!   regressions file. Set `PROPTEST_RNG_SEED=<u64>` to perturb all
+//!   suites at once.
+//! * **`PROPTEST_CASES` is a cap.** The effective case count is
+//!   `min(configured, PROPTEST_CASES)` — CI sets a small value to bound
+//!   wall time, and a local `ProptestConfig::with_cases(…)` can never be
+//!   silently inflated past what the test author chose.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`:
+///
+/// ```
+/// # // The #[test] attr below is the macro's real-world usage; under a
+/// # // doctest build it cfgs the function out, so this only checks
+/// # // that the invocation compiles.
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn name(pat in strategy, …) { body }` item into
+/// a plain test function looping over generated cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let cases = config.effective_cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            // A `prop_assume!` rejection re-draws instead of consuming a
+            // case slot, like real proptest; 1024 mirrors its default
+            // global-reject ceiling.
+            let mut case = 0u32;
+            let mut rejects = 0u32;
+            while case < cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    },
+                ));
+                match outcome {
+                    Ok(Ok(())) => case += 1,
+                    Err(payload) => {
+                        // The body panicked (e.g. an .unwrap()): echo the
+                        // generated inputs — the panic hook already printed
+                        // the site — then let the panic continue.
+                        eprintln!(
+                            "proptest case {}/{} panicked\n  inputs: {}",
+                            case + 1, cases, inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                    Ok(Err($crate::test_runner::TestCaseError::Reject(reason))) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= 1024,
+                            "prop_assume rejected 1024 draws without {} valid cases \
+                             (last: {reason}); loosen the precondition or the strategy",
+                            cases,
+                        );
+                    }
+                    Ok(Err($crate::test_runner::TestCaseError::Fail(message))) => panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, cases, message, inputs,
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Fails the current case (without panicking the whole loop machinery),
+/// mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for property tests, mirroring
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), left, right,
+        );
+    }};
+}
+
+/// Inequality assertion for property tests, mirroring
+/// `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            format!($($fmt)*), left,
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition,
+/// mirroring `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,44 @@
+//! `Option` strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `Some(inner)` three times out of four and `None`
+/// otherwise (the real crate's default weights Some at 75% too).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Output of [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_yields_both_variants() {
+        let mut rng = TestRng::for_test("option-of");
+        let strategy = of(0u64..10);
+        let draws: Vec<Option<u64>> = (0..100).map(|_| strategy.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+        for v in draws.into_iter().flatten() {
+            assert!(v < 10);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The [`Strategy`] trait and primitive strategies: integer ranges,
+//! tuples, constants, and `prop_map` adapters.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type, mirroring
+/// `proptest::strategy::Strategy` (minus shrinking).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`, mirroring `prop_map`.
+    fn prop_map<Output, Map>(self, map: Map) -> MapStrategy<Self, Map>
+    where
+        Self: Sized,
+        Map: Fn(Self::Value) -> Output,
+    {
+        MapStrategy { inner: self, map }
+    }
+
+    /// Discards generated values failing `filter` (bounded retries),
+    /// mirroring `prop_filter`.
+    fn prop_filter<Filter>(
+        self,
+        whence: &'static str,
+        filter: Filter,
+    ) -> FilterStrategy<Self, Filter>
+    where
+        Self: Sized,
+        Filter: Fn(&Self::Value) -> bool,
+    {
+        FilterStrategy { inner: self, filter, whence }
+    }
+}
+
+/// Strategies behind shared references generate like their referents.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct MapStrategy<S, Map> {
+    inner: S,
+    map: Map,
+}
+
+impl<S, Map, Output> Strategy for MapStrategy<S, Map>
+where
+    S: Strategy,
+    Map: Fn(S::Value) -> Output,
+{
+    type Value = Output;
+    fn generate(&self, rng: &mut TestRng) -> Output {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct FilterStrategy<S, Filter> {
+    inner: S,
+    filter: Filter,
+    whence: &'static str,
+}
+
+impl<S, Filter> Strategy for FilterStrategy<S, Filter>
+where
+    S: Strategy,
+    Filter: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.filter)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 consecutive values", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let width = self.end.abs_diff(self.start);
+                self.start.wrapping_add(rng.below(width as u64) as $ty)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy {:?}", self);
+                let width = end.abs_diff(start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                start.wrapping_add(rng.below(width + 1) as $ty)
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                // Uniform in [0, 1) with 53 (resp. 24) significant bits,
+                // scaled into the range; end stays exclusive.
+                let unit = (rng.next_u64() >> 11) as $ty / (1u64 << 53) as $ty;
+                let value = self.start + unit * (self.end - self.start);
+                if value >= self.end { self.start } else { value }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy {:?}", self);
+                let unit = (rng.next_u64() >> 11) as $ty / ((1u64 << 53) - 1) as $ty;
+                start + unit * (end - start)
+            }
+        }
+    )+};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u8..3).generate(&mut rng);
+            assert!(w < 3);
+            let x = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&x));
+            let y = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn huge_range_does_not_overflow() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = (0..u64::MAX - 1).generate(&mut rng);
+            assert!(v < u64::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn map_filter_just_compose() {
+        let mut rng = rng();
+        let even = (0u64..1000).prop_map(|v| v * 2);
+        let nonzero = (0u64..10).prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+            assert_ne!(nonzero.generate(&mut rng), 0);
+            assert_eq!(Just(7).generate(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = rng();
+        let (a, b, c) = (0u8..3, 10u64..20, 0usize..1).generate(&mut rng);
+        assert!(a < 3);
+        assert!((10..20).contains(&b));
+        assert_eq!(c, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Runner configuration, RNG, and the case-level error type.
+
+/// Configuration for one `proptest!` block, mirroring
+/// `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test function runs (before the
+    /// `PROPTEST_CASES` cap is applied).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The configured case count, capped by the `PROPTEST_CASES`
+    /// environment variable when it is set (CI sets a small value so the
+    /// test job's wall time stays bounded and deterministic).
+    ///
+    /// Panics on a set-but-unparseable value — a typo'd cap must not
+    /// silently fall back to the full case count.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(raw) => match raw.trim().parse::<u32>() {
+                Ok(cap) => self.cases.min(cap.max(1)),
+                Err(_) => panic!("PROPTEST_CASES must be a u32, got {raw:?}"),
+            },
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Shorthand for what a property body or helper returns, mirroring
+/// `proptest::test_runner::TestCaseResult`.
+pub type TestCaseResult = std::result::Result<(), TestCaseError>;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs failed a `prop_assume!` precondition; the runner
+    /// moves on without counting this as a failure.
+    Reject(String),
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+///
+/// Each test function gets a seed derived from its name (FNV-1a), XORed
+/// with `PROPTEST_RNG_SEED` when set, so suites are reproducible run to
+/// run yet decorrelated from each other.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for the named test function.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Some(extra) =
+            std::env::var("PROPTEST_RNG_SEED").ok().and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            seed ^= extra;
+        }
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-shift keeps the distribution near-uniform
+        // without a rejection loop (bias ≤ 2^-64, irrelevant for tests).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_cap_applies_only_downward() {
+        let config = ProptestConfig::with_cases(64);
+        let expected =
+            match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.trim().parse::<u32>().ok()) {
+                Some(cap) => 64.min(cap.max(1)),
+                None => 64,
+            };
+        assert_eq!(config.effective_cases(), expected);
+        assert!(config.effective_cases() <= 64, "the env var can only reduce the count");
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_test("below");
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..50 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

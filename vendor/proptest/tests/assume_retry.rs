@@ -1,0 +1,61 @@
+//! `prop_assume!` rejections must be retried, not silently consumed —
+//! every configured case has to run against inputs satisfying the
+//! precondition.
+
+use proptest::prelude::*;
+use std::cell::Cell;
+
+thread_local! {
+    static VALID_RUNS: Cell<u32> = const { Cell::new(0) };
+}
+
+// No `#[test]` attribute: the macro expands to a plain function the real
+// test below invokes, so the count is observed in a defined order.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    fn only_even_inputs(x in 0u64..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+        VALID_RUNS.with(|v| v.set(v.get() + 1));
+    }
+}
+
+#[test]
+fn rejections_are_retried_not_consumed() {
+    only_even_inputs();
+    // ~half of the draws are rejected; all 20 (or the PROPTEST_CASES cap)
+    // effective cases must still have run with valid inputs.
+    let expected = ProptestConfig::with_cases(20).effective_cases();
+    assert_eq!(VALID_RUNS.with(Cell::get), expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    fn impossible_precondition(x in 0u64..100) {
+        prop_assume!(x > 100);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    fn always_panics(x in 0u64..10) {
+        // Conditional only so the macro's trailing Ok(()) stays reachable.
+        if x < 10 {
+            panic!("boom from body");
+        }
+    }
+}
+
+#[test]
+fn body_panics_propagate_with_original_payload() {
+    let result = std::panic::catch_unwind(always_panics);
+    let message = *result.expect_err("must panic").downcast::<&str>().unwrap();
+    assert_eq!(message, "boom from body");
+}
+
+#[test]
+fn hopeless_assume_panics_instead_of_passing_vacuously() {
+    let result = std::panic::catch_unwind(impossible_precondition);
+    let message = *result.expect_err("must panic").downcast::<String>().unwrap();
+    assert!(message.contains("prop_assume rejected 1024 draws"), "got: {message}");
+}

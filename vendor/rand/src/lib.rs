@@ -1,0 +1,144 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the minimal API surface it actually uses: the
+//! [`RngCore`] and [`SeedableRng`] traits and a deterministic
+//! [`rngs::StdRng`]. `StdRng` here is a SplitMix64 generator — not
+//! cryptographically secure, but statistically fine for the hash-function
+//! sampling and workload generation this workspace does, and fully
+//! deterministic for a given seed (which the tests rely on).
+//!
+//! Swap this for the real crate by replacing the `rand` entry in
+//! `[workspace.dependencies]` with a registry version; no source changes
+//! are needed for the APIs used here.
+
+/// The core random number generator trait, mirroring `rand::RngCore`.
+///
+/// Object-safe so families can take `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-width byte array in the real crate).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it to a full seed.
+    ///
+    /// Like the real crate, this uses SplitMix64 to expand the state so
+    /// that nearby seeds give uncorrelated streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                for (dst, src) in chunk.iter_mut().zip(bytes) {
+                    *dst = src;
+                }
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            // Fold the 32-byte seed into the 64-bit SplitMix state.
+            let mut state = 0xD6E8_FEB8_6659_FD93u64;
+            for chunk in seed.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                state = state.rotate_left(29) ^ u64::from_le_bytes(word);
+            }
+            StdRng { state }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn same_seed_same_stream() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn different_seeds_diverge() {
+            let mut a = StdRng::seed_from_u64(1);
+            let mut b = StdRng::seed_from_u64(2);
+            assert_ne!(a.next_u64(), b.next_u64());
+        }
+
+        #[test]
+        fn fill_bytes_covers_partial_chunks() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut buf = [0u8; 13];
+            rng.fill_bytes(&mut buf);
+            assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is vanishingly unlikely");
+        }
+    }
+}
