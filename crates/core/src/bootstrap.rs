@@ -75,6 +75,15 @@ impl<F: HashFn> BootstrappedTable<F, MemDisk> {
     }
 }
 
+impl<B: StorageBackend> BootstrappedTable<dxh_hashfn::IdealFn, B> {
+    /// Builds a table over a caller-provided disk (any backend) with an
+    /// ideal hash function derived from `seed` — the backend-generic twin
+    /// of [`BootstrappedTable::new`].
+    pub fn new_on(disk: Disk<B>, cfg: CoreConfig, seed: u64) -> Result<Self> {
+        Self::with_disk(disk, cfg, dxh_hashfn::IdealFn::from_seed(seed))
+    }
+}
+
 impl<F: HashFn, B: StorageBackend> BootstrappedTable<F, B> {
     /// Builds a table over a caller-provided disk.
     pub fn with_disk(disk: Disk<B>, cfg: CoreConfig, hash: F) -> Result<Self> {

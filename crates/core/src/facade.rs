@@ -1,7 +1,9 @@
 //! A façade that picks the right construction for a target point on the
 //! Figure 1 tradeoff curve.
 
-use dxh_extmem::{BlockId, IoCostModel, IoSnapshot, Key, MemDisk, Result, Value};
+use dxh_extmem::{
+    BlockId, Disk, IoCostModel, IoSnapshot, Key, MemDisk, Result, StorageBackend, Value,
+};
 use dxh_hashfn::IdealFn;
 use dxh_tables::{
     ChainingConfig, ChainingTable, ExternalDictionary, LayoutInspect, LayoutSnapshot,
@@ -44,39 +46,87 @@ pub enum TradeoffTarget {
 ///
 /// All variants share the [`ExternalDictionary`] and [`LayoutInspect`]
 /// interfaces, so experiments can sweep the whole tradeoff curve with one
-/// code path.
-pub enum DynamicHashTable {
+/// code path. The facade is generic over the [`StorageBackend`]: the
+/// default `B = MemDisk` is the simulator the experiments use, and
+/// [`DynamicHashTable::for_target_on`] runs the identical constructions
+/// on any other backend (e.g. [`dxh_extmem::FileDisk`]).
+pub enum DynamicHashTable<B: StorageBackend = MemDisk> {
     /// Standard chaining table (query-optimal endpoint).
-    Standard(ChainingTable<IdealFn, MemDisk>),
+    Standard(ChainingTable<IdealFn, B>),
     /// Plain logarithmic method.
-    Log(LogMethodTable<IdealFn, MemDisk>),
+    Log(LogMethodTable<IdealFn, B>),
     /// Bootstrapped table (Theorem 2).
-    Boot(BootstrappedTable<IdealFn, MemDisk>),
+    Boot(BootstrappedTable<IdealFn, B>),
 }
 
 impl DynamicHashTable {
-    /// Builds the construction matching `target` with model parameters
-    /// `(b, m)` and an ideal hash function derived from `seed`.
+    /// Builds the construction matching `target` over a fresh in-memory
+    /// disk, with model parameters `(b, m)` and an ideal hash function
+    /// derived from `seed`.
     pub fn for_target(target: TradeoffTarget, b: usize, m: usize, seed: u64) -> Result<Self> {
+        let disk = Disk::new(MemDisk::new(b), b, IoCostModel::SeekDominated);
+        Self::for_target_on(target, disk, m, seed)
+    }
+}
+
+impl<B: StorageBackend> DynamicHashTable<B> {
+    /// Builds the construction matching `target` over a caller-provided
+    /// disk (any [`StorageBackend`]): the backend-generic twin of
+    /// [`DynamicHashTable::for_target`]. The block capacity `b` is taken
+    /// from the disk; `m` is the internal-memory budget in items.
+    ///
+    /// ## Backend-independent guarantees
+    ///
+    /// Every bound the constructions promise — Theorem 2's
+    /// `tu = O(b^(c−1))` amortized insertions and `tq = 1 + O(1/b^c)`
+    /// expected successful lookups, Lemma 5's `O((γ/b)·log(n/m))` /
+    /// `O(log_γ(n/m))`, and chaining's `1 + 1/2^Ω(b)` — is a statement
+    /// about the number of *accounted block transfers*, which depends
+    /// only on `(b, m)`, the hash function, and the operation sequence.
+    /// The [`Disk`] wrapper charges I/Os at its own boundary, so the same
+    /// seed and workload produce **identical I/O counts, layouts, and
+    /// lookup results on every backend**; only wall-clock time differs.
+    /// What the backend *does* change: durability (`sync` is a real
+    /// `fdatasync` on [`dxh_extmem::FileDisk`], a no-op on [`MemDisk`])
+    /// and the latency of each transfer.
+    pub fn for_target_on(
+        target: TradeoffTarget,
+        disk: Disk<B>,
+        m: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let b = disk.b();
+        let cost = disk.cost_model();
         Ok(match target {
             TradeoffTarget::QueryOptimal => {
                 // Load factor 1/2 keeps chains (and hence tq − 1)
                 // exponentially small in b.
                 let mut cfg = ChainingConfig::new(b, m);
                 cfg.max_load = 0.5;
-                DynamicHashTable::Standard(ChainingTable::new(cfg, IdealFn::from_seed(seed))?)
+                cfg.cost = cost;
+                DynamicHashTable::Standard(ChainingTable::with_disk(
+                    disk,
+                    cfg,
+                    IdealFn::from_seed(seed),
+                )?)
             }
-            TradeoffTarget::Boundary { eps } => DynamicHashTable::Boot(BootstrappedTable::new(
-                CoreConfig::boundary(b, m, eps)?,
+            TradeoffTarget::Boundary { eps } => DynamicHashTable::Boot(BootstrappedTable::new_on(
+                disk,
+                CoreConfig::boundary(b, m, eps)?.cost_model(cost),
                 seed,
             )?),
-            TradeoffTarget::InsertOptimal { c } => DynamicHashTable::Boot(BootstrappedTable::new(
-                CoreConfig::theorem2(b, m, c)?,
+            TradeoffTarget::InsertOptimal { c } => {
+                DynamicHashTable::Boot(BootstrappedTable::new_on(
+                    disk,
+                    CoreConfig::theorem2(b, m, c)?.cost_model(cost),
+                    seed,
+                )?)
+            }
+            TradeoffTarget::LogMethod { gamma } => DynamicHashTable::Log(LogMethodTable::new_on(
+                disk,
+                CoreConfig::lemma5(b, m, gamma)?.cost_model(cost),
                 seed,
             )?),
-            TradeoffTarget::LogMethod { gamma } => {
-                DynamicHashTable::Log(LogMethodTable::new(CoreConfig::lemma5(b, m, gamma)?, seed)?)
-            }
         })
     }
 
@@ -100,7 +150,7 @@ macro_rules! delegate {
     };
 }
 
-impl ExternalDictionary for DynamicHashTable {
+impl<B: StorageBackend> ExternalDictionary for DynamicHashTable<B> {
     fn insert(&mut self, key: Key, value: Value) -> Result<()> {
         delegate!(self, t => t.insert(key, value))
     }
@@ -134,7 +184,7 @@ impl ExternalDictionary for DynamicHashTable {
     }
 }
 
-impl LayoutInspect for DynamicHashTable {
+impl<B: StorageBackend> LayoutInspect for DynamicHashTable<B> {
     fn layout_snapshot(&mut self) -> Result<LayoutSnapshot> {
         delegate!(self, t => t.layout_snapshot())
     }
@@ -182,6 +232,36 @@ mod tests {
         let boot = run(TradeoffTarget::InsertOptimal { c: 0.5 });
         assert!(standard > 0.95, "standard table ≈ 1 I/O per insert: {standard}");
         assert!(boot < 0.5 * standard, "bootstrapped beats it: {boot} vs {standard}");
+    }
+
+    #[test]
+    fn for_target_on_runs_every_target_on_a_file_disk() {
+        use dxh_extmem::FileDisk;
+        let targets = [
+            TradeoffTarget::QueryOptimal,
+            TradeoffTarget::Boundary { eps: 0.25 },
+            TradeoffTarget::InsertOptimal { c: 0.5 },
+            TradeoffTarget::LogMethod { gamma: 2 },
+        ];
+        for target in targets {
+            let disk = Disk::new(FileDisk::temp(32).unwrap(), 32, IoCostModel::SeekDominated);
+            let mut file = DynamicHashTable::for_target_on(target, disk, 512, 3).unwrap();
+            let mut mem = DynamicHashTable::for_target(target, 32, 512, 3).unwrap();
+            for k in 0..1500u64 {
+                file.insert(k, k).unwrap();
+                mem.insert(k, k).unwrap();
+            }
+            for k in (0..1500u64).step_by(23) {
+                assert_eq!(file.lookup(k).unwrap(), Some(k), "{} key {k}", file.name());
+                assert_eq!(mem.lookup(k).unwrap(), Some(k), "{} key {k}", mem.name());
+            }
+            assert_eq!(
+                file.total_ios(),
+                mem.total_ios(),
+                "{}: accounting is backend-independent",
+                file.name()
+            );
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod facade;
 mod log_method;
 mod mem_table;
 mod sharded;
+mod store;
 mod stream;
 
 pub use bootstrap::BootstrappedTable;
@@ -52,6 +53,7 @@ pub use facade::{DynamicHashTable, TradeoffTarget};
 pub use log_method::LogMethodTable;
 pub use mem_table::MemTable;
 pub use sharded::ShardedTable;
+pub use store::KvStore;
 
 // Re-exported so downstream code can name the dictionary trait without
 // depending on dxh-tables directly.

@@ -246,6 +246,15 @@ impl<F: HashFn> LogMethodTable<F, MemDisk> {
     }
 }
 
+impl<B: StorageBackend> LogMethodTable<dxh_hashfn::IdealFn, B> {
+    /// Builds a table over a caller-provided disk (any backend) with an
+    /// ideal hash function derived from `seed` — the backend-generic twin
+    /// of [`LogMethodTable::new`].
+    pub fn new_on(disk: Disk<B>, cfg: CoreConfig, seed: u64) -> Result<Self> {
+        Self::with_disk(disk, cfg, dxh_hashfn::IdealFn::from_seed(seed))
+    }
+}
+
 impl<F: HashFn, B: StorageBackend> LogMethodTable<F, B> {
     /// Builds a table over a caller-provided disk.
     pub fn with_disk(disk: Disk<B>, cfg: CoreConfig, hash: F) -> Result<Self> {
@@ -257,6 +266,42 @@ impl<F: HashFn, B: StorageBackend> LogMethodTable<F, B> {
         // H0 capacity + two-stream merge buffers + metadata.
         budget.reserve(cfg.h0_capacity() + 4 * cfg.b + 16)?;
         Ok(LogMethodTable { disk, budget, log: LogStructure::new(cfg.clone(), hash), cfg })
+    }
+
+    /// Rebuilds a table around previously persisted state: a reopened
+    /// disk plus the disk-level regions a prior instance reported via
+    /// [`LogMethodTable::persisted_levels`]. `H0` starts empty, so the
+    /// caller must have flushed it (see [`LogMethodTable::flush_memory`])
+    /// before persisting. The hash function must be the same one the
+    /// regions were built with — for [`dxh_hashfn::IdealFn`] that means
+    /// the same seed.
+    pub(crate) fn from_parts(
+        disk: Disk<B>,
+        cfg: CoreConfig,
+        hash: F,
+        levels: Vec<Option<Region>>,
+    ) -> Result<Self> {
+        let mut t = Self::with_disk(disk, cfg, hash)?;
+        if !levels.is_empty() {
+            t.log.levels = levels;
+        }
+        Ok(t)
+    }
+
+    /// The disk-level regions (`levels[0]` unused), for persistence.
+    pub(crate) fn persisted_levels(&self) -> &[Option<Region>] {
+        &self.log.levels
+    }
+
+    /// Migrates the memory-resident `H0` into the disk levels (a no-op
+    /// when `H0` is empty). After this returns, every item is on disk —
+    /// the hook persistence and controlled-shutdown paths need before a
+    /// [`Disk::flush`].
+    pub fn flush_memory(&mut self) -> Result<()> {
+        if self.log.h0.is_empty() {
+            return Ok(());
+        }
+        self.log.flush(&mut self.disk)
     }
 
     /// Items per level, `H0` first (diagnostics; drives the Lemma 5
@@ -273,6 +318,11 @@ impl<F: HashFn, B: StorageBackend> LogMethodTable<F, B> {
     /// The underlying disk.
     pub fn disk(&self) -> &Disk<B> {
         &self.disk
+    }
+
+    /// Mutable disk access (flush, pool attachment, backend state).
+    pub fn disk_mut(&mut self) -> &mut Disk<B> {
+        &mut self.disk
     }
 
     /// The configuration.

@@ -1,0 +1,602 @@
+//! A persistent key-value store: the logarithmic-method table over a
+//! [`FileDisk`], with open-or-create / reopen semantics on a directory.
+//!
+//! This is the "production front-end" over the paper's machinery: the
+//! construction itself is exactly [`LogMethodTable`] (Lemma 5 — chosen
+//! over the bootstrapped table because a store workload *updates* keys,
+//! and the log-method's shallow-first lookup gives newest-wins upserts),
+//! and the persistence layer adds only what the model deliberately
+//! abstracts away — where the blocks live between processes.
+//!
+//! ## On-disk layout
+//!
+//! A store directory holds two files:
+//!
+//! * `store.blk` — the flat block file of the [`FileDisk`];
+//! * `MANIFEST` — a small text file with the model parameters `(b, m,
+//!   γ)`, the hash seed, the allocator state (high-water mark and free
+//!   list), and one line per disk level region. Written atomically
+//!   (tmp + rename) by [`KvStore::sync`];
+//! * `CLEAN` — a marker present exactly while no block write has
+//!   happened since the last manifest (unlinked before the first
+//!   mutation, rewritten at each sync). Reopen trusts the manifest's
+//!   free list only when it sees this marker.
+//!
+//! [`KvStore::sync`] first migrates the memory-resident `H0` to the disk
+//! levels, then `fdatasync`s the block file, then rewrites the manifest —
+//! after a **clean shutdown** (explicit `sync` or drop) a reopened store
+//! sees every item inserted so far. Dropping the store syncs
+//! best-effort, and a handle that made no modifications skips the
+//! manifest rewrite entirely.
+//!
+//! This is a clean-shutdown persistence story (manifest + data written
+//! at sync points), not crash-consistent journaling: the paper's bounds
+//! say nothing about durability, and the store keeps that separation
+//! honest. If a process dies *between* syncs, reopen recovers from the
+//! last manifest: items inserted after that sync point are lost (their
+//! `H0` copies died with the process), while items synced before it are
+//! found through the manifest's regions — blocks those regions reference
+//! are never recycled between syncs (the [`FileDisk`] quarantines frees
+//! until each manifest commits), and recovery conservatively keeps every
+//! file slot live rather than trusting the stale free list. The cost of
+//! a crash is leaked blocks in that file: space, not correctness —
+//! post-crash orphans belong to no region and no free list, so they are
+//! never reclaimed (a compaction/GC pass is future work). The store
+//! assumes a **single writer per
+//! directory** — it takes no lock file, so two live handles on one
+//! directory will overwrite each other's manifests.
+//!
+//! I/O counters start from zero at every open; they measure the current
+//! process's accounted transfers, not the lifetime of the file.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dxh_extmem::{
+    BlockId, Disk, ExtMemError, FileDisk, IoCostModel, IoSnapshot, Key, Result, Value,
+};
+use dxh_hashfn::IdealFn;
+use dxh_tables::ExternalDictionary;
+
+use crate::config::CoreConfig;
+use crate::log_method::LogMethodTable;
+use crate::stream::Region;
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+const DATA: &str = "store.blk";
+/// Present exactly while no block write has happened since the last
+/// manifest: written after each manifest commit, unlinked before the
+/// first mutation after it. Its absence at reopen forces recovery mode —
+/// the file's slot count alone cannot detect a crash, because post-sync
+/// merges can rewire manifest-referenced chains through recycled slots
+/// without growing the file.
+const CLEAN: &str = "CLEAN";
+const MAGIC: &str = "dxh-store v1";
+
+/// A persistent external hash table bound to a directory.
+///
+/// ```no_run
+/// use dxh_core::{CoreConfig, ExternalDictionary, KvStore};
+///
+/// let dir = std::env::temp_dir().join("my-store");
+/// let cfg = CoreConfig::lemma5(64, 1024, 2)?;
+/// {
+///     let mut store = KvStore::open(&dir, cfg.clone(), 42)?;
+///     store.insert(7, 700)?;
+/// } // drop syncs
+/// let mut store = KvStore::open(&dir, cfg, 42)?; // reopens, cfg from MANIFEST
+/// assert_eq!(store.lookup(7)?, Some(700));
+/// # Ok::<(), dxh_extmem::ExtMemError>(())
+/// ```
+pub struct KvStore {
+    table: LogMethodTable<IdealFn, FileDisk>,
+    seed: u64,
+    dir: PathBuf,
+    /// Whether anything changed since the last manifest write. A clean
+    /// handle's drop must not rewrite the manifest (it could clobber a
+    /// newer sync made through another, later handle).
+    dirty: bool,
+}
+
+impl KvStore {
+    /// Opens the store at `dir`, creating it (directory, block file,
+    /// manifest) when no manifest exists. On reopen the **persisted**
+    /// parameters and seed win — they are baked into the block layout —
+    /// and the caller's `cfg`/`seed` are only consulted to reject an
+    /// incompatible `b` (the block size cannot change under a file).
+    pub fn open(dir: impl AsRef<Path>, cfg: CoreConfig, seed: u64) -> Result<Self> {
+        let dir = dir.as_ref();
+        if dir.join(MANIFEST).exists() {
+            Self::reopen(dir, cfg.b)
+        } else {
+            fs::create_dir_all(dir)?;
+            let mut backend = FileDisk::create(&dir.join(DATA), cfg.b)?;
+            // Quarantine frees between syncs: blocks the last manifest's
+            // regions reference must stay physically intact until the
+            // next manifest (which lists them as free) is durable.
+            backend.set_defer_recycling(true);
+            let disk = Disk::new(backend, cfg.b, cfg.cost);
+            let table = LogMethodTable::new_on(disk, cfg, seed)?;
+            let mut store = KvStore { table, seed, dir: dir.to_path_buf(), dirty: false };
+            store.write_manifest()?; // a crash before the first sync can still reopen
+            store.write_clean_marker()?;
+            Ok(store)
+        }
+    }
+
+    fn reopen(dir: &Path, expected_b: usize) -> Result<Self> {
+        let text = fs::read_to_string(dir.join(MANIFEST))?;
+        let m = Manifest::parse(&text)?;
+        if m.cfg.b != expected_b {
+            return Err(ExtMemError::BadConfig(format!(
+                "store was created with b = {}, caller asked for b = {expected_b}",
+                m.cfg.b
+            )));
+        }
+        let mut backend = FileDisk::open(&dir.join(DATA), m.cfg.b)?;
+        if backend.slots() < m.slots {
+            // The file lost blocks the manifest references: real corruption.
+            return Err(ExtMemError::Corrupt(format!(
+                "manifest records {} slots, file holds only {}",
+                m.slots,
+                backend.slots()
+            )));
+        }
+        if dir.join(CLEAN).exists() && backend.slots() == m.slots {
+            // Clean shutdown: no block write happened after the manifest,
+            // so it describes the file exactly and the free list is safe
+            // to recycle from.
+            backend.restore_free_list(m.free)?;
+        }
+        // Crash recovery otherwise: keep every slot live and ignore the
+        // manifest's free list. Post-sync merges may have rewritten
+        // buckets into blocks past the manifest's slot count or into
+        // once-free slots, so cutting or recycling either would tear
+        // chains the manifest's regions still reach. The cost is leaked
+        // blocks (space, not correctness); frees quarantined after the
+        // crash-point sync were never recycled, so that sync's region
+        // data is intact.
+        backend.set_defer_recycling(true);
+        let disk = Disk::new(backend, m.cfg.b, m.cfg.cost);
+        let table = LogMethodTable::from_parts(disk, m.cfg, IdealFn::from_seed(m.seed), m.levels)?;
+        Ok(KvStore { table, seed: m.seed, dir: dir.to_path_buf(), dirty: false })
+    }
+
+    /// Flushes `H0` to the disk levels, `fdatasync`s the block file, and
+    /// atomically rewrites the manifest. After `sync` returns, a reopen
+    /// sees every item inserted so far. A no-op when nothing changed
+    /// since the last sync (or since a clean reopen).
+    pub fn sync(&mut self) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.table.flush_memory()?;
+        self.table.disk_mut().flush()?;
+        self.write_manifest()?;
+        self.write_clean_marker()?;
+        // The new manifest (listing quarantined slots as free) is
+        // durable; they may now be recycled.
+        self.table.disk_mut().backend_mut().commit_frees();
+        self.dirty = false;
+        Ok(())
+    }
+
+    fn write_clean_marker(&self) -> Result<()> {
+        fs::write(self.dir.join(CLEAN), b"clean\n")?;
+        Ok(())
+    }
+
+    /// Transitions into the dirty state before the first mutation after a
+    /// clean point: the marker must be gone from disk before any block
+    /// write lands, or a crash would be misread as a clean shutdown.
+    fn mark_dirty(&mut self) -> Result<()> {
+        if self.dirty {
+            return Ok(());
+        }
+        match fs::remove_file(self.dir.join(CLEAN)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn write_manifest(&mut self) -> Result<()> {
+        let cfg = self.table.config().clone();
+        let backend = self.table.disk_mut().backend_mut();
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!(
+            "b {}\nm {}\ngamma {}\nbeta {}\n",
+            cfg.b, cfg.m, cfg.gamma, cfg.beta
+        ));
+        out.push_str(&format!(
+            "cost {}\n",
+            match cfg.cost {
+                IoCostModel::SeekDominated => "seek",
+                IoCostModel::Strict => "strict",
+            }
+        ));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("slots {}\n", backend.slots()));
+        let free: Vec<String> = backend.free_list().iter().map(|id| id.to_string()).collect();
+        out.push_str(&format!("free {}\n", free.join(",")));
+        let levels = self.table.persisted_levels();
+        out.push_str(&format!("levels {}\n", levels.len()));
+        for (k, slot) in levels.iter().enumerate() {
+            if let Some(r) = slot {
+                out.push_str(&format!("level {k} {} {} {}\n", r.base.raw(), r.buckets, r.items));
+            }
+        }
+        let tmp = self.dir.join(MANIFEST_TMP);
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(out.as_bytes())?;
+        f.sync_data()?;
+        fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        Ok(())
+    }
+
+    /// The directory this store lives in.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The backing table (tq/tu measurement, level diagnostics).
+    pub fn table(&self) -> &LogMethodTable<IdealFn, FileDisk> {
+        &self.table
+    }
+}
+
+impl Drop for KvStore {
+    /// Best-effort sync; call [`KvStore::sync`] explicitly to observe
+    /// errors.
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+impl ExternalDictionary for KvStore {
+    fn insert(&mut self, key: Key, value: Value) -> Result<()> {
+        self.mark_dirty()?;
+        self.table.insert(key, value)
+    }
+
+    fn lookup(&mut self, key: Key) -> Result<Option<Value>> {
+        self.table.lookup(key)
+    }
+
+    /// Deletion is outside the paper's scope; always an error (see the
+    /// crate docs).
+    fn delete(&mut self, key: Key) -> Result<bool> {
+        self.table.delete(key)
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn disk_stats(&self) -> IoSnapshot {
+        self.table.disk_stats()
+    }
+
+    fn cost_model(&self) -> IoCostModel {
+        self.table.cost_model()
+    }
+
+    fn memory_used(&self) -> usize {
+        self.table.memory_used()
+    }
+
+    fn block_capacity(&self) -> usize {
+        self.table.block_capacity()
+    }
+}
+
+/// Parsed manifest contents.
+struct Manifest {
+    cfg: CoreConfig,
+    seed: u64,
+    slots: u64,
+    free: Vec<u64>,
+    levels: Vec<Option<Region>>,
+}
+
+impl Manifest {
+    fn parse(text: &str) -> Result<Self> {
+        let corrupt = |why: &str| ExtMemError::Corrupt(format!("manifest: {why}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(corrupt("bad magic"));
+        }
+        let mut b = None;
+        let mut m = None;
+        let mut gamma = None;
+        let mut beta = None;
+        let mut cost = IoCostModel::SeekDominated;
+        let mut seed = None;
+        let mut slots = None;
+        let mut free = Vec::new();
+        let mut levels: Vec<Option<Region>> = Vec::new();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let (Some(key), Some(v)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            match key {
+                "b" => b = v.parse().ok(),
+                "m" => m = v.parse().ok(),
+                "gamma" => gamma = v.parse().ok(),
+                "beta" => beta = v.parse().ok(),
+                "cost" => {
+                    cost = match v {
+                        "seek" => IoCostModel::SeekDominated,
+                        "strict" => IoCostModel::Strict,
+                        _ => return Err(corrupt("unknown cost model")),
+                    }
+                }
+                "seed" => seed = v.parse().ok(),
+                "slots" => slots = v.parse().ok(),
+                "free" => {
+                    for id in v.split(',').filter(|s| !s.is_empty()) {
+                        free.push(id.parse().map_err(|_| corrupt("bad free id"))?);
+                    }
+                }
+                "levels" => {
+                    let n: usize = v.parse().map_err(|_| corrupt("bad level count"))?;
+                    // Levels grow geometrically (γ ≥ 2), so even a store
+                    // holding every key in the 63-bit space needs < 64 of
+                    // them; anything larger is corruption, not scale.
+                    if n > 64 {
+                        return Err(corrupt("implausible level count"));
+                    }
+                    levels = vec![None; n.max(1)];
+                }
+                "level" => {
+                    let k: usize = v.parse().map_err(|_| corrupt("bad level index"))?;
+                    let nums: Vec<u64> = parts
+                        .map(|p| p.parse().map_err(|_| corrupt("bad level field")))
+                        .collect::<Result<_>>()?;
+                    let [base, buckets, items] = nums[..] else {
+                        return Err(corrupt("level needs base/buckets/items"));
+                    };
+                    if k == 0 || k >= levels.len() {
+                        return Err(corrupt("level index out of range"));
+                    }
+                    levels[k] =
+                        Some(Region { base: BlockId(base), buckets, items: items as usize });
+                }
+                _ => {} // forward-compatible: unknown keys are ignored
+            }
+        }
+        let (Some(b), Some(m), Some(gamma), Some(beta), Some(seed), Some(slots)) =
+            (b, m, gamma, beta, seed, slots)
+        else {
+            return Err(corrupt("missing required field"));
+        };
+        let cfg = CoreConfig::custom(b, m, gamma, beta)?.cost_model(cost);
+        Ok(Manifest { cfg, seed, slots, free, levels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dxh-store-{tag}-{}", std::process::id()))
+    }
+
+    fn cfg() -> CoreConfig {
+        CoreConfig::lemma5(8, 128, 2).unwrap()
+    }
+
+    #[test]
+    fn create_insert_reopen_lookup() {
+        let dir = tmp_dir("roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open(&dir, cfg(), 5).unwrap();
+            for k in 0..1000u64 {
+                s.insert(k, k * 7).unwrap();
+            }
+            assert_eq!(s.len(), 1000);
+        } // drop syncs
+        let mut s = KvStore::open(&dir, cfg(), 999).unwrap(); // seed ignored on reopen
+        assert_eq!(s.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(k * 7), "key {k}");
+        }
+        assert_eq!(s.lookup(77_777).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_store_keeps_accepting_inserts() {
+        let dir = tmp_dir("continue");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open(&dir, cfg(), 6).unwrap();
+            for k in 0..500u64 {
+                s.insert(k, 1).unwrap();
+            }
+        }
+        {
+            let mut s = KvStore::open(&dir, cfg(), 6).unwrap();
+            for k in 500..1500u64 {
+                s.insert(k, 1).unwrap();
+            }
+            // Upserts across the generation boundary still win.
+            for k in 0..100u64 {
+                s.insert(k, 2).unwrap();
+            }
+        }
+        let mut s = KvStore::open(&dir, cfg(), 6).unwrap();
+        // len counts physical items: re-inserted keys leave shadowed
+        // copies in deeper levels until a merge dedups them (the same
+        // upsert semantics as the in-memory LogMethodTable).
+        assert!(s.len() >= 1500, "all live keys present: {}", s.len());
+        for k in 0..100u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(2), "newest value wins after reopen");
+        }
+        for k in 100..1500u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(1));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_sync_persists_without_drop() {
+        let dir = tmp_dir("sync");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 7).unwrap();
+        s.insert(1, 10).unwrap();
+        s.sync().unwrap();
+        // Second handle on the synced state (simulates a crash of the
+        // first process after sync: its Drop never runs).
+        let mut s2 = KvStore::open(&dir, cfg(), 7).unwrap();
+        assert_eq!(s2.lookup(1).unwrap(), Some(10));
+        std::mem::forget(s); // the "crashed" handle
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_after_unsynced_growth_recovers_to_last_sync_point() {
+        let dir = tmp_dir("crash");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 12).unwrap();
+        for k in 0..300u64 {
+            s.insert(k, k).unwrap();
+        }
+        s.sync().unwrap();
+        // Keep inserting past the sync: H0 flushes grow the block file,
+        // but no manifest records the growth. Then "crash" (no Drop).
+        for k in 300..900u64 {
+            s.insert(k, k).unwrap();
+        }
+        std::mem::forget(s);
+        // Reopen recovers to the sync point instead of refusing to open.
+        let mut s = KvStore::open(&dir, cfg(), 12).unwrap();
+        for k in 0..300u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(k), "synced key {k} survives the crash");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_marker_tracks_mutation_state() {
+        let dir = tmp_dir("marker");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 21).unwrap();
+        assert!(dir.join(CLEAN).exists(), "fresh store starts clean");
+        s.insert(1, 1).unwrap();
+        assert!(!dir.join(CLEAN).exists(), "first mutation unlinks the marker");
+        s.sync().unwrap();
+        assert!(dir.join(CLEAN).exists(), "sync rewrites the marker");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_without_file_growth_is_not_misread_as_clean() {
+        // A crash can land after writes that only touched existing or
+        // recycled slots (file length unchanged). The slot count then
+        // matches the manifest, but the absent CLEAN marker must still
+        // force recovery mode: every slot stays live, the stale free
+        // list is not recycled from.
+        let dir = tmp_dir("no-growth");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 22).unwrap();
+        for k in 0..600u64 {
+            s.insert(k, k).unwrap();
+        }
+        s.sync().unwrap();
+        let manifest = fs::read(dir.join(MANIFEST)).unwrap();
+        // Simulate the crash window: marker gone (a mutation began), no
+        // newer manifest, file length unchanged.
+        fs::remove_file(dir.join(CLEAN)).unwrap();
+        std::mem::forget(s);
+        let mut s = KvStore::open(&dir, cfg(), 22).unwrap();
+        let disk = s.table().disk();
+        assert_eq!(
+            disk.live_blocks(),
+            s.table().disk().backend().slots(),
+            "recovery keeps every slot live instead of trusting the free list"
+        );
+        for k in (0..600u64).step_by(17) {
+            assert_eq!(s.lookup(k).unwrap(), Some(k));
+        }
+        drop(s);
+        // The recovered handle was never mutated: manifest untouched.
+        assert_eq!(fs::read(dir.join(MANIFEST)).unwrap(), manifest);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_handle_drop_does_not_rewrite_manifest() {
+        let dir = tmp_dir("clean-drop");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open(&dir, cfg(), 13).unwrap();
+            for k in 0..400u64 {
+                s.insert(k, k).unwrap();
+            }
+        }
+        let before = fs::read(dir.join(MANIFEST)).unwrap();
+        {
+            let mut s = KvStore::open(&dir, cfg(), 13).unwrap();
+            assert_eq!(s.lookup(1).unwrap(), Some(1)); // reads only
+        }
+        let after = fs::read(dir.join(MANIFEST)).unwrap();
+        assert_eq!(before, after, "a read-only handle must not touch the manifest");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn implausible_level_count_rejected_without_allocating() {
+        let text = format!(
+            "{MAGIC}\nb 8\nm 128\ngamma 2\nbeta 2\nseed 1\nslots 0\nfree \nlevels 99999999999999\n"
+        );
+        assert!(Manifest::parse(&text).is_err());
+    }
+
+    #[test]
+    fn mismatched_block_size_rejected() {
+        let dir = tmp_dir("badb");
+        let _ = fs::remove_dir_all(&dir);
+        drop(KvStore::open(&dir, cfg(), 8).unwrap());
+        let other = CoreConfig::lemma5(16, 256, 2).unwrap();
+        assert!(KvStore::open(&dir, other, 8).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let dir = tmp_dir("corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        drop(KvStore::open(&dir, cfg(), 9).unwrap());
+        fs::write(dir.join(MANIFEST), "not a manifest\n").unwrap();
+        assert!(KvStore::open(&dir, cfg(), 9).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_parse_round_trips_all_fields() {
+        let text = format!(
+            "{MAGIC}\nb 8\nm 128\ngamma 2\nbeta 2\ncost strict\nseed 42\nslots 10\n\
+             free 3,7\nlevels 3\nlevel 1 0 2 5\nlevel 2 2 4 9\n"
+        );
+        let m = Manifest::parse(&text).unwrap();
+        assert_eq!(m.cfg.b, 8);
+        assert_eq!(m.cfg.cost, IoCostModel::Strict);
+        assert_eq!(m.seed, 42);
+        assert_eq!(m.slots, 10);
+        assert_eq!(m.free, vec![3, 7]);
+        assert_eq!(m.levels.len(), 3);
+        let r = m.levels[2].unwrap();
+        assert_eq!((r.base.raw(), r.buckets, r.items), (2, 4, 9));
+        assert!(m.levels[1].is_some());
+    }
+}

@@ -9,30 +9,29 @@ use crate::item::{Item, Key, Value};
 pub struct BlockId(pub u64);
 
 impl BlockId {
-    /// Sentinel encoding "no block" in on-disk chain pointers.
-    pub(crate) const NONE_RAW: u64 = u64::MAX;
-
     /// The raw index.
     #[inline]
     pub const fn raw(self) -> u64 {
         self.0
     }
 
+    /// On-disk encoding of an optional chain pointer, biased by one so
+    /// that `0` means "no block". The payoff: an **all-zero byte image is
+    /// a valid empty block** (`len = 0`, `tag = 0`, no chain), which lets
+    /// file backends allocate fresh regions by extending the file
+    /// (zero-filled by the OS) without writing any initialization bytes.
     #[inline]
     pub(crate) fn encode_opt(id: Option<BlockId>) -> u64 {
         match id {
-            Some(b) => b.0,
-            None => Self::NONE_RAW,
+            Some(b) => b.0 + 1,
+            None => 0,
         }
     }
 
+    /// Inverse of [`BlockId::encode_opt`].
     #[inline]
     pub(crate) fn decode_opt(raw: u64) -> Option<BlockId> {
-        if raw == Self::NONE_RAW {
-            None
-        } else {
-            Some(BlockId(raw))
-        }
+        raw.checked_sub(1).map(BlockId)
     }
 }
 
@@ -359,9 +358,21 @@ mod tests {
 
     #[test]
     fn optional_block_id_encoding() {
-        assert_eq!(BlockId::encode_opt(None), u64::MAX);
-        assert_eq!(BlockId::decode_opt(u64::MAX), None);
-        assert_eq!(BlockId::decode_opt(3), Some(BlockId(3)));
+        assert_eq!(BlockId::encode_opt(None), 0);
+        assert_eq!(BlockId::decode_opt(0), None);
+        assert_eq!(BlockId::decode_opt(4), Some(BlockId(3)));
+        assert_eq!(BlockId::encode_opt(Some(BlockId(3))), 4);
+    }
+
+    #[test]
+    fn all_zero_image_decodes_as_empty_block() {
+        // File backends rely on this: a freshly extended (zero-filled)
+        // file region must read back as valid empty blocks.
+        let buf = vec![0u8; Block::encoded_len(5)];
+        let b = Block::decode_from(5, &buf).unwrap();
+        assert!(b.is_empty());
+        assert_eq!(b.tag(), 0);
+        assert_eq!(b.next(), None);
     }
 
     #[test]

@@ -261,6 +261,11 @@ impl<B: StorageBackend> Disk<B> {
         self.backend.sync()
     }
 
+    /// Read-only backend access (allocator state, diagnostics).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
     /// Direct backend access for tests and verification (bypasses both the
     /// pool and the accounting — never use on a measurement path).
     pub fn backend_mut(&mut self) -> &mut B {

@@ -1,5 +1,6 @@
 //! File-backed storage backend: the same block interface over a real file.
 
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -11,16 +12,33 @@ use crate::error::{ExtMemError, Result};
 /// A disk backed by a single flat file of fixed-size block slots.
 ///
 /// Layout: block `i` occupies bytes `[i · S, (i+1) · S)` where
-/// `S = Block::encoded_len(b)`. The allocator state (free list) is kept in
-/// memory; this backend is a demonstration substrate, not a crash-safe
-/// storage engine, and the paper's bounds do not depend on durability.
+/// `S = Block::encoded_len(b)`. An all-zero slot decodes as an empty
+/// block (see [`Block::decode_from`]), so allocation past the high-water
+/// mark is a pure `set_len` — the OS zero-fills the extension and no
+/// initialization bytes are written.
+///
+/// The allocator state (free list) is kept in memory; callers that want
+/// persistence across process restarts serialize it themselves (see
+/// `dxh_core`'s store) and restore it via [`FileDisk::restore_free_list`].
+/// Data durability is the caller's via [`StorageBackend::sync`]; the
+/// paper's bounds do not depend on durability.
 pub struct FileDisk {
     file: File,
     block_capacity: usize,
     block_bytes: usize,
     /// Total slots ever allocated in the file (high-water mark).
     slots: u64,
+    /// Recycle stack: freed ids, reused LIFO.
     free: Vec<u64>,
+    /// Freed ids quarantined from recycling until [`FileDisk::commit_frees`]
+    /// (only populated when [`FileDisk::set_defer_recycling`] is on).
+    pending_free: Vec<u64>,
+    /// All dead ids (`free` ∪ `pending_free`), for O(1) liveness checks
+    /// on every read/write.
+    free_set: HashSet<u64>,
+    /// When set, freed blocks are quarantined instead of recycled, so
+    /// their contents survive until the caller commits a sync point.
+    defer_recycling: bool,
     live: u64,
     /// Scratch buffer reused across reads/writes to avoid per-op allocation.
     scratch: Vec<u8>,
@@ -33,16 +51,41 @@ impl FileDisk {
         assert!(block_capacity > 0, "block capacity must be positive");
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(Self::from_file(file, block_capacity, 0))
+    }
+
+    /// Opens an existing disk file **without truncating**; every slot in
+    /// the file is initially considered live (the high-water mark is the
+    /// file length over the slot size). Restore the persisted free list
+    /// with [`FileDisk::restore_free_list`] to resume allocation exactly
+    /// where a previous process left off.
+    pub fn open(path: &Path, block_capacity: usize) -> Result<Self> {
+        assert!(block_capacity > 0, "block capacity must be positive");
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let block_bytes = Block::encoded_len(block_capacity) as u64;
+        let len = file.metadata()?.len();
+        if len % block_bytes != 0 {
+            return Err(ExtMemError::Corrupt(format!(
+                "file length {len} is not a multiple of the {block_bytes}-byte slot size"
+            )));
+        }
+        Ok(Self::from_file(file, block_capacity, len / block_bytes))
+    }
+
+    fn from_file(file: File, block_capacity: usize, slots: u64) -> Self {
         let block_bytes = Block::encoded_len(block_capacity);
-        Ok(FileDisk {
+        FileDisk {
             file,
             block_capacity,
             block_bytes,
-            slots: 0,
+            slots,
             free: Vec::new(),
-            live: 0,
+            pending_free: Vec::new(),
+            free_set: HashSet::new(),
+            defer_recycling: false,
+            live: slots,
             scratch: vec![0u8; block_bytes],
-        })
+        }
     }
 
     /// Creates a disk in a fresh temporary file under `std::env::temp_dir()`.
@@ -63,14 +106,75 @@ impl FileDisk {
         Ok(disk)
     }
 
+    /// High-water mark: total slots ever allocated (free ones included).
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Every dead slot — the recyclable stack plus any quarantined frees
+    /// — in recycle order. Serialize this to persist the allocator: a
+    /// sync point's metadata references none of these slots, so all of
+    /// them are recyclable after a reopen.
+    pub fn free_list(&self) -> Vec<u64> {
+        let mut out = self.free.clone();
+        out.extend_from_slice(&self.pending_free);
+        out
+    }
+
+    /// Quarantines future frees (on) or recycles them immediately (off,
+    /// the default). With deferral on, a freed block's contents stay on
+    /// disk untouched — and its slot is never handed back by
+    /// [`StorageBackend::allocate`] — until [`FileDisk::commit_frees`].
+    /// Persistence layers turn this on so that blocks freed *after* their
+    /// last durable sync point still hold the data that sync point's
+    /// metadata references.
+    pub fn set_defer_recycling(&mut self, defer: bool) {
+        self.defer_recycling = defer;
+        if !defer {
+            self.commit_frees();
+        }
+    }
+
+    /// Releases every quarantined slot for recycling. Call after the
+    /// caller's own metadata (which lists those slots as free) is durable.
+    pub fn commit_frees(&mut self) {
+        self.free.append(&mut self.pending_free);
+    }
+
+    /// Restores a persisted free list after [`FileDisk::open`]. Ids must
+    /// be in-range and distinct; the matching slots become dead until
+    /// re-allocated.
+    pub fn restore_free_list(&mut self, free: Vec<u64>) -> Result<()> {
+        let mut set = HashSet::with_capacity(free.len());
+        for &id in &free {
+            if id >= self.slots || !set.insert(id) {
+                return Err(ExtMemError::Corrupt(format!("bad free-list id {id}")));
+            }
+        }
+        self.live = self.slots - free.len() as u64;
+        self.free = free;
+        self.pending_free.clear();
+        self.free_set = set;
+        Ok(())
+    }
+
     fn offset(&self, id: BlockId) -> u64 {
         id.raw() * self.block_bytes as u64
     }
 
     fn check_live(&self, id: BlockId) -> Result<()> {
-        if id.raw() >= self.slots || self.free.contains(&id.raw()) {
+        if id.raw() >= self.slots || self.free_set.contains(&id.raw()) {
             return Err(ExtMemError::BadBlockId(id));
         }
+        Ok(())
+    }
+
+    /// Extends the file to cover slots `[0, new_slots)`. The extension is
+    /// zero-filled by the OS, and an all-zero slot *is* a valid empty
+    /// block, so no initialization writes are needed.
+    fn grow_to(&mut self, new_slots: u64) -> Result<()> {
+        self.file.set_len(new_slots * self.block_bytes as u64)?;
+        self.slots = new_slots;
         Ok(())
     }
 }
@@ -99,44 +203,47 @@ impl StorageBackend for FileDisk {
     }
 
     fn allocate(&mut self) -> Result<BlockId> {
-        self.live += 1;
-        let idx = match self.free.pop() {
-            Some(idx) => idx,
+        let idx = match self.free.last().copied() {
+            Some(idx) => {
+                // Recycled slot: reset the stale image to an empty block.
+                // Only the 24-byte header matters — decode reads `len`
+                // items, so stale item bytes past the header are inert.
+                // The reset happens *before* the allocator state changes,
+                // so a failed write leaves the slot safely on the free
+                // list instead of in limbo (neither free nor live).
+                self.file.seek(SeekFrom::Start(idx * self.block_bytes as u64))?;
+                self.file.write_all(&[0u8; 24])?;
+                self.free.pop();
+                self.free_set.remove(&idx);
+                idx
+            }
             None => {
                 let idx = self.slots;
-                self.slots += 1;
+                self.grow_to(idx + 1)?;
                 idx
             }
         };
-        // Materialize an empty block image so reads after allocate succeed.
-        let blk = Block::new(self.block_capacity);
-        blk.encode_into(&mut self.scratch);
-        self.file.seek(SeekFrom::Start(idx * self.block_bytes as u64))?;
-        self.file.write_all(&self.scratch)?;
+        self.live += 1;
         Ok(BlockId(idx))
     }
 
     fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId> {
         let base = self.slots;
-        self.slots += n as u64;
+        // One metadata syscall for the whole range — the zero-filled
+        // extension already decodes as n empty blocks.
+        self.grow_to(base + n as u64)?;
         self.live += n as u64;
-        // Materialize empty images for the whole range in one write.
-        let empty = {
-            let blk = Block::new(self.block_capacity);
-            let mut one = vec![0u8; self.block_bytes];
-            blk.encode_into(&mut one);
-            one
-        };
-        self.file.seek(SeekFrom::Start(base * self.block_bytes as u64))?;
-        for _ in 0..n {
-            self.file.write_all(&empty)?;
-        }
         Ok(BlockId(base))
     }
 
     fn free(&mut self, id: BlockId) -> Result<()> {
         self.check_live(id)?;
-        self.free.push(id.raw());
+        if self.defer_recycling {
+            self.pending_free.push(id.raw());
+        } else {
+            self.free.push(id.raw());
+        }
+        self.free_set.insert(id.raw());
         self.live -= 1;
         Ok(())
     }
@@ -196,10 +303,128 @@ mod tests {
     }
 
     #[test]
+    fn recycled_slot_resets_stale_contents() {
+        let mut d = FileDisk::temp(2).unwrap();
+        let a = d.allocate().unwrap();
+        let mut blk = d.read(a).unwrap();
+        blk.push(Item::new(9, 9)).unwrap();
+        blk.set_next(Some(BlockId(0)));
+        blk.set_tag(7);
+        d.write(a, &blk).unwrap();
+        d.free(a).unwrap();
+        let b = d.allocate().unwrap();
+        assert_eq!(a, b);
+        let back = d.read(b).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.tag(), 0);
+        assert_eq!(back.next(), None);
+    }
+
+    #[test]
+    fn contiguous_range_reads_empty_without_writes() {
+        let mut d = FileDisk::temp(3).unwrap();
+        let base = d.allocate_contiguous(50).unwrap();
+        for i in 0..50 {
+            assert!(d.read(BlockId(base.raw() + i)).unwrap().is_empty());
+        }
+        assert_eq!(d.live_blocks(), 50);
+    }
+
+    #[test]
     fn out_of_range_id_rejected() {
         let mut d = FileDisk::temp(2).unwrap();
         assert!(d.read(BlockId(5)).is_err());
         assert!(d.write(BlockId(5), &Block::new(2)).is_err());
+    }
+
+    #[test]
+    fn free_check_stays_fast_under_churn() {
+        // Regression shape for the old O(|free|) scan: heavy free/alloc
+        // churn with a large standing free list. With the HashSet this
+        // finishes instantly; with the linear scan it was quadratic.
+        let mut d = FileDisk::temp(2).unwrap();
+        let ids: Vec<_> = (0..2000).map(|_| d.allocate().unwrap()).collect();
+        for &id in &ids[1000..] {
+            d.free(id).unwrap();
+        }
+        for _ in 0..2000 {
+            let id = d.allocate().unwrap();
+            let _ = d.read(id).unwrap();
+            d.free(id).unwrap();
+        }
+        assert_eq!(d.live_blocks(), 1000);
+    }
+
+    #[test]
+    fn open_resumes_a_created_file() {
+        let path =
+            std::env::temp_dir().join(format!("dxh-filedisk-open-{}.blk", std::process::id()));
+        let (id_a, id_b, free_list) = {
+            let mut d = FileDisk::create(&path, 4).unwrap();
+            let a = d.allocate().unwrap();
+            let b = d.allocate().unwrap();
+            let c = d.allocate().unwrap();
+            let mut blk = Block::new(4);
+            blk.push(Item::new(1, 11)).unwrap();
+            d.write(a, &blk).unwrap();
+            let mut blk = Block::new(4);
+            blk.push(Item::new(2, 22)).unwrap();
+            d.write(b, &blk).unwrap();
+            d.free(c).unwrap();
+            d.sync().unwrap();
+            (a, b, d.free_list())
+        };
+        let mut d = FileDisk::open(&path, 4).unwrap();
+        assert_eq!(d.slots(), 3);
+        d.restore_free_list(free_list).unwrap();
+        assert_eq!(d.live_blocks(), 2);
+        assert_eq!(d.read(id_a).unwrap().find(1), Some(11));
+        assert_eq!(d.read(id_b).unwrap().find(2), Some(22));
+        // The freed slot is dead until re-allocated…
+        assert!(d.read(BlockId(2)).is_err());
+        // …and the next allocate recycles it, reset to empty.
+        let c = d.allocate().unwrap();
+        assert_eq!(c, BlockId(2));
+        assert!(d.read(c).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deferred_recycling_quarantines_contents_until_commit() {
+        let mut d = FileDisk::temp(2).unwrap();
+        d.set_defer_recycling(true);
+        let a = d.allocate().unwrap();
+        let mut blk = d.read(a).unwrap();
+        blk.push(Item::new(5, 50)).unwrap();
+        d.write(a, &blk).unwrap();
+        d.free(a).unwrap();
+        // Dead for reads, but NOT recyclable yet: the next allocate must
+        // grow instead of handing the slot back (and resetting it).
+        assert!(d.read(a).is_err());
+        let b = d.allocate().unwrap();
+        assert_ne!(a, b, "quarantined slot must not be recycled");
+        // The quarantined contents are physically intact (a recovery path
+        // re-marking the slot live would still read the old data).
+        d.restore_free_list(Vec::new()).unwrap();
+        assert_eq!(d.read(a).unwrap().find(5), Some(50));
+        // After commit, frees recycle normally again.
+        let mut d = FileDisk::temp(2).unwrap();
+        d.set_defer_recycling(true);
+        let a = d.allocate().unwrap();
+        d.free(a).unwrap();
+        assert_eq!(d.free_list(), vec![a.raw()], "pending frees appear in the persisted list");
+        d.commit_frees();
+        let b = d.allocate().unwrap();
+        assert_eq!(a, b, "committed slot is recyclable");
+    }
+
+    #[test]
+    fn restore_free_list_rejects_bad_ids() {
+        let mut d = FileDisk::temp(2).unwrap();
+        let _ = d.allocate().unwrap();
+        assert!(d.restore_free_list(vec![5]).is_err(), "out of range");
+        assert!(d.restore_free_list(vec![0, 0]).is_err(), "duplicate");
+        assert!(d.restore_free_list(vec![0]).is_ok());
     }
 
     #[test]

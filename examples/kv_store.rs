@@ -1,12 +1,12 @@
-//! A small persistent key-value store on a real file: the logarithmic
-//! method table running against [`FileDisk`] instead of the in-memory
-//! simulator — identical code path, real `read`/`write` syscalls
-//! underneath.
+//! A persistent key-value store on a real directory: [`KvStore`] runs the
+//! logarithmic-method table against a [`FileDisk`](dyn_ext_hash::extmem::FileDisk)
+//! and persists its manifest (parameters, allocator, level regions) so a
+//! later open resumes exactly where the last sync left off.
 //!
-//! We use [`LogMethodTable`] (not the bootstrapped table) because a
-//! counter workload *updates* keys, and the log-method's shallow-first
-//! lookup gives clean newest-wins upsert semantics (the bootstrapped
-//! table trades that away for `tq ≈ 1`; see its docs).
+//! The store uses the log-method construction (not the bootstrapped
+//! table) because a counter workload *updates* keys, and the log-method's
+//! shallow-first lookup gives clean newest-wins upsert semantics (the
+//! bootstrapped table trades that away for `tq ≈ 1`; see its docs).
 //!
 //! String keys are hashed to the table's 64-bit key space with the ideal
 //! mixer (collisions are astronomically unlikely below ~2^32 keys; a
@@ -14,8 +14,7 @@
 //!
 //! Run: `cargo run --release --example kv_store`
 
-use dyn_ext_hash::core::{CoreConfig, ExternalDictionary, LogMethodTable};
-use dyn_ext_hash::extmem::{Disk, FileDisk, IoCostModel};
+use dyn_ext_hash::core::{CoreConfig, ExternalDictionary, KvStore};
 use dyn_ext_hash::hashfn::{fmix64, splitmix64};
 
 /// Hashes a string key into the table's key space.
@@ -32,15 +31,11 @@ fn string_key(s: &str) -> u64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = 64;
     let m = 1024;
-    let path = std::env::temp_dir().join(format!("dxh-kv-{}.blk", std::process::id()));
-    println!("store file: {}", path.display());
-
+    let dir = std::env::temp_dir().join(format!("dxh-kv-{}", std::process::id()));
+    println!("store directory: {}", dir.display());
     let cfg = CoreConfig::lemma5(b, m, 2)?;
-    let disk = Disk::new(FileDisk::create(&path, b)?, b, IoCostModel::SeekDominated);
-    let mut store =
-        LogMethodTable::with_disk(disk, cfg, dyn_ext_hash::hashfn::IdealFn::from_seed(0xCE4))?;
 
-    // A word-frequency counter over a synthetic corpus.
+    // ---- Generation 1: index a synthetic corpus, then drop (= sync). ----
     let corpus: Vec<String> = {
         let words = [
             "external", "hashing", "buffer", "block", "disk", "memory", "query", "insert",
@@ -53,28 +48,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect()
     };
-    for word in &corpus {
-        let k = string_key(word);
-        let count = store.lookup(k)?.unwrap_or(0);
-        store.insert(k, count + 1)?;
-    }
-    println!("indexed {} word occurrences ({} distinct)", corpus.len(), store.len());
+    {
+        let mut store = KvStore::open(&dir, cfg.clone(), 0xCE4)?;
+        for word in &corpus {
+            let k = string_key(word);
+            let count = store.lookup(k)?.unwrap_or(0);
+            store.insert(k, count + 1)?;
+        }
+        // len() counts *physical* entries: updated keys leave shadowed
+        // copies in deeper levels until merges dedup them.
+        println!("indexed {} word occurrences ({} physical entries)", corpus.len(), store.len());
+        let s = store.disk_stats();
+        println!(
+            "I/O totals: {} reads, {} writes, {} combined — {:.3} I/Os per op",
+            s.reads,
+            s.writes,
+            s.rmws,
+            store.total_ios() as f64 / (2 * corpus.len()) as f64
+        );
+    } // drop syncs: H0 flushed, file fdatasync'd, manifest rewritten
 
+    // ---- Generation 2: reopen and query the persisted counts. ----
+    let mut store = KvStore::open(&dir, cfg, 0xCE4)?;
+    println!(
+        "reopened: {} physical entries survive the restart (sync-time merges deduped some)",
+        store.len()
+    );
     for probe in ["external-1", "hashing-42", "tradeoff-500"] {
         match store.lookup(string_key(probe))? {
             Some(count) => println!("  {probe:<16} → {count}"),
             None => println!("  {probe:<16} → (absent)"),
         }
     }
-
     let s = store.disk_stats();
     println!(
-        "I/O totals: {} reads, {} writes, {} combined — {:.3} I/Os per op",
-        s.reads,
-        s.writes,
-        s.rmws,
-        store.total_ios() as f64 / (2 * corpus.len()) as f64
+        "reopen query cost: {} reads, {} writes (counters restart per process)",
+        s.reads, s.writes
     );
-    let _ = std::fs::remove_file(&path);
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

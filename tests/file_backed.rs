@@ -2,10 +2,61 @@
 //! identical I/O accounting as the in-memory simulator on the same
 //! operation sequence.
 
-use dyn_ext_hash::core::{BootstrappedTable, CoreConfig, ExternalDictionary, LogMethodTable};
+use dyn_ext_hash::core::{
+    BootstrappedTable, CoreConfig, DynamicHashTable, ExternalDictionary, LogMethodTable,
+    TradeoffTarget,
+};
 use dyn_ext_hash::extmem::{Disk, FileDisk, IoCostModel, MemDisk};
 use dyn_ext_hash::hashfn::IdealFn;
 use dyn_ext_hash::tables::{ChainingConfig, ChainingTable};
+
+/// All four facade targets through `for_target_on(FileDisk)`: identical
+/// lookup results and identical accounted I/O counts as the MemDisk twin
+/// under the same seed and key sequence.
+#[test]
+fn facade_targets_identical_on_both_backends() {
+    let targets = [
+        TradeoffTarget::QueryOptimal,
+        TradeoffTarget::Boundary { eps: 0.25 },
+        TradeoffTarget::InsertOptimal { c: 0.5 },
+        TradeoffTarget::LogMethod { gamma: 2 },
+    ];
+    let (b, m, seed) = (16, 256, 0xFACADE);
+    for target in targets {
+        let file_disk = Disk::new(FileDisk::temp(b).unwrap(), b, IoCostModel::SeekDominated);
+        let mem_disk = Disk::new(MemDisk::new(b), b, IoCostModel::SeekDominated);
+        let mut file = DynamicHashTable::for_target_on(target, file_disk, m, seed).unwrap();
+        let mut mem = DynamicHashTable::for_target_on(target, mem_disk, m, seed).unwrap();
+        for k in 0..4000u64 {
+            file.insert(k, k.wrapping_mul(31)).unwrap();
+            mem.insert(k, k.wrapping_mul(31)).unwrap();
+        }
+        assert_eq!(file.len(), mem.len(), "{}", file.name());
+        assert_eq!(
+            file.total_ios(),
+            mem.total_ios(),
+            "{}: insert-phase accounting is backend-independent",
+            file.name()
+        );
+        for k in (0..4200u64).step_by(13) {
+            assert_eq!(file.lookup(k).unwrap(), mem.lookup(k).unwrap(), "{} key {k}", file.name());
+        }
+        assert_eq!(
+            file.total_ios(),
+            mem.total_ios(),
+            "{}: query-phase accounting is backend-independent",
+            file.name()
+        );
+        let fs = file.disk_stats();
+        let ms = mem.disk_stats();
+        assert_eq!(
+            (fs.reads, fs.writes, fs.rmws),
+            (ms.reads, ms.writes, ms.rmws),
+            "{}: per-class counters match too",
+            file.name()
+        );
+    }
+}
 
 #[test]
 fn chaining_identical_on_both_backends() {
