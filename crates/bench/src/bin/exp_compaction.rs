@@ -1,0 +1,182 @@
+//! **Space reclamation** — the store's delete/GC/compact lifecycle.
+//!
+//! The paper's model has no durability story, so this experiment
+//! measures what the persistence layer adds around it: how the data
+//! file's footprint evolves under insert/delete churn, what a simulated
+//! crash strands, how much the reopen-time orphan GC hands back to the
+//! allocator, and how close [`KvStore::compact`] brings the file to the
+//! live-data footprint. Each phase reports file size, slot accounting
+//! (live / free / total), and the phase's accounted I/O where the
+//! counters are continuous (they restart at reopen and compaction — the
+//! store sits on a fresh accounting disk afterwards).
+//!
+//! Output: an aligned table, `results/exp_compaction.csv`, and
+//! `results/exp_compaction.json` (the shape tracked by
+//! `BENCH_COMPACTION.json` at the repo root).
+//!
+//! Run: `cargo run -p dxh-bench --release --bin exp_compaction [--quick]`
+
+use std::time::Instant;
+
+use dxh_analysis::{table::fmt_f, TextTable};
+use dxh_bench::{emit, ExpArgs};
+use dxh_core::{CoreConfig, ExternalDictionary, KvStore};
+use dxh_hashfn::SplitMix64;
+
+struct Phase {
+    name: &'static str,
+    items: usize,
+    file_bytes: u64,
+    slots: u64,
+    live: u64,
+    free: usize,
+    ios: u64,
+    wall_ms: f64,
+}
+
+fn snapshot(name: &'static str, s: &KvStore, ios: u64, wall_ms: f64) -> Phase {
+    let backend = s.table().disk().backend();
+    Phase {
+        name,
+        items: s.len(),
+        file_bytes: std::fs::metadata(s.data_path()).map(|m| m.len()).unwrap_or(0),
+        slots: backend.slots(),
+        live: s.table().disk().live_blocks(),
+        free: backend.free_count(),
+        ios,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let b = 32;
+    let m = 1024;
+    let n = args.scale(120_000, 12_000);
+    let cfg = CoreConfig::lemma5(b, m, 2).expect("config");
+    let dir = std::env::temp_dir().join(format!("dxh-exp-compaction-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut rng = SplitMix64::new(0xC0117EC7);
+    let keys: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 1).collect();
+    let mut phases: Vec<Phase> = Vec::new();
+
+    // Phase 1: bulk load + sync.
+    let mut store = KvStore::open(&dir, cfg.clone(), 7).expect("create");
+    let t0 = Instant::now();
+    for &k in &keys {
+        store.insert(k, k).expect("insert");
+    }
+    store.sync().expect("sync");
+    phases.push(snapshot("load+sync", &store, store.total_ios(), ms(t0)));
+
+    // Phase 2: delete half, upsert a tenth, sync — markers and shadowed
+    // copies bloat the physical footprint.
+    let e = store.disk_stats();
+    let t0 = Instant::now();
+    for &k in keys.iter().step_by(2) {
+        assert!(store.delete(k).expect("delete"), "live key deletes");
+    }
+    for &k in keys.iter().skip(1).step_by(10) {
+        store.insert(k, k ^ 1).expect("upsert");
+    }
+    store.sync().expect("sync");
+    let churn_ios = store.disk_stats().since(&e).total(store.cost_model());
+    phases.push(snapshot("churn+sync", &store, churn_ios, ms(t0)));
+
+    // Phase 3: unsynced churn — fresh keys, enough to cascade region
+    // rebuilds past the manifest's slot count — then crash (Drop never
+    // runs; the dead process's LOCK disappears with it).
+    for _ in 0..n / 4 {
+        let k = rng.next_u64() >> 1;
+        store.insert(k, k).expect("insert");
+    }
+    let lock = store.path().join("LOCK");
+    std::mem::forget(store);
+    let _ = std::fs::remove_file(lock);
+
+    // Phase 4: reopen — crash recovery walks the manifest's regions and
+    // returns every orphaned slot to the free list.
+    let t0 = Instant::now();
+    let mut store = KvStore::open(&dir, cfg.clone(), 7).expect("reopen after crash");
+    phases.push(snapshot("crash+reopen (GC)", &store, 0, ms(t0)));
+    let orphans = store.table().disk().backend().free_count();
+    assert!(orphans > 0, "GC must hand dead slots back to the allocator");
+
+    // Phase 5: compact — dense rewrite, markers purged, file shrunk.
+    let t0 = Instant::now();
+    let stats = store.compact().expect("compact");
+    let compact_ms = ms(t0);
+    phases.push(snapshot("compact", &store, 0, compact_ms));
+    assert!(stats.bytes_after < stats.bytes_before, "compaction shrinks the file");
+
+    // Verify: deleted keys absent, survivors present, across a reopen.
+    drop(store);
+    let mut store = KvStore::open(&dir, cfg, 7).expect("reopen compacted");
+    for (i, &k) in keys.iter().enumerate().step_by(97) {
+        let got = store.lookup(k).expect("lookup");
+        if i % 2 == 0 {
+            assert_eq!(got, None, "deleted key {k} stays gone");
+        } else {
+            assert!(got.is_some(), "surviving key {k} present");
+        }
+    }
+    phases.push(snapshot("verify reopen", &store, store.total_ios(), 0.0));
+
+    let mut table =
+        TextTable::new(["phase", "items", "file KiB", "slots", "live", "free", "I/Os", "ms"]);
+    let mut json_rows = Vec::new();
+    for p in &phases {
+        table.row([
+            p.name.to_string(),
+            p.items.to_string(),
+            fmt_f(p.file_bytes as f64 / 1024.0, 1),
+            p.slots.to_string(),
+            p.live.to_string(),
+            p.free.to_string(),
+            p.ios.to_string(),
+            fmt_f(p.wall_ms, 1),
+        ]);
+        json_rows.push(format!(
+            "    {{\"phase\": \"{}\", \"items\": {}, \"file_bytes\": {}, \"slots\": {}, \
+             \"live\": {}, \"free\": {}, \"ios\": {}, \"wall_ms\": {:.3}}}",
+            p.name, p.items, p.file_bytes, p.slots, p.live, p.free, p.ios, p.wall_ms
+        ));
+    }
+
+    println!("Space reclamation: b = {b}, m = {m}, n = {n}");
+    println!(
+        "reopen GC reclaimed {orphans} dead slots; compact: {} -> {} bytes \
+         ({} live items, {} markers purged, {} shadowed copies dropped)",
+        stats.bytes_before, stats.bytes_after, stats.live_items, stats.purged, stats.shadowed
+    );
+    emit("KvStore space-reclamation lifecycle", &table, &args, "exp_compaction.csv");
+
+    let json = format!(
+        "{{\n  \"bench\": \"exp_compaction\",\n  \"command\": \"cargo run -p dxh-bench --release --bin exp_compaction\",\n  \
+         \"note\": \"File sizes are exact; wall-clock is container-local (trajectory, not absolutes). I/O counters restart at reopen/compact.\",\n  \
+         \"params\": {{\"b\": {b}, \"m\": {m}, \"n\": {n}}},\n  \
+         \"compaction\": {{\"bytes_before\": {}, \"bytes_after\": {}, \"live_items\": {}, \
+         \"purged\": {}, \"shadowed\": {}, \"orphans_reclaimed\": {orphans}}},\n  \"phases\": [\n{}\n  ]\n}}\n",
+        stats.bytes_before,
+        stats.bytes_after,
+        stats.live_items,
+        stats.purged,
+        stats.shadowed,
+        json_rows.join(",\n")
+    );
+    let path = args.out_dir.join("exp_compaction.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&args.out_dir).and_then(|()| std::fs::write(&path, &json))
+    {
+        eprintln!("[json] failed to write {}: {e}", path.display());
+    } else {
+        println!("[json] {}", path.display());
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}

@@ -171,11 +171,13 @@ impl<F: HashFn, B: StorageBackend> BootstrappedTable<F, B> {
             if let Some(r) = self.hat.take() {
                 sources.push(Source::from_region(r)); // oldest, lowest precedence
             }
-            let (region, _stats) = compact(&mut self.disk, &self.log.hash, sources, nb_new)?;
+            // `purge = false`: the bootstrapped table rejects deletion, so
+            // no deletion marker can reach an Ĥ merge.
+            let (region, _stats) = compact(&mut self.disk, &self.log.hash, sources, nb_new, false)?;
             self.hat = Some(region);
         } else {
             let hat = self.hat.as_mut().expect("checked above");
-            merge_in_place(&mut self.disk, &self.log.hash, sources, hat)?;
+            merge_in_place(&mut self.disk, &self.log.hash, sources, hat, false)?;
         }
         self.merges += 1;
         self.batch_size = ((self.hat_items() as f64 / self.cfg.beta) as usize).max(1);

@@ -159,6 +159,9 @@ impl<B: StorageBackend> ExternalDictionary for DynamicHashTable<B> {
         delegate!(self, t => t.lookup(key))
     }
 
+    /// Deletion support follows the variant: chaining deletes physically,
+    /// the log method via deletion markers; the bootstrapped table
+    /// rejects it (Theorem 2's invariant is insertion-counting).
     fn delete(&mut self, key: Key) -> Result<bool> {
         delegate!(self, t => t.delete(key))
     }
@@ -262,6 +265,31 @@ mod tests {
                 file.name()
             );
         }
+    }
+
+    #[test]
+    fn delete_support_follows_the_variant() {
+        use dxh_extmem::FileDisk;
+        // Chaining and log-method delete; bootstrapped rejects.
+        for target in [TradeoffTarget::QueryOptimal, TradeoffTarget::LogMethod { gamma: 2 }] {
+            let disk = Disk::new(FileDisk::temp(16).unwrap(), 16, IoCostModel::SeekDominated);
+            let mut t = DynamicHashTable::for_target_on(target, disk, 256, 8).unwrap();
+            for k in 0..800u64 {
+                t.insert(k, k).unwrap();
+            }
+            for k in (0..800u64).step_by(3) {
+                assert!(t.delete(k).unwrap(), "{} key {k}", t.name());
+            }
+            for k in 0..800u64 {
+                let expect = (k % 3 != 0).then_some(k);
+                assert_eq!(t.lookup(k).unwrap(), expect, "{} key {k}", t.name());
+            }
+        }
+        let mut boot =
+            DynamicHashTable::for_target(TradeoffTarget::InsertOptimal { c: 0.5 }, 16, 256, 8)
+                .unwrap();
+        boot.insert(1, 1).unwrap();
+        assert!(boot.delete(1).is_err(), "bootstrapped table still rejects deletion");
     }
 
     #[test]

@@ -31,9 +31,19 @@
 //! The paper studies the query–**insertion** tradeoff; deletions are out
 //! of scope (§1: "there tend to be a lot more insertions than deletions
 //! in many practical situations like managing archival data"). The
-//! buffered tables here accordingly reject `delete` and document their
-//! upsert semantics; use the `dxh-tables` structures when deletion
-//! matters.
+//! constructions take two different positions on that:
+//!
+//! * [`BootstrappedTable`] rejects `delete` — Theorem 2's `Ĥ`-fraction
+//!   invariant is an insertion-counting argument, and the table keeps it
+//!   exactly as analyzed.
+//! * [`LogMethodTable`] (and [`KvStore`] on top of it) supports
+//!   `delete` via deletion markers: a marker upserted into `H0` shadows
+//!   deeper copies under the shallow-first lookup, and merges into the
+//!   deepest level purge markers together with the copies they shadow —
+//!   the standard way external dictionaries bolt deletion onto the
+//!   logarithmic method (cf. Conway et al. 2018). Deletion costs the
+//!   marker's amortized insertion plus one probe; the paper's insertion
+//!   and lookup bounds are unchanged for insert-only workloads.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -53,7 +63,7 @@ pub use facade::{DynamicHashTable, TradeoffTarget};
 pub use log_method::LogMethodTable;
 pub use mem_table::MemTable;
 pub use sharded::ShardedTable;
-pub use store::KvStore;
+pub use store::{CompactionStats, KvStore};
 
 // Re-exported so downstream code can name the dictionary trait without
 // depending on dxh-tables directly.

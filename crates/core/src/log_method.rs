@@ -2,14 +2,14 @@
 
 use dxh_extmem::{
     BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Item, Key, MemDisk, MemoryBudget, Result,
-    StorageBackend, Value, KEY_TOMBSTONE,
+    StorageBackend, Value, KEY_TOMBSTONE, VALUE_TOMBSTONE,
 };
 use dxh_hashfn::{prefix_bucket, HashFn};
 use dxh_tables::{chain_lookup, ExternalDictionary, LayoutInspect, LayoutSnapshot};
 
 use crate::config::CoreConfig;
 use crate::mem_table::MemTable;
-use crate::stream::{compact, merge_in_place, Region, Source};
+use crate::stream::{compact, compact_across, merge_in_place, MergeStats, Region, Source};
 
 /// The level structure shared by [`LogMethodTable`] and
 /// [`crate::BootstrappedTable`]: `H0` in memory plus disk levels
@@ -90,7 +90,10 @@ impl<F: HashFn> LogStructure<F> {
     }
 
     /// Merges `sources` into level `k` — in place when the level exists
-    /// and the result fits its capacity, rebuilding it otherwise.
+    /// and the result fits its capacity, rebuilding it otherwise. When
+    /// `k` is the deepest occupied level, deletion markers are purged:
+    /// nothing below them is left to shadow, so the rebuild is where the
+    /// structure reclaims the space of deleted keys.
     fn merge_into_level<B: StorageBackend>(
         &mut self,
         disk: &mut Disk<B>,
@@ -104,10 +107,11 @@ impl<F: HashFn> LogStructure<F> {
                 Source::Disk(d) => d.region_items(),
             })
             .sum();
+        let purge = self.levels[k + 1..].iter().all(Option::is_none);
         let cap = self.cfg.level_capacity(k as u32);
         match self.levels[k].take() {
             Some(mut region) if !self.cfg.rewrite_merges_only && region.items + incoming <= cap => {
-                merge_in_place(disk, &self.hash, sources, &mut region)?;
+                merge_in_place(disk, &self.hash, sources, &mut region, purge)?;
                 self.levels[k] = Some(region);
             }
             existing => {
@@ -115,7 +119,7 @@ impl<F: HashFn> LogStructure<F> {
                     sources.push(Source::from_region(r));
                 }
                 let (region, _) =
-                    compact(disk, &self.hash, sources, self.cfg.level_buckets(k as u32))?;
+                    compact(disk, &self.hash, sources, self.cfg.level_buckets(k as u32), purge)?;
                 self.levels[k] = Some(region);
             }
         }
@@ -129,22 +133,69 @@ impl<F: HashFn> LogStructure<F> {
     }
 
     /// Looks up `key` shallow-first (`H0`, `H1`, …): the newest copy wins,
-    /// giving clean upsert semantics.
+    /// giving clean upsert semantics. A deletion marker is a hit that
+    /// answers "absent" — it shadows any older live copy in a deeper
+    /// level, so the probe stops there.
     pub(crate) fn lookup<B: StorageBackend>(
         &self,
         disk: &mut Disk<B>,
         key: Key,
     ) -> Result<Option<Value>> {
         if let Some(v) = self.h0.lookup(self.h0_bucket(key), key) {
-            return Ok(Some(v));
+            return Ok((v != VALUE_TOMBSTONE).then_some(v));
         }
         for region in self.levels.iter().skip(1).flatten() {
             let q = prefix_bucket(self.hash.hash64(key), region.buckets);
             if let Some(v) = chain_lookup(disk, region.block_of(q), key)? {
-                return Ok(Some(v));
+                return Ok((v != VALUE_TOMBSTONE).then_some(v));
             }
         }
         Ok(None)
+    }
+
+    /// Deletes `key` by writing a deletion marker into `H0` (the log
+    /// method's only way to affect deeper levels without rewriting them;
+    /// cf. Conway et al. 2018). Costs one shallow-first probe to report
+    /// presence, plus — only when the key was live — the amortized
+    /// insertion cost of the marker itself. The marker is purged, and the
+    /// key's space reclaimed, by the next merge into the deepest level.
+    ///
+    /// `before_mutate` runs after presence is known but before anything
+    /// changes — a miss never invokes it. The persistence layer hangs
+    /// its dirty-state transition here so miss-deletes stay free.
+    pub(crate) fn delete<B: StorageBackend>(
+        &mut self,
+        disk: &mut Disk<B>,
+        key: Key,
+        before_mutate: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<bool> {
+        let bucket = self.h0_bucket(key);
+        if let Some(v) = self.h0.lookup(bucket, key) {
+            if v == VALUE_TOMBSTONE {
+                return Ok(false);
+            }
+            // The newest copy is memory-resident: overwrite it with the
+            // marker in place (older copies may survive in disk levels).
+            before_mutate()?;
+            self.h0.upsert(bucket, Item::delete_marker(key));
+            return Ok(true);
+        }
+        let mut present = false;
+        for region in self.levels.iter().skip(1).flatten() {
+            let q = prefix_bucket(self.hash.hash64(key), region.buckets);
+            if let Some(v) = chain_lookup(disk, region.block_of(q), key)? {
+                present = v != VALUE_TOMBSTONE;
+                break;
+            }
+        }
+        if present {
+            before_mutate()?;
+            self.h0.upsert(bucket, Item::delete_marker(key));
+            if self.h0.is_full() {
+                self.flush(disk)?;
+            }
+        }
+        Ok(present)
     }
 
     /// Looks up `key` in the disk levels only, deepest-first — the query
@@ -304,6 +355,59 @@ impl<F: HashFn, B: StorageBackend> LogMethodTable<F, B> {
         self.log.flush(&mut self.disk)
     }
 
+    /// Streams the whole structure (`H0` and every level, newest-first
+    /// precedence) into one dense level-`k` region on `dst`, purging
+    /// deletion markers and shadowed duplicates — the destination is by
+    /// construction the deepest (only) level. Returns the level vector
+    /// describing `dst` plus the merge statistics; `self` is left empty
+    /// (its disk sources are consumed and freed). The engine of
+    /// [`crate::KvStore::compact`].
+    pub(crate) fn compact_into<C: StorageBackend>(
+        &mut self,
+        dst: &mut Disk<C>,
+        k: usize,
+    ) -> Result<(Vec<Option<Region>>, MergeStats)> {
+        let sources = self.log.take_all_sources();
+        let (region, stats) = compact_across(
+            &mut self.disk,
+            dst,
+            &self.log.hash,
+            sources,
+            self.cfg.level_buckets(k as u32),
+            true,
+        )?;
+        let mut levels: Vec<Option<Region>> = vec![None; k + 1];
+        levels[k] = Some(region);
+        Ok((levels, stats))
+    }
+
+    /// [`ExternalDictionary::delete`] with a `before_mutate` hook: runs
+    /// once presence is confirmed, before the marker is written (never on
+    /// a miss). The persistence layer transitions its dirty state there.
+    pub(crate) fn delete_with_hook(
+        &mut self,
+        key: Key,
+        before_mutate: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<bool> {
+        if key == KEY_TOMBSTONE {
+            return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
+        }
+        self.log.delete(&mut self.disk, key, before_mutate)
+    }
+
+    /// The smallest level index whose capacity holds `items` items (≥ 1)
+    /// — where a full compaction should land. `items` may safely be the
+    /// physical count (markers and shadowed copies included): the purge
+    /// only shrinks the result, so the chosen level is within one
+    /// γ-factor of the live-data footprint.
+    pub(crate) fn compaction_level(&self, items: usize) -> usize {
+        let mut k = 1;
+        while self.cfg.level_capacity(k as u32) < items {
+            k += 1;
+        }
+        k
+    }
+
     /// Items per level, `H0` first (diagnostics; drives the Lemma 5
     /// experiment's table).
     pub fn level_items(&self) -> Vec<usize> {
@@ -336,6 +440,11 @@ impl<F: HashFn, B: StorageBackend> ExternalDictionary for LogMethodTable<F, B> {
         if key == KEY_TOMBSTONE {
             return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
         }
+        if value == VALUE_TOMBSTONE {
+            return Err(ExtMemError::BadConfig(
+                "value u64::MAX is reserved as the deletion marker".into(),
+            ));
+        }
         self.log.insert(&mut self.disk, key, value)
     }
 
@@ -343,12 +452,18 @@ impl<F: HashFn, B: StorageBackend> ExternalDictionary for LogMethodTable<F, B> {
         self.log.lookup(&mut self.disk, key)
     }
 
-    /// Deletion is outside the paper's scope (query–insertion tradeoff);
-    /// always returns [`ExtMemError::BadConfig`].
-    fn delete(&mut self, _key: Key) -> Result<bool> {
-        Err(ExtMemError::BadConfig("buffered tables do not support deletion (see paper §1)".into()))
+    /// Deletes by writing a deletion marker ([`VALUE_TOMBSTONE`]) into
+    /// `H0`: shallow-first lookup makes the marker shadow any older copy
+    /// in a deeper level, and the next merge into the deepest level
+    /// purges both the marker and the copies it shadowed. Returns whether
+    /// the key was live.
+    fn delete(&mut self, key: Key) -> Result<bool> {
+        self.delete_with_hook(key, &mut || Ok(()))
     }
 
+    /// Physical item count: shadowed duplicates and not-yet-purged
+    /// deletion markers are included until a deepest-level merge drops
+    /// them (the same physical semantics the upsert path has always had).
     fn len(&self) -> usize {
         self.log.items()
     }
@@ -492,10 +607,71 @@ mod tests {
     }
 
     #[test]
-    fn delete_is_rejected() {
+    fn delete_reports_presence_and_hides_the_key() {
         let mut t = LogMethodTable::new(cfg(4, 96, 2), 7).unwrap();
-        t.insert(1, 1).unwrap();
-        assert!(t.delete(1).is_err());
+        t.insert(1, 10).unwrap();
+        assert!(t.delete(1).unwrap(), "live key reported present");
+        assert_eq!(t.lookup(1).unwrap(), None);
+        assert!(!t.delete(1).unwrap(), "second delete is a miss");
+        assert!(!t.delete(999).unwrap(), "never-inserted key is a miss");
+        // Reinsert resurrects the key with the new value.
+        t.insert(1, 20).unwrap();
+        assert_eq!(t.lookup(1).unwrap(), Some(20));
+    }
+
+    #[test]
+    fn tombstone_shadows_deeper_copies() {
+        let mut t = LogMethodTable::new(cfg(4, 96, 2), 7).unwrap();
+        // Sink keys into disk levels…
+        for k in 0..300u64 {
+            t.insert(k, k).unwrap();
+        }
+        // …then delete a spread of them: the markers start in H0 and
+        // migrate down through merges, shadowing the deep copies.
+        for k in (0..300u64).step_by(3) {
+            assert!(t.delete(k).unwrap(), "key {k}");
+        }
+        // Push more data so markers travel through level merges.
+        for k in 1000..1300u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 0..300u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k) };
+            assert_eq!(t.lookup(k).unwrap(), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn deepest_merge_purges_markers_and_dead_copies() {
+        let mut t = LogMethodTable::new(cfg(4, 96, 2), 11).unwrap();
+        for k in 0..400u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 0..400u64 {
+            assert!(t.delete(k).unwrap());
+        }
+        // Fresh inserts force cascades whose deepest-level rebuilds purge
+        // markers together with the copies they shadow.
+        for k in 1000..1400u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Physical footprint stays bounded: without purging it would hold
+        // 400 live + 400 markers + 400 dead copies = 1200 items.
+        assert!(t.len() < 1000, "purge reclaimed space, len = {}", t.len());
+        for k in 0..400u64 {
+            assert_eq!(t.lookup(k).unwrap(), None, "deleted key {k} stays gone");
+        }
+        for k in 1000..1400u64 {
+            assert_eq!(t.lookup(k).unwrap(), Some(k));
+        }
+    }
+
+    #[test]
+    fn reserved_sentinels_are_rejected() {
+        let mut t = LogMethodTable::new(cfg(4, 96, 2), 7).unwrap();
+        assert!(t.insert(u64::MAX, 1).is_err(), "reserved key");
+        assert!(t.insert(1, u64::MAX).is_err(), "reserved value (deletion marker)");
+        assert!(t.delete(u64::MAX).is_err(), "reserved key on delete");
     }
 
     #[test]

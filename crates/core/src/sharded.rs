@@ -108,8 +108,10 @@ impl<T: ExternalDictionary + Send> ShardedTable<T> {
         self.shards[self.shard_of(key)].lock().lookup(key)
     }
 
-    /// Deletes through the owning shard's lock (errors if the shard type
-    /// rejects deletion, like the buffered tables).
+    /// Deletes through the owning shard's lock. Support follows the
+    /// shard type: log-method and flat-table shards delete (so a
+    /// file-backed log-method deployment gets mixed insert/delete
+    /// workloads shard-locally); bootstrapped shards reject it.
     pub fn delete(&self, key: Key) -> Result<bool> {
         self.shards[self.shard_of(key)].lock().delete(key)
     }
@@ -319,6 +321,34 @@ mod tests {
             .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "blk"))
             .count();
         assert_eq!(blks, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backed_log_method_shards_delete() {
+        use crate::log_method::LogMethodTable;
+        let dir = std::env::temp_dir().join(format!("dxh-sharded-del-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = ShardedTable::new_file_backed(
+            4,
+            21,
+            &dir,
+            16,
+            IoCostModel::SeekDominated,
+            |i, disk| LogMethodTable::new_on(disk, CoreConfig::lemma5(16, 256, 2)?, 300 + i as u64),
+        )
+        .unwrap();
+        for k in 0..3000u64 {
+            s.insert(k, k + 7).unwrap();
+        }
+        for k in (0..3000u64).step_by(2) {
+            assert!(s.delete(k).unwrap(), "key {k}");
+        }
+        assert!(!s.delete(999_999).unwrap(), "absent key is a miss");
+        for k in 0..3000u64 {
+            let expect = (k % 2 == 1).then_some(k + 7);
+            assert_eq!(s.lookup(k).unwrap(), expect, "key {k}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,17 +10,27 @@
 //!
 //! ## On-disk layout
 //!
-//! A store directory holds two files:
+//! A store directory holds:
 //!
-//! * `store.blk` — the flat block file of the [`FileDisk`];
+//! * `store.blk` — the flat block file of the [`FileDisk`]. After a
+//!   [`KvStore::compact`] the data file is generation-named
+//!   (`store.<gen>.blk`); the manifest records which generation is
+//!   authoritative, so the swap commits atomically with the manifest;
 //! * `MANIFEST` — a small text file with the model parameters `(b, m,
-//!   γ)`, the hash seed, the allocator state (high-water mark and free
-//!   list), and one line per disk level region. Written atomically
-//!   (tmp + rename) by [`KvStore::sync`];
+//!   γ)`, the hash seed, the data-file generation, the allocator state
+//!   (high-water mark and free list), and one line per disk level
+//!   region. Written atomically (tmp + rename, then a directory fsync so
+//!   the rename itself is durable) by [`KvStore::sync`];
 //! * `CLEAN` — a marker present exactly while no block write has
 //!   happened since the last manifest (unlinked before the first
 //!   mutation, rewritten at each sync). Reopen trusts the manifest's
-//!   free list only when it sees this marker.
+//!   free list only when it sees this marker;
+//! * `LOCK` — mutual exclusion for the directory. Ownership is an OS
+//!   advisory lock held on the file for the handle's lifetime, so a
+//!   second live handle fails fast instead of silently overwriting the
+//!   manifest, and the kernel releases a dead process's lock with it —
+//!   a crash can never wedge the store. The pid written inside is
+//!   informational (error messages, humans inspecting the directory).
 //!
 //! [`KvStore::sync`] first migrates the memory-resident `H0` to the disk
 //! levels, then `fdatasync`s the block file, then rewrites the manifest —
@@ -37,35 +47,41 @@
 //! `H0` copies died with the process), while items synced before it are
 //! found through the manifest's regions — blocks those regions reference
 //! are never recycled between syncs (the [`FileDisk`] quarantines frees
-//! until each manifest commits), and recovery conservatively keeps every
-//! file slot live rather than trusting the stale free list. The cost of
-//! a crash is leaked blocks in that file: space, not correctness —
-//! post-crash orphans belong to no region and no free list, so they are
-//! never reclaimed (a compaction/GC pass is future work). The store
-//! assumes a **single writer per
-//! directory** — it takes no lock file, so two live handles on one
-//! directory will overwrite each other's manifests.
+//! until each manifest commits). Recovery then walks the manifest's
+//! regions (primaries plus overflow chains) to compute the **exact**
+//! live-block set and returns every other slot to the free list, so
+//! blocks orphaned by the crash are recycled by subsequent allocations
+//! before the file grows. If the walk itself fails (torn metadata), it
+//! falls back to keeping every slot live — space, never correctness.
+//! What recovery cannot shrink is the file itself; an explicit
+//! [`KvStore::compact`] rewrites the data file densely (live blocks
+//! only, deletion markers purged) and commits the swap through the
+//! manifest.
 //!
-//! I/O counters start from zero at every open; they measure the current
-//! process's accounted transfers, not the lifetime of the file.
+//! I/O counters start from zero at every open (and restart after a
+//! [`KvStore::compact`], which rebuilds the store onto a fresh disk);
+//! they measure the current process's accounted transfers, not the
+//! lifetime of the file.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use dxh_extmem::{
-    BlockId, Disk, ExtMemError, FileDisk, IoCostModel, IoSnapshot, Key, Result, Value,
+    BlockId, Disk, ExtMemError, FileDisk, IoCostModel, IoSnapshot, Key, Result, StorageBackend,
+    Value,
 };
 use dxh_hashfn::IdealFn;
 use dxh_tables::ExternalDictionary;
 
 use crate::config::CoreConfig;
 use crate::log_method::LogMethodTable;
-use crate::stream::Region;
+use crate::stream::{compact_across, MergeStats, Region, Source};
 
 const MANIFEST: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
 const DATA: &str = "store.blk";
+const LOCK: &str = "LOCK";
 /// Present exactly while no block write has happened since the last
 /// manifest: written after each manifest commit, unlinked before the
 /// first mutation after it. Its absence at reopen forces recovery mode —
@@ -73,7 +89,169 @@ const DATA: &str = "store.blk";
 /// merges can rewire manifest-referenced chains through recycled slots
 /// without growing the file.
 const CLEAN: &str = "CLEAN";
-const MAGIC: &str = "dxh-store v1";
+const MAGIC: &str = "dxh-store v2";
+/// Format v1: written before deletion existed. Readable, but `u64::MAX`
+/// was an ordinary value then — see [`scan_reserved_values`].
+const MAGIC_V1: &str = "dxh-store v1";
+
+/// The authoritative data file of generation `gen`: the original name
+/// for generation 0 (every pre-compaction store), generation-suffixed
+/// after that. Compaction writes the next generation under its final
+/// name and commits the swap through the manifest — no data-file rename
+/// is ever needed, so the manifest rename stays the single commit point.
+fn data_file_name(gen: u64) -> String {
+    if gen == 0 {
+        DATA.to_string()
+    } else {
+        format!("store.{gen}.blk")
+    }
+}
+
+/// Removes every `store*.blk` except `keep` from `dir`, best-effort:
+/// these are strays from a compaction interrupted on either side of its
+/// manifest commit (before: the half-written next generation; after: the
+/// superseded previous one). Only called with the directory lock held.
+fn remove_stale_data_files(dir: &Path, keep: &str) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name != keep && name.starts_with("store") && name.ends_with(".blk") {
+            let _ = fs::remove_file(e.path());
+        }
+    }
+}
+
+/// The body of [`KvStore::mark_dirty`], over disjoint field borrows so
+/// the delete path can run it from inside the table's mutation hook.
+fn transition_dirty(dir: &Path, dirty: &mut bool) -> Result<()> {
+    if *dirty {
+        return Ok(());
+    }
+    match fs::remove_file(dir.join(CLEAN)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    *dirty = true;
+    Ok(())
+}
+
+/// Creates (truncating) the data file `name` under `dir` with frees
+/// quarantined until the next manifest commit — the shape every store
+/// generation is born in (initial create and both compaction targets).
+fn fresh_gen_disk(dir: &Path, name: &str, cfg: &CoreConfig) -> Result<Disk<FileDisk>> {
+    let mut backend = FileDisk::create(&dir.join(name), cfg.b)?;
+    // Quarantine frees between syncs: blocks the last manifest's regions
+    // reference must stay physically intact until the next manifest
+    // (which lists them as free) is durable.
+    backend.set_defer_recycling(true);
+    Ok(Disk::new(backend, cfg.b, cfg.cost))
+}
+
+/// Fsyncs `dir` so a just-renamed directory entry survives power loss
+/// (`rename(2)` alone only orders against the file's own data).
+fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Whether `file`'s open inode is still the one `path` names — false
+/// when a racer unlinked or replaced the path after we opened it.
+#[cfg(unix)]
+fn is_current_inode(file: &fs::File, path: &Path) -> bool {
+    use std::os::unix::fs::MetadataExt;
+    match (file.metadata(), fs::metadata(path)) {
+        (Ok(a), Ok(b)) => a.dev() == b.dev() && a.ino() == b.ino(),
+        _ => false,
+    }
+}
+
+/// Non-unix has no inode identity to compare — sound only because
+/// [`DirLock`]'s drop never unlinks the file there, so the path always
+/// names the inode that was opened.
+#[cfg(not(unix))]
+fn is_current_inode(_file: &fs::File, _path: &Path) -> bool {
+    true
+}
+
+/// Holds `LOCK` in a store directory for the lifetime of a [`KvStore`]
+/// handle; unlinked on drop (after the handle's final sync) on unix,
+/// left in place elsewhere — see [`DirLock`]'s `Drop`.
+///
+/// Mutual exclusion is the **OS advisory lock** held on the open file,
+/// not the file's existence or contents: the kernel releases it when the
+/// descriptor closes — including when the owning process dies — so a
+/// crash leaves no lock to reclaim and no pid to judge. (Reading a pid
+/// out of the file and deciding liveness ourselves would race: between
+/// the read and the takeover the judged-dead owner's slot can be
+/// re-acquired by a third handle.) The pid written inside is
+/// informational only.
+struct DirLock {
+    path: PathBuf,
+    /// Keeps the OS lock alive; closing the descriptor releases it.
+    _file: fs::File,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<Self> {
+        let path = dir.join(LOCK);
+        // A few attempts: a racing handle's drop may unlink the file
+        // between our open and lock, leaving our lock on an orphaned
+        // inode — detected below; the next attempt opens the fresh file.
+        for _ in 0..8 {
+            // truncate(false): wiping the file before the lock is ours
+            // would erase a live owner's pid; truncation happens via
+            // `set_len` below, after the lock is held.
+            let file = fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)?;
+            match file.try_lock() {
+                Ok(()) => {}
+                Err(fs::TryLockError::WouldBlock) => {
+                    let owner = fs::read_to_string(&path).unwrap_or_default();
+                    return Err(ExtMemError::BadConfig(format!(
+                        "store is locked by pid {} (a live handle; the OS releases the \
+                         lock when that process exits)",
+                        owner.trim()
+                    )));
+                }
+                Err(fs::TryLockError::Error(e)) => return Err(e.into()),
+            }
+            // The lock lives on the inode we opened, which matters only
+            // while `path` still names it.
+            if !is_current_inode(&file, &path) {
+                continue;
+            }
+            file.set_len(0)?;
+            writeln!(&file, "{}", std::process::id())?;
+            let _ = file.sync_data();
+            return Ok(DirLock { path, _file: file });
+        }
+        Err(ExtMemError::BadConfig(format!("could not acquire {}", path.display())))
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        // Unlink first; the descriptor then closes and the OS lock goes
+        // with it. An opener racing this re-checks the inode after
+        // locking, so it never settles on the unlinked file. Where that
+        // re-check has no inode identity to compare (non-unix), the file
+        // stays in place — ownership is the OS lock alone, and a leftover
+        // pidfile is informational, not a lock.
+        #[cfg(unix)]
+        let _ = fs::remove_file(&self.path);
+        #[cfg(not(unix))]
+        let _ = &self.path;
+    }
+}
 
 /// A persistent external hash table bound to a directory.
 ///
@@ -94,10 +272,20 @@ pub struct KvStore {
     table: LogMethodTable<IdealFn, FileDisk>,
     seed: u64,
     dir: PathBuf,
+    /// Generation of the authoritative data file (bumped by each
+    /// [`KvStore::compact`]; see [`data_file_name`]).
+    data_gen: u64,
     /// Whether anything changed since the last manifest write. A clean
     /// handle's drop must not rewrite the manifest (it could clobber a
     /// newer sync made through another, later handle).
     dirty: bool,
+    /// Set when a failed compaction drained the in-memory table: the
+    /// handle can no longer represent the store, so sync/drop must not
+    /// commit its state over the intact last manifest. Reopen recovers.
+    poisoned: bool,
+    /// Held for the whole handle lifetime; released (file removed) after
+    /// the final sync. Declared last so drop order keeps it that way.
+    _lock: DirLock,
 }
 
 impl KvStore {
@@ -108,25 +296,29 @@ impl KvStore {
     /// incompatible `b` (the block size cannot change under a file).
     pub fn open(dir: impl AsRef<Path>, cfg: CoreConfig, seed: u64) -> Result<Self> {
         let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let lock = DirLock::acquire(dir)?;
         if dir.join(MANIFEST).exists() {
-            Self::reopen(dir, cfg.b)
+            Self::reopen(dir, cfg.b, lock)
         } else {
-            fs::create_dir_all(dir)?;
-            let mut backend = FileDisk::create(&dir.join(DATA), cfg.b)?;
-            // Quarantine frees between syncs: blocks the last manifest's
-            // regions reference must stay physically intact until the
-            // next manifest (which lists them as free) is durable.
-            backend.set_defer_recycling(true);
-            let disk = Disk::new(backend, cfg.b, cfg.cost);
+            let disk = fresh_gen_disk(dir, DATA, &cfg)?;
             let table = LogMethodTable::new_on(disk, cfg, seed)?;
-            let mut store = KvStore { table, seed, dir: dir.to_path_buf(), dirty: false };
+            let mut store = KvStore {
+                table,
+                seed,
+                dir: dir.to_path_buf(),
+                data_gen: 0,
+                dirty: false,
+                poisoned: false,
+                _lock: lock,
+            };
             store.write_manifest()?; // a crash before the first sync can still reopen
             store.write_clean_marker()?;
             Ok(store)
         }
     }
 
-    fn reopen(dir: &Path, expected_b: usize) -> Result<Self> {
+    fn reopen(dir: &Path, expected_b: usize, lock: DirLock) -> Result<Self> {
         let text = fs::read_to_string(dir.join(MANIFEST))?;
         let m = Manifest::parse(&text)?;
         if m.cfg.b != expected_b {
@@ -135,7 +327,8 @@ impl KvStore {
                 m.cfg.b
             )));
         }
-        let mut backend = FileDisk::open(&dir.join(DATA), m.cfg.b)?;
+        let data_name = data_file_name(m.data_gen);
+        let mut backend = FileDisk::open(&dir.join(&data_name), m.cfg.b)?;
         if backend.slots() < m.slots {
             // The file lost blocks the manifest references: real corruption.
             return Err(ExtMemError::Corrupt(format!(
@@ -144,24 +337,47 @@ impl KvStore {
                 backend.slots()
             )));
         }
+        if m.v1 {
+            // Pre-deletion store: prove it holds no value this version
+            // would misread as the deletion marker. Runs while every
+            // slot is still live, so every region block is readable.
+            scan_reserved_values(&mut backend, &m.levels)?;
+        }
         if dir.join(CLEAN).exists() && backend.slots() == m.slots {
             // Clean shutdown: no block write happened after the manifest,
             // so it describes the file exactly and the free list is safe
             // to recycle from.
             backend.restore_free_list(m.free)?;
+        } else {
+            // Crash recovery: the manifest's free list is stale (post-sync
+            // merges may have rewired chains through once-free slots or
+            // past its slot count), but the manifest's regions are intact
+            // — frees after the crash-point sync were quarantined, never
+            // recycled. Walking those regions (primaries plus chains)
+            // therefore yields the exact live set; every unreachable slot
+            // is a crash orphan, returned to the free list so it is
+            // recycled before the file grows. An unreadable walk (torn
+            // block metadata) falls back to keeping every slot live —
+            // the pre-GC behavior: space leaked, correctness kept.
+            if let Ok(free) = scan_region_free(&mut backend, &m.levels) {
+                backend.restore_free_list(free)?;
+            }
         }
-        // Crash recovery otherwise: keep every slot live and ignore the
-        // manifest's free list. Post-sync merges may have rewritten
-        // buckets into blocks past the manifest's slot count or into
-        // once-free slots, so cutting or recycling either would tear
-        // chains the manifest's regions still reach. The cost is leaked
-        // blocks (space, not correctness); frees quarantined after the
-        // crash-point sync were never recycled, so that sync's region
-        // data is intact.
         backend.set_defer_recycling(true);
         let disk = Disk::new(backend, m.cfg.b, m.cfg.cost);
         let table = LogMethodTable::from_parts(disk, m.cfg, IdealFn::from_seed(m.seed), m.levels)?;
-        Ok(KvStore { table, seed: m.seed, dir: dir.to_path_buf(), dirty: false })
+        // Strays from an interrupted compaction (either side of its
+        // manifest commit) are unreferenced whole files: remove them.
+        remove_stale_data_files(dir, &data_name);
+        Ok(KvStore {
+            table,
+            seed: m.seed,
+            dir: dir.to_path_buf(),
+            data_gen: m.data_gen,
+            dirty: false,
+            poisoned: false,
+            _lock: lock,
+        })
     }
 
     /// Flushes `H0` to the disk levels, `fdatasync`s the block file, and
@@ -169,6 +385,13 @@ impl KvStore {
     /// sees every item inserted so far. A no-op when nothing changed
     /// since the last sync (or since a clean reopen).
     pub fn sync(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(ExtMemError::BadConfig(
+                "store handle poisoned by a failed compaction; drop it and reopen the \
+                 directory (the last synced state is intact)"
+                    .into(),
+            ));
+        }
         if !self.dirty {
             return Ok(());
         }
@@ -188,20 +411,21 @@ impl KvStore {
         Ok(())
     }
 
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(ExtMemError::BadConfig(
+                "store handle poisoned by a failed compaction; drop it and reopen".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Transitions into the dirty state before the first mutation after a
     /// clean point: the marker must be gone from disk before any block
     /// write lands, or a crash would be misread as a clean shutdown.
     fn mark_dirty(&mut self) -> Result<()> {
-        if self.dirty {
-            return Ok(());
-        }
-        match fs::remove_file(self.dir.join(CLEAN)) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
-        }
-        self.dirty = true;
-        Ok(())
+        self.check_poisoned()?;
+        transition_dirty(&self.dir, &mut self.dirty)
     }
 
     fn write_manifest(&mut self) -> Result<()> {
@@ -222,6 +446,7 @@ impl KvStore {
             }
         ));
         out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("data {}\n", self.data_gen));
         out.push_str(&format!("slots {}\n", backend.slots()));
         let free: Vec<String> = backend.free_list().iter().map(|id| id.to_string()).collect();
         out.push_str(&format!("free {}\n", free.join(",")));
@@ -237,7 +462,137 @@ impl KvStore {
         f.write_all(out.as_bytes())?;
         f.sync_data()?;
         fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        // The rename is only durable once the directory entry is: fsync
+        // the store dir, or a power failure could resurrect the old
+        // manifest under the new data (or lose a compaction's swap).
+        sync_dir(&self.dir)?;
         Ok(())
+    }
+
+    /// Rewrites the data file densely: every live item (deletion markers
+    /// and shadowed duplicates purged) streams into one region sized for
+    /// the smallest level that holds it, in a fresh generation-named
+    /// file; the manifest commit then atomically swaps the store over to
+    /// it and the old file is unlinked. Afterwards the file holds
+    /// exactly the live data footprint (plus that region's load-≤ 1/2
+    /// slack — "within one level-region").
+    ///
+    /// The pass first streams through a region sized by the physical
+    /// item count (markers and shadowed copies included — the live count
+    /// is unknowable in O(1) memory until the purge has run). When the
+    /// purge reveals that a smaller level suffices — a delete-heavy
+    /// store — one more streaming pass right-sizes the file (a store
+    /// whose every item was deleted right-sizes to an empty file); an
+    /// insert-mostly store pays a single pass.
+    ///
+    /// Crash-safe at every step: the manifest rename is the single
+    /// commit point, and an interrupted pass leaves either the old or
+    /// the new (file, manifest) pair fully intact plus stray files that
+    /// the next reopen removes. If the streaming itself fails the handle
+    /// is poisoned (further use errors; the directory reopens to the
+    /// last synced state).
+    ///
+    /// I/O counters restart from zero: the store now sits on a fresh
+    /// accounting disk.
+    pub fn compact(&mut self) -> Result<CompactionStats> {
+        self.mark_dirty()?;
+        let bytes_before = fs::metadata(self.data_path()).map(|m| m.len()).unwrap_or(0);
+        let items_before = self.table.len();
+        let cfg = self.table.config().clone();
+        let k1 = self.table.compaction_level(items_before);
+        let mut new_gen = self.data_gen + 1;
+        let mut new_name = data_file_name(new_gen);
+        let fail = |this: &mut Self, e: ExtMemError, names: &[&str]| {
+            this.poisoned = true;
+            for n in names {
+                let _ = fs::remove_file(this.dir.join(n));
+            }
+            Err(e)
+        };
+        // Note: an error creating the new file leaves the handle usable
+        // (nothing has been drained yet).
+        let mut new_disk = fresh_gen_disk(&self.dir, &new_name, &cfg)?;
+        let (mut levels, mut stats) = if items_before == 0 {
+            (vec![None], MergeStats::default())
+        } else {
+            match self.table.compact_into(&mut new_disk, k1) {
+                Ok(x) => x,
+                Err(e) => return fail(self, e, &[&new_name]),
+            }
+        };
+        // Right-size when the purge dropped enough dead weight that a
+        // shallower level holds the survivors.
+        let k2 = self.table.compaction_level(stats.items);
+        if stats.items == 0 && items_before > 0 {
+            // The purge ate every item: pass 1's region is sized for the
+            // pre-purge physical count but holds nothing. Commit a
+            // genuinely empty store (same shape as the `items_before ==
+            // 0` branch); the pass-1 file becomes a stray.
+            let pass1_name = new_name.clone();
+            new_gen += 1;
+            new_name = data_file_name(new_gen);
+            new_disk = match fresh_gen_disk(&self.dir, &new_name, &cfg) {
+                Ok(d) => d,
+                Err(e) => return fail(self, e, &[&pass1_name]),
+            };
+            levels = vec![None];
+        } else if stats.items > 0 && k2 < k1 {
+            let pass1_name = new_name.clone();
+            new_gen += 1;
+            new_name = data_file_name(new_gen);
+            let mut dense_disk = match fresh_gen_disk(&self.dir, &new_name, &cfg) {
+                Ok(d) => d,
+                Err(e) => return fail(self, e, &[&pass1_name]),
+            };
+            let region = levels[k1].take().expect("pass 1 built this level");
+            let hash = IdealFn::from_seed(self.seed);
+            let (region, pass2) = match compact_across(
+                &mut new_disk,
+                &mut dense_disk,
+                &hash,
+                vec![Source::from_region(region)],
+                cfg.level_buckets(k2 as u32),
+                true,
+            ) {
+                Ok(x) => x,
+                Err(e) => return fail(self, e, &[&pass1_name, &new_name]),
+            };
+            debug_assert_eq!(pass2.items, stats.items, "pass 1 already purged everything");
+            stats.shadowed += pass2.shadowed;
+            stats.purged += pass2.purged;
+            levels = vec![None; k2 + 1];
+            levels[k2] = Some(region);
+            new_disk = dense_disk;
+        }
+        if let Err(e) = new_disk.flush() {
+            return fail(self, e, &[&new_name]);
+        }
+        let table = match LogMethodTable::from_parts(
+            new_disk,
+            cfg,
+            IdealFn::from_seed(self.seed),
+            levels,
+        ) {
+            Ok(t) => t,
+            Err(e) => return fail(self, e, &[&new_name]),
+        };
+        self.table = table; // old table (and its file handle) dropped here
+        self.data_gen = new_gen;
+        // Commit point: a crash before this rename leaves the old
+        // manifest + old file authoritative (the newer files are strays);
+        // after it, the new pair is.
+        self.write_manifest()?;
+        self.write_clean_marker()?;
+        self.dirty = false;
+        remove_stale_data_files(&self.dir, &new_name);
+        let bytes_after = fs::metadata(self.dir.join(&new_name)).map(|m| m.len()).unwrap_or(0);
+        Ok(CompactionStats {
+            live_items: stats.items,
+            purged: stats.purged,
+            shadowed: stats.shadowed,
+            bytes_before,
+            bytes_after,
+        })
     }
 
     /// The directory this store lives in.
@@ -245,10 +600,100 @@ impl KvStore {
         &self.dir
     }
 
+    /// The authoritative data file (generation-named after a
+    /// [`KvStore::compact`]) — what to `stat` for the on-disk footprint.
+    pub fn data_path(&self) -> PathBuf {
+        self.dir.join(data_file_name(self.data_gen))
+    }
+
     /// The backing table (tq/tu measurement, level diagnostics).
     pub fn table(&self) -> &LogMethodTable<IdealFn, FileDisk> {
         &self.table
     }
+}
+
+/// What one [`KvStore::compact`] pass accomplished.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionStats {
+    /// Live items written to the dense region.
+    pub live_items: usize,
+    /// Deletion markers purged.
+    pub purged: usize,
+    /// Shadowed (stale duplicate or deleted) copies dropped.
+    pub shadowed: usize,
+    /// Data-file size before the pass, in bytes.
+    pub bytes_before: u64,
+    /// Data-file size after the pass, in bytes.
+    pub bytes_after: u64,
+}
+
+/// Computes the free-slot list of `backend` by walking every region's
+/// buckets and overflow chains: reachable ⇒ live, everything else free.
+/// Errors (out-of-range ids, undecodable blocks) abort the walk so the
+/// caller can fall back to all-live. Shared or cyclic chain tails (only
+/// possible under corruption) terminate via the visited check and err on
+/// the side of liveness.
+fn scan_region_free(backend: &mut FileDisk, levels: &[Option<Region>]) -> Result<Vec<u64>> {
+    let slots = backend.slots();
+    let mut live = vec![false; slots as usize];
+    for region in levels.iter().flatten() {
+        if region.base.raw().checked_add(region.buckets).is_none_or(|end| end > slots) {
+            return Err(ExtMemError::Corrupt("manifest region outside the data file".into()));
+        }
+        for q in 0..region.buckets {
+            let mut cur = Some(region.block_of(q));
+            while let Some(id) = cur {
+                if id.raw() >= slots {
+                    return Err(ExtMemError::Corrupt(format!(
+                        "chain pointer {id:?} outside the data file"
+                    )));
+                }
+                let idx = id.raw() as usize;
+                if live[idx] {
+                    break;
+                }
+                live[idx] = true;
+                cur = backend.read(id)?.next();
+            }
+        }
+    }
+    Ok((0..slots).filter(|&i| !live[i as usize]).collect())
+}
+
+/// Walks every region's buckets and chains of a **format v1** store
+/// looking for a live value equal to [`VALUE_TOMBSTONE`]. v1 binaries
+/// had no deletion, so `u64::MAX` was an ordinary value; this version
+/// reserves it as the deletion marker, and silently reinterpreting such
+/// a store would turn those keys into permanent deletions at the next
+/// merge. Refusing the open keeps the data intact (the binary that wrote
+/// the store still reads it). A clean v1 store upgrades to v2 at its
+/// next manifest write; until then each reopen re-runs this scan.
+fn scan_reserved_values(backend: &mut FileDisk, levels: &[Option<Region>]) -> Result<()> {
+    let slots = backend.slots();
+    for region in levels.iter().flatten() {
+        for q in 0..region.buckets {
+            let mut cur = Some(region.block_of(q));
+            let mut hops = 0u64;
+            while let Some(id) = cur {
+                let block = backend.read(id)?;
+                if let Some(item) = block.items().iter().find(|it| it.is_delete_marker()) {
+                    return Err(ExtMemError::BadConfig(format!(
+                        "store format v1 holds value u64::MAX for key {} — this version \
+                         reserves that value as the deletion marker; refusing to \
+                         reinterpret it (reopen with the binary that wrote the store)",
+                        item.key
+                    )));
+                }
+                cur = block.next();
+                hops += 1;
+                if hops > slots {
+                    // Corrupt cycle; reopen's own walks handle this case.
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 impl Drop for KvStore {
@@ -265,16 +710,31 @@ impl ExternalDictionary for KvStore {
         self.table.insert(key, value)
     }
 
+    /// Errors on a handle poisoned by a failed [`KvStore::compact`]:
+    /// the in-memory table was drained into the aborted pass, so
+    /// answering from it would report every synced key as absent.
     fn lookup(&mut self, key: Key) -> Result<Option<Value>> {
+        self.check_poisoned()?;
         self.table.lookup(key)
     }
 
-    /// Deletion is outside the paper's scope; always an error (see the
-    /// crate docs).
+    /// Deletes through the log method's deletion-marker path (see
+    /// [`LogMethodTable::delete`]); the key stays absent across sync and
+    /// reopen, and its space is reclaimed by level merges and
+    /// [`KvStore::compact`]. A miss leaves the handle clean — the dirty
+    /// transition runs only once the table confirms it will write a
+    /// marker.
     fn delete(&mut self, key: Key) -> Result<bool> {
-        self.table.delete(key)
+        self.check_poisoned()?;
+        let dir = &self.dir;
+        let dirty = &mut self.dirty;
+        self.table.delete_with_hook(key, &mut || transition_dirty(dir, dirty))
     }
 
+    /// On a handle poisoned by a failed [`KvStore::compact`] this
+    /// reports the drained in-memory table (typically 0), not the
+    /// store's durable contents — the trait signature cannot error.
+    /// Reopen the directory for the real count.
     fn len(&self) -> usize {
         self.table.len()
     }
@@ -300,24 +760,34 @@ impl ExternalDictionary for KvStore {
 struct Manifest {
     cfg: CoreConfig,
     seed: u64,
+    /// Data-file generation (0 = `store.blk`, the only value ever
+    /// written before compaction existed — absent lines parse as 0).
+    data_gen: u64,
     slots: u64,
     free: Vec<u64>,
     levels: Vec<Option<Region>>,
+    /// Written by a pre-deletion binary (format v1): `u64::MAX` was an
+    /// ordinary value then, so reopen must prove none is stored before
+    /// this version may treat it as the deletion marker.
+    v1: bool,
 }
 
 impl Manifest {
     fn parse(text: &str) -> Result<Self> {
         let corrupt = |why: &str| ExtMemError::Corrupt(format!("manifest: {why}"));
         let mut lines = text.lines();
-        if lines.next() != Some(MAGIC) {
-            return Err(corrupt("bad magic"));
-        }
+        let v1 = match lines.next() {
+            Some(l) if l == MAGIC => false,
+            Some(l) if l == MAGIC_V1 => true,
+            _ => return Err(corrupt("bad magic")),
+        };
         let mut b = None;
         let mut m = None;
         let mut gamma = None;
         let mut beta = None;
         let mut cost = IoCostModel::SeekDominated;
         let mut seed = None;
+        let mut data_gen = 0u64;
         let mut slots = None;
         let mut free = Vec::new();
         let mut levels: Vec<Option<Region>> = Vec::new();
@@ -339,6 +809,7 @@ impl Manifest {
                     }
                 }
                 "seed" => seed = v.parse().ok(),
+                "data" => data_gen = v.parse().map_err(|_| corrupt("bad data generation"))?,
                 "slots" => slots = v.parse().ok(),
                 "free" => {
                     for id in v.split(',').filter(|s| !s.is_empty()) {
@@ -378,7 +849,7 @@ impl Manifest {
             return Err(corrupt("missing required field"));
         };
         let cfg = CoreConfig::custom(b, m, gamma, beta)?.cost_model(cost);
-        Ok(Manifest { cfg, seed, slots, free, levels })
+        Ok(Manifest { cfg, seed, data_gen, slots, free, levels, v1 })
     }
 }
 
@@ -448,6 +919,17 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// Simulates a process crash: the handle's Drop never runs. A real
+    /// crash also releases the OS lock (the kernel closes the dead
+    /// process's descriptors); `mem::forget` instead *leaks* the
+    /// descriptor, so this process would still hold the lock. Unlinking
+    /// the file lets the reopen create and lock a fresh inode.
+    fn crash(s: KvStore) {
+        let lock = s.path().join(LOCK);
+        std::mem::forget(s);
+        let _ = fs::remove_file(lock);
+    }
+
     #[test]
     fn explicit_sync_persists_without_drop() {
         let dir = tmp_dir("sync");
@@ -455,11 +937,11 @@ mod tests {
         let mut s = KvStore::open(&dir, cfg(), 7).unwrap();
         s.insert(1, 10).unwrap();
         s.sync().unwrap();
-        // Second handle on the synced state (simulates a crash of the
-        // first process after sync: its Drop never runs).
+        // The first process "crashes" after sync: its Drop never runs.
+        crash(s);
         let mut s2 = KvStore::open(&dir, cfg(), 7).unwrap();
         assert_eq!(s2.lookup(1).unwrap(), Some(10));
-        std::mem::forget(s); // the "crashed" handle
+        drop(s2);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -477,7 +959,7 @@ mod tests {
         for k in 300..900u64 {
             s.insert(k, k).unwrap();
         }
-        std::mem::forget(s);
+        crash(s);
         // Reopen recovers to the sync point instead of refusing to open.
         let mut s = KvStore::open(&dir, cfg(), 12).unwrap();
         for k in 0..300u64 {
@@ -492,10 +974,14 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let mut s = KvStore::open(&dir, cfg(), 21).unwrap();
         assert!(dir.join(CLEAN).exists(), "fresh store starts clean");
+        assert!(!s.delete(99).unwrap());
+        assert!(dir.join(CLEAN).exists(), "a miss-delete writes nothing, stays clean");
         s.insert(1, 1).unwrap();
         assert!(!dir.join(CLEAN).exists(), "first mutation unlinks the marker");
         s.sync().unwrap();
         assert!(dir.join(CLEAN).exists(), "sync rewrites the marker");
+        assert!(s.delete(1).unwrap());
+        assert!(!dir.join(CLEAN).exists(), "a real delete is a mutation");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -504,8 +990,8 @@ mod tests {
         // A crash can land after writes that only touched existing or
         // recycled slots (file length unchanged). The slot count then
         // matches the manifest, but the absent CLEAN marker must still
-        // force recovery mode: every slot stays live, the stale free
-        // list is not recycled from.
+        // force recovery mode: the stale free list is not trusted —
+        // instead the region walk recomputes liveness exactly.
         let dir = tmp_dir("no-growth");
         let _ = fs::remove_dir_all(&dir);
         let mut s = KvStore::open(&dir, cfg(), 22).unwrap();
@@ -517,13 +1003,13 @@ mod tests {
         // Simulate the crash window: marker gone (a mutation began), no
         // newer manifest, file length unchanged.
         fs::remove_file(dir.join(CLEAN)).unwrap();
-        std::mem::forget(s);
+        crash(s);
         let mut s = KvStore::open(&dir, cfg(), 22).unwrap();
-        let disk = s.table().disk();
+        let backend = s.table().disk().backend();
         assert_eq!(
-            disk.live_blocks(),
-            s.table().disk().backend().slots(),
-            "recovery keeps every slot live instead of trusting the free list"
+            backend.live_blocks() as usize + backend.free_count(),
+            backend.slots() as usize,
+            "every slot is either walked live or reclaimed"
         );
         for k in (0..600u64).step_by(17) {
             assert_eq!(s.lookup(k).unwrap(), Some(k));
@@ -551,6 +1037,333 @@ mod tests {
         }
         let after = fs::read(dir.join(MANIFEST)).unwrap();
         assert_eq!(before, after, "a read-only handle must not touch the manifest");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_live_handle_fails_fast() {
+        let dir = tmp_dir("lock");
+        let _ = fs::remove_dir_all(&dir);
+        let s = KvStore::open(&dir, cfg(), 1).unwrap();
+        let err = match KvStore::open(&dir, cfg(), 1) {
+            Err(e) => e,
+            Ok(_) => panic!("second live handle must fail"),
+        };
+        assert!(err.to_string().contains("locked by pid"), "got: {err}");
+        drop(s);
+        // The lock is released with the handle.
+        drop(KvStore::open(&dir, cfg(), 1).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_file_of_a_dead_process_is_reclaimed() {
+        let dir = tmp_dir("stale-lock");
+        let _ = fs::remove_dir_all(&dir);
+        drop(KvStore::open(&dir, cfg(), 1).unwrap());
+        // A crash leaves the LOCK file behind, but the kernel released
+        // the dead process's OS lock with its descriptors — ownership is
+        // the lock, not the file, so reopening succeeds no matter what
+        // the file says (its pid content is informational only).
+        fs::write(dir.join(LOCK), "4194304999\n").unwrap();
+        drop(KvStore::open(&dir, cfg(), 1).unwrap());
+        fs::write(dir.join(LOCK), "???\n").unwrap();
+        drop(KvStore::open(&dir, cfg(), 1).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_persists_across_sync_and_reopen() {
+        let dir = tmp_dir("delete");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open(&dir, cfg(), 31).unwrap();
+            for k in 0..500u64 {
+                s.insert(k, k + 1).unwrap();
+            }
+            for k in (0..500u64).step_by(2) {
+                assert!(s.delete(k).unwrap(), "key {k}");
+            }
+            // Reinsert a few deleted keys with new values.
+            for k in (0..100u64).step_by(10) {
+                s.insert(k, 9000 + k).unwrap();
+            }
+        } // drop syncs
+        let mut s = KvStore::open(&dir, cfg(), 31).unwrap();
+        for k in 0..500u64 {
+            let expect = if k < 100 && k % 10 == 0 {
+                Some(9000 + k)
+            } else if k % 2 == 0 {
+                None
+            } else {
+                Some(k + 1)
+            };
+            assert_eq!(s.lookup(k).unwrap(), expect, "key {k} after reopen");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_recovery_gc_returns_orphans_and_recycles_them_before_growth() {
+        let dir = tmp_dir("gc");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 41).unwrap();
+        for k in 0..300u64 {
+            s.insert(k, k).unwrap();
+        }
+        s.sync().unwrap();
+        // Unsynced growth: merges rebuild regions into fresh slots and
+        // quarantine the old ones; none of it reaches a manifest.
+        for k in 300..1200u64 {
+            s.insert(k, k).unwrap();
+        }
+        crash(s);
+        let mut s = KvStore::open(&dir, cfg(), 41).unwrap();
+        let backend = s.table().disk().backend();
+        let slots_after_recovery = backend.slots();
+        let orphans = backend.free_count();
+        assert!(orphans > 0, "the crash stranded unreferenced blocks");
+        assert_eq!(
+            backend.live_blocks() + orphans as u64,
+            slots_after_recovery,
+            "GC accounts for every slot"
+        );
+        // Everything from the sync point is still there.
+        for k in 0..300u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(k), "synced key {k}");
+        }
+        // New work recycles the orphans before the file grows: with
+        // hundreds of reclaimed slots, this round of inserts (plus its
+        // region rebuilds) fits entirely in recycled space.
+        for k in 2000..2100u64 {
+            s.insert(k, k).unwrap();
+        }
+        assert_eq!(
+            s.table().disk().backend().slots(),
+            slots_after_recovery,
+            "orphans are reallocated before the file grows"
+        );
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_recovery_gc_matches_manifest_free_list_when_nothing_moved() {
+        // If the crash happened before any post-sync write, the region
+        // walk must rediscover exactly the manifest's free list.
+        let dir = tmp_dir("gc-exact");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 43).unwrap();
+        for k in 0..800u64 {
+            s.insert(k, k).unwrap();
+        }
+        s.sync().unwrap();
+        let text = fs::read_to_string(dir.join(MANIFEST)).unwrap();
+        let manifest_free = Manifest::parse(&text).unwrap().free;
+        fs::remove_file(dir.join(CLEAN)).unwrap();
+        crash(s);
+        let s = KvStore::open(&dir, cfg(), 43).unwrap();
+        let mut walked = s.table().disk().backend().free_list();
+        walked.sort_unstable();
+        let mut expected = manifest_free;
+        expected.sort_unstable();
+        assert_eq!(walked, expected, "region walk rediscovers the free list exactly");
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_shrinks_the_file_to_the_live_footprint() {
+        let dir = tmp_dir("compact");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 51).unwrap();
+        for k in 0..2000u64 {
+            s.insert(k, k).unwrap();
+        }
+        // Delete 80% and churn updates so markers and shadowed copies
+        // pile up.
+        for k in 0..2000u64 {
+            if k % 5 != 0 {
+                assert!(s.delete(k).unwrap());
+            }
+        }
+        for k in (0..2000u64).step_by(5) {
+            s.insert(k, k * 2).unwrap();
+        }
+        s.sync().unwrap();
+        let bytes_before = fs::metadata(s.data_path()).unwrap().len();
+        let stats = s.compact().unwrap();
+        assert_eq!(stats.bytes_before, bytes_before);
+        assert!(stats.bytes_after < stats.bytes_before, "file shrank: {stats:?}");
+        assert_eq!(stats.live_items, 400, "exactly the live keys survive");
+        assert_eq!(s.len(), 400);
+        // Within one level-region of the live footprint: the region is
+        // sized by the smallest level holding the items, at load ≤ 1/2.
+        let c = cfg();
+        let k_level =
+            (1..64u32).find(|&k| c.level_capacity(k) >= 400).expect("some level holds 400 items");
+        let block_bytes = 24 + 16 * c.b as u64;
+        let max_bytes = c.level_buckets(k_level) * block_bytes + 2 * block_bytes;
+        assert!(
+            stats.bytes_after <= max_bytes,
+            "dense file {} ≤ one level-region {max_bytes}",
+            stats.bytes_after
+        );
+        // The dense store answers exactly like before, including across
+        // a reopen (the manifest swap committed the new generation).
+        for k in 0..2000u64 {
+            let expect = (k % 5 == 0).then_some(k * 2);
+            assert_eq!(s.lookup(k).unwrap(), expect, "key {k} after compact");
+        }
+        drop(s);
+        let mut s = KvStore::open(&dir, cfg(), 51).unwrap();
+        for k in 0..2000u64 {
+            let expect = (k % 5 == 0).then_some(k * 2);
+            assert_eq!(s.lookup(k).unwrap(), expect, "key {k} after reopen");
+        }
+        // The superseded generation-0 file is gone.
+        assert!(!dir.join(DATA).exists(), "old data file unlinked");
+        assert!(s.data_path().exists());
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_on_an_empty_store_and_twice_in_a_row() {
+        let dir = tmp_dir("compact-empty");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 52).unwrap();
+        let stats = s.compact().unwrap();
+        assert_eq!(stats.live_items, 0);
+        assert_eq!(stats.bytes_after, 0, "an empty store compacts to an empty file");
+        s.insert(1, 10).unwrap();
+        s.compact().unwrap();
+        let again = s.compact().unwrap();
+        assert_eq!(again.live_items, 1);
+        assert_eq!(s.lookup(1).unwrap(), Some(10));
+        drop(s);
+        let mut s = KvStore::open(&dir, cfg(), 52).unwrap();
+        assert_eq!(s.lookup(1).unwrap(), Some(10));
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_after_deleting_everything_yields_an_empty_file() {
+        let dir = tmp_dir("compact-all-dead");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 53).unwrap();
+        for k in 0..800u64 {
+            s.insert(k, k).unwrap();
+        }
+        s.sync().unwrap();
+        for k in 0..800u64 {
+            assert!(s.delete(k).unwrap());
+        }
+        // Pass 1 is sized by the physical pre-purge count; once the
+        // purge reveals nothing is live, the commit must not keep a
+        // region sized for the dead data.
+        let stats = s.compact().unwrap();
+        assert_eq!(stats.live_items, 0);
+        assert_eq!(stats.bytes_after, 0, "all-deleted store compacts to an empty file");
+        assert_eq!(fs::metadata(s.data_path()).unwrap().len(), 0);
+        assert_eq!(s.lookup(3).unwrap(), None);
+        // The emptied store keeps working: reinsert, compact, reopen.
+        s.insert(9, 90).unwrap();
+        assert_eq!(s.lookup(9).unwrap(), Some(90));
+        drop(s);
+        let mut s = KvStore::open(&dir, cfg(), 53).unwrap();
+        assert_eq!(s.lookup(3).unwrap(), None);
+        assert_eq!(s.lookup(9).unwrap(), Some(90));
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_manifest_without_reserved_values_reopens_and_upgrades() {
+        let dir = tmp_dir("v1-upgrade");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open(&dir, cfg(), 77).unwrap();
+            for k in 0..300u64 {
+                s.insert(k, k + 1).unwrap();
+            }
+        } // drop syncs
+          // Rewrite the manifest as the pre-deletion format.
+        let path = dir.join(MANIFEST);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace(MAGIC, MAGIC_V1)).unwrap();
+        {
+            let mut s = KvStore::open(&dir, cfg(), 77).unwrap();
+            assert_eq!(s.lookup(5).unwrap(), Some(6));
+            s.insert(1000, 1).unwrap();
+            s.sync().unwrap();
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(MAGIC), "upgraded to v2 at the next sync");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_store_holding_the_reserved_value_is_refused() {
+        use dxh_extmem::VALUE_TOMBSTONE;
+        let dir = tmp_dir("v1-reserved");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open(&dir, cfg(), 78).unwrap();
+            for k in 0..300u64 {
+                s.insert(k, k + 1).unwrap();
+            }
+        }
+        // Doctor one persisted value to u64::MAX — legal data under a
+        // v1 (no-deletion) binary, reserved by this one.
+        let manifest = Manifest::parse(&fs::read_to_string(dir.join(MANIFEST)).unwrap()).unwrap();
+        let mut backend = FileDisk::open(&dir.join(DATA), cfg().b).unwrap();
+        let mut doctored = false;
+        'outer: for region in manifest.levels.iter().flatten() {
+            for q in 0..region.buckets {
+                let mut cur = Some(region.block_of(q));
+                while let Some(id) = cur {
+                    let mut blk = backend.read(id).unwrap();
+                    cur = blk.next();
+                    if !blk.items().is_empty() {
+                        blk.items_mut()[0].value = VALUE_TOMBSTONE;
+                        backend.write(id, &blk).unwrap();
+                        doctored = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(doctored, "store has at least one persisted item");
+        backend.sync().unwrap();
+        drop(backend);
+        let path = dir.join(MANIFEST);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace(MAGIC, MAGIC_V1)).unwrap();
+        let err = match KvStore::open(&dir, cfg(), 78) {
+            Err(e) => e,
+            Ok(_) => panic!("v1 store holding u64::MAX must be refused"),
+        };
+        assert!(err.to_string().contains("reserves that value"), "got: {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_data_file_from_interrupted_compaction_is_removed_on_reopen() {
+        let dir = tmp_dir("stray");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open(&dir, cfg(), 53).unwrap();
+            s.insert(1, 1).unwrap();
+        }
+        // A compaction that died before its manifest commit leaves the
+        // next generation's file behind.
+        fs::write(dir.join("store.1.blk"), vec![0u8; 1024]).unwrap();
+        let mut s = KvStore::open(&dir, cfg(), 53).unwrap();
+        assert_eq!(s.lookup(1).unwrap(), Some(1));
+        assert!(!dir.join("store.1.blk").exists(), "stray removed");
+        drop(s);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -585,18 +1398,28 @@ mod tests {
     #[test]
     fn manifest_parse_round_trips_all_fields() {
         let text = format!(
-            "{MAGIC}\nb 8\nm 128\ngamma 2\nbeta 2\ncost strict\nseed 42\nslots 10\n\
+            "{MAGIC}\nb 8\nm 128\ngamma 2\nbeta 2\ncost strict\nseed 42\ndata 3\nslots 10\n\
              free 3,7\nlevels 3\nlevel 1 0 2 5\nlevel 2 2 4 9\n"
         );
         let m = Manifest::parse(&text).unwrap();
         assert_eq!(m.cfg.b, 8);
         assert_eq!(m.cfg.cost, IoCostModel::Strict);
         assert_eq!(m.seed, 42);
+        assert_eq!(m.data_gen, 3);
         assert_eq!(m.slots, 10);
         assert_eq!(m.free, vec![3, 7]);
         assert_eq!(m.levels.len(), 3);
         let r = m.levels[2].unwrap();
         assert_eq!((r.base.raw(), r.buckets, r.items), (2, 4, 9));
         assert!(m.levels[1].is_some());
+    }
+
+    #[test]
+    fn manifest_without_data_line_defaults_to_generation_zero() {
+        // Pre-compaction manifests (earlier stores) have no `data` line.
+        let text = format!("{MAGIC}\nb 8\nm 128\ngamma 2\nbeta 2\nseed 1\nslots 0\nfree \n");
+        assert_eq!(Manifest::parse(&text).unwrap().data_gen, 0);
+        assert_eq!(data_file_name(0), DATA);
+        assert_eq!(data_file_name(2), "store.2.blk");
     }
 }

@@ -150,10 +150,39 @@ pub(crate) struct MergeStats {
     pub items: usize,
     /// Duplicate (shadowed) items dropped.
     pub shadowed: usize,
+    /// Deletion markers dropped because the merge target is the deepest
+    /// level (no older copy can exist below, so the marker is spent).
+    pub purged: usize,
+}
+
+/// Newest-wins dedup of one bucket's `raw` batch into `merged`. With
+/// `purge` on, a winning deletion marker is dropped instead of written:
+/// the target is the deepest level, so the marker has nothing left to
+/// shadow.
+fn dedup_bucket(
+    raw: &[Item],
+    seen: &mut HashSet<Key>,
+    merged: &mut Vec<Item>,
+    purge: bool,
+    stats: &mut MergeStats,
+) {
+    for &it in raw {
+        if seen.insert(it.key) {
+            if purge && it.is_delete_marker() {
+                stats.purged += 1;
+            } else {
+                merged.push(it);
+            }
+        } else {
+            stats.shadowed += 1;
+        }
+    }
 }
 
 /// Merges `sources` (precedence order: earlier wins) into a fresh region
-/// of `nb_dst` buckets. Consumes and frees all disk sources.
+/// of `nb_dst` buckets. Consumes and frees all disk sources. `purge`
+/// drops deletion markers instead of writing them — valid only when the
+/// destination is the deepest level.
 ///
 /// Cost: one read per source block (primary + chain) plus one write per
 /// nonempty target block — `O(Σ |source regions| / b + nb_dst)` I/Os.
@@ -162,6 +191,7 @@ pub(crate) fn compact<B: StorageBackend, F: HashFn>(
     hash: &F,
     mut sources: Vec<Source>,
     nb_dst: u64,
+    purge: bool,
 ) -> Result<(Region, MergeStats)> {
     let base = disk.allocate_contiguous(nb_dst as usize)?;
     let mut stats = MergeStats::default();
@@ -175,13 +205,7 @@ pub(crate) fn compact<B: StorageBackend, F: HashFn>(
         for src in sources.iter_mut() {
             src.take_bucket(disk, hash, q, nb_dst, &mut raw)?;
         }
-        for &it in &raw {
-            if seen.insert(it.key) {
-                merged.push(it);
-            } else {
-                stats.shadowed += 1;
-            }
-        }
+        dedup_bucket(&raw, &mut seen, &mut merged, purge, &mut stats);
         if !merged.is_empty() {
             write_bucket(disk, BlockId(base.raw() + q), &merged)?;
             stats.items += merged.len();
@@ -195,10 +219,46 @@ pub(crate) fn compact<B: StorageBackend, F: HashFn>(
     Ok((Region { base, buckets: nb_dst, items: stats.items }, stats))
 }
 
+/// The two-disk twin of [`compact`]: reads (and frees) `sources` on
+/// `src`, writes the fresh region on `dst`. This is the engine of
+/// [`crate::KvStore::compact`] — the whole structure streams from the old
+/// block file into a dense new one, purging deletion markers on the way
+/// (the destination is by construction the only — hence deepest — level).
+pub(crate) fn compact_across<B: StorageBackend, C: StorageBackend, F: HashFn>(
+    src: &mut Disk<B>,
+    dst: &mut Disk<C>,
+    hash: &F,
+    mut sources: Vec<Source>,
+    nb_dst: u64,
+    purge: bool,
+) -> Result<(Region, MergeStats)> {
+    let base = dst.allocate_contiguous(nb_dst as usize)?;
+    let mut stats = MergeStats::default();
+    let mut raw: Vec<Item> = Vec::new();
+    let mut merged: Vec<Item> = Vec::new();
+    let mut seen: HashSet<Key> = HashSet::new();
+    for q in 0..nb_dst {
+        raw.clear();
+        merged.clear();
+        seen.clear();
+        for s in sources.iter_mut() {
+            s.take_bucket(src, hash, q, nb_dst, &mut raw)?;
+        }
+        dedup_bucket(&raw, &mut seen, &mut merged, purge, &mut stats);
+        if !merged.is_empty() {
+            write_bucket(dst, BlockId(base.raw() + q), &merged)?;
+            stats.items += merged.len();
+        }
+    }
+    Ok((Region { base, buckets: nb_dst, items: stats.items }, stats))
+}
+
 /// Merges `sources` **in place** into the existing `region` (same bucket
 /// count), shadowing old copies of incoming keys. The caller must ensure
 /// the merged items still fit at load ≤ 1/2 — this is the steady-state
-/// Ĥ-merge between resizes.
+/// Ĥ-merge between resizes. With `purge` on (destination is the deepest
+/// level), an incoming deletion marker removes the key's old copy from
+/// the bucket and is itself dropped instead of written.
 ///
 /// Cost: under the paper's seek-dominated accounting, the common case is
 /// **one combined I/O per bucket that receives items** (read-modify-write
@@ -209,12 +269,14 @@ pub(crate) fn merge_in_place<B: StorageBackend, F: HashFn>(
     hash: &F,
     mut sources: Vec<Source>,
     region: &mut Region,
+    purge: bool,
 ) -> Result<MergeStats> {
     let nb = region.buckets;
     let b = disk.b();
     let mut stats = MergeStats::default();
     let mut raw: Vec<Item> = Vec::new();
     let mut incoming: Vec<Item> = Vec::new();
+    let mut adds: Vec<Item> = Vec::new();
     let mut seen: HashSet<Key> = HashSet::new();
     for q in 0..nb {
         raw.clear();
@@ -224,14 +286,18 @@ pub(crate) fn merge_in_place<B: StorageBackend, F: HashFn>(
         if raw.is_empty() {
             continue;
         }
-        // Dedup the incoming batch itself (earlier source wins).
+        // Dedup the incoming batch itself (earlier source wins), then
+        // split it: every incoming key's old copy must go, but only
+        // `adds` (everything except purged deletion markers) is written.
         incoming.clear();
+        adds.clear();
         seen.clear();
-        for &it in &raw {
-            if seen.insert(it.key) {
-                incoming.push(it);
+        dedup_bucket(&raw, &mut seen, &mut incoming, false, &mut stats);
+        for &it in &incoming {
+            if purge && it.is_delete_marker() {
+                stats.purged += 1;
             } else {
-                stats.shadowed += 1;
+                adds.push(it);
             }
         }
         let head = region.block_of(q);
@@ -245,8 +311,9 @@ pub(crate) fn merge_in_place<B: StorageBackend, F: HashFn>(
             NeedsFallback,
         }
         let incoming_ref = &incoming;
+        let adds_ref = &adds;
         let applied = disk.update(head, move |blk| {
-            if blk.next().is_some() || blk.len() + incoming_ref.len() > blk.capacity() {
+            if blk.next().is_some() || blk.len() + adds_ref.len() > blk.capacity() {
                 return (false, Applied::NeedsFallback);
             }
             let mut removed = 0;
@@ -255,10 +322,10 @@ pub(crate) fn merge_in_place<B: StorageBackend, F: HashFn>(
                     removed += 1;
                 }
             }
-            for &it in incoming_ref {
+            for &it in adds_ref {
                 blk.push(it).expect("checked capacity");
             }
-            (true, Applied::Done { removed })
+            (removed > 0 || !adds_ref.is_empty(), Applied::Done { removed })
         })?;
         let removed = match applied {
             Applied::Done { removed } => removed,
@@ -274,15 +341,15 @@ pub(crate) fn merge_in_place<B: StorageBackend, F: HashFn>(
                     removed += dup as usize;
                     !dup
                 });
-                let mut merged = incoming.clone();
+                let mut merged = adds.clone();
                 merged.extend_from_slice(&old);
                 write_bucket(disk, head, &merged)?;
                 removed
             }
         };
         stats.shadowed += removed;
-        stats.items += incoming.len();
-        region.items = region.items + incoming.len() - removed;
+        stats.items += adds.len();
+        region.items = region.items + adds.len() - removed;
     }
     let _ = b;
     Ok(stats)
@@ -333,7 +400,8 @@ mod tests {
         let a = build_region(&mut d, &h, 2, &[1, 2, 3, 4, 5]);
         let b = build_region(&mut d, &h, 4, &[10, 11, 12, 13, 14, 15, 16]);
         let (merged, stats) =
-            compact(&mut d, &h, vec![Source::from_region(a), Source::from_region(b)], 8).unwrap();
+            compact(&mut d, &h, vec![Source::from_region(a), Source::from_region(b)], 8, false)
+                .unwrap();
         assert_eq!(stats.items, 12);
         assert_eq!(stats.shadowed, 0);
         let mut keys = region_keys(&mut d, &merged);
@@ -355,9 +423,14 @@ mod tests {
             blk.replace(7, 99);
         })
         .unwrap();
-        let (merged, stats) =
-            compact(&mut d, &h, vec![Source::from_region(newer), Source::from_region(older)], 4)
-                .unwrap();
+        let (merged, stats) = compact(
+            &mut d,
+            &h,
+            vec![Source::from_region(newer), Source::from_region(older)],
+            4,
+            false,
+        )
+        .unwrap();
         assert_eq!(stats.shadowed, 1);
         assert_eq!(stats.items, 2);
         // Find key 7's value in the merged region.
@@ -373,7 +446,7 @@ mod tests {
         let a = build_region(&mut d, &h, 4, &(0..30).collect::<Vec<_>>());
         let live_before = d.live_blocks();
         assert!(live_before >= 4);
-        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 8).unwrap();
+        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 8, false).unwrap();
         // Only the new region (8 primaries + chains) is live.
         assert!(d.live_blocks() <= 8 + 4, "sources freed");
         assert_eq!(merged.items, 30);
@@ -390,6 +463,7 @@ mod tests {
             &h,
             vec![Source::from_memory(mem_items, &h), Source::from_region(disk_region)],
             4,
+            false,
         )
         .unwrap();
         assert_eq!(stats.items, 5);
@@ -403,7 +477,7 @@ mod tests {
         let mut d = mem_disk(4);
         let h = hash();
         let a = build_region(&mut d, &h, 2, &(0..50).collect::<Vec<_>>());
-        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 16).unwrap();
+        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 16, false).unwrap();
         for q in 0..merged.buckets {
             let mut cur = Some(merged.block_of(q));
             while let Some(id) = cur {
@@ -428,7 +502,7 @@ mod tests {
         let mut d = mem_disk(4);
         let h = hash();
         let a = build_region(&mut d, &h, 16, &(0..40).collect::<Vec<_>>());
-        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 4).unwrap();
+        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 4, false).unwrap();
         let mut keys = region_keys(&mut d, &merged);
         keys.sort_unstable();
         assert_eq!(keys, (0..40).collect::<Vec<_>>());
@@ -441,7 +515,7 @@ mod tests {
         let mut d = mem_disk(4);
         let h = hash();
         let a = build_region(&mut d, &h, 3, &(0..60).collect::<Vec<_>>());
-        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 7).unwrap();
+        let (merged, _) = compact(&mut d, &h, vec![Source::from_region(a)], 7, false).unwrap();
         let mut keys = region_keys(&mut d, &merged);
         keys.sort_unstable();
         assert_eq!(keys, (0..60).collect::<Vec<_>>());
@@ -456,7 +530,7 @@ mod tests {
         let mut incoming: Vec<Item> = (100..106).map(|k| Item::new(k, k)).collect();
         incoming.push(Item::new(3, 999));
         let src = Source::from_memory(incoming, &h);
-        let stats = merge_in_place(&mut d, &h, vec![src], &mut region).unwrap();
+        let stats = merge_in_place(&mut d, &h, vec![src], &mut region, false).unwrap();
         assert_eq!(stats.items, 7);
         assert_eq!(stats.shadowed, 1, "old copy of key 3 replaced");
         assert_eq!(region.items, 16 + 7 - 1);
@@ -491,7 +565,8 @@ mod tests {
         let mut region = build_region(&mut d, &h, 16, &(0..32).collect::<Vec<_>>());
         let incoming: Vec<Item> = (1000..1016).map(|k| Item::new(k, k)).collect();
         let e = d.epoch();
-        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region).unwrap();
+        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region, false)
+            .unwrap();
         let io = d.since(&e).total(d.cost_model());
         // At most one combined I/O per bucket (16), usually fewer since
         // some buckets receive nothing.
@@ -504,7 +579,8 @@ mod tests {
         let h = hash();
         let mut region = build_region(&mut d, &h, 2, &(0..4).collect::<Vec<_>>());
         let incoming: Vec<Item> = (100..110).map(|k| Item::new(k, k)).collect();
-        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region).unwrap();
+        merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region, false)
+            .unwrap();
         assert_eq!(region.items, 14);
         let mut keys = region_keys(&mut d, &region);
         keys.sort_unstable();
@@ -514,13 +590,102 @@ mod tests {
     }
 
     #[test]
+    fn compact_purges_markers_and_their_shadowed_copies() {
+        let mut d = mem_disk(4);
+        let h = hash();
+        let older = build_region(&mut d, &h, 2, &[1, 2, 3]);
+        let markers = vec![Item::delete_marker(2)];
+        let (merged, stats) = compact(
+            &mut d,
+            &h,
+            vec![Source::from_memory(markers.clone(), &h), Source::from_region(older)],
+            4,
+            true,
+        )
+        .unwrap();
+        assert_eq!(stats.purged, 1, "the marker itself is dropped");
+        assert_eq!(stats.shadowed, 1, "the old copy of key 2 is shadowed away");
+        assert_eq!(merged.items, 2);
+        let mut keys = region_keys(&mut d, &merged);
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 3]);
+
+        // Without purge the marker survives as a regular item (it still
+        // has deeper levels to shadow).
+        let mut d = mem_disk(4);
+        let older = build_region(&mut d, &h, 2, &[1, 2, 3]);
+        let (merged, stats) = compact(
+            &mut d,
+            &h,
+            vec![Source::from_memory(markers, &h), Source::from_region(older)],
+            4,
+            false,
+        )
+        .unwrap();
+        assert_eq!(stats.purged, 0);
+        assert_eq!(merged.items, 3);
+        let q = prefix_bucket(h.hash64(2), 4);
+        let blk = d.backend_mut().read(merged.block_of(q)).unwrap();
+        assert_eq!(blk.find(2), Some(u64::MAX), "marker kept verbatim");
+    }
+
+    #[test]
+    fn in_place_merge_purges_markers() {
+        let mut d = mem_disk(4);
+        let h = hash();
+        let mut region = build_region(&mut d, &h, 8, &(0..16).collect::<Vec<_>>());
+        // Markers for two live keys and one absent key, plus one insert.
+        let incoming = vec![
+            Item::delete_marker(3),
+            Item::delete_marker(7),
+            Item::delete_marker(500),
+            Item::new(100, 100),
+        ];
+        let stats =
+            merge_in_place(&mut d, &h, vec![Source::from_memory(incoming, &h)], &mut region, true)
+                .unwrap();
+        assert_eq!(stats.purged, 3);
+        assert_eq!(stats.items, 1, "only the real insert is written");
+        assert_eq!(region.items, 16 + 1 - 2, "two live copies knocked out");
+        let mut keys = region_keys(&mut d, &region);
+        keys.sort_unstable();
+        let expect: Vec<u64> =
+            (0..16).filter(|k| *k != 3 && *k != 7).chain(std::iter::once(100)).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn compact_across_streams_between_disks() {
+        let mut src = mem_disk(4);
+        let mut dst = mem_disk(4);
+        let h = hash();
+        let a = build_region(&mut src, &h, 2, &(0..20).collect::<Vec<_>>());
+        let markers = vec![Item::delete_marker(5)];
+        let (merged, stats) = compact_across(
+            &mut src,
+            &mut dst,
+            &h,
+            vec![Source::from_memory(markers, &h), Source::from_region(a)],
+            8,
+            true,
+        )
+        .unwrap();
+        assert_eq!(stats.purged, 1);
+        assert_eq!(merged.items, 19);
+        assert_eq!(src.live_blocks(), 0, "source region fully freed on the source disk");
+        let mut keys = region_keys(&mut dst, &merged);
+        keys.sort_unstable();
+        assert_eq!(keys, (0..20).filter(|k| *k != 5).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn merge_cost_is_linear_in_regions() {
         let mut d = mem_disk(8);
         let h = hash();
         let keys: Vec<u64> = (0..256).collect();
         let a = build_region(&mut d, &h, 32, &keys);
         let e = d.epoch();
-        let (_, _) = compact(&mut d, &h, vec![Source::from_region(a)], 64).unwrap();
+        let (_, _) = compact(&mut d, &h, vec![Source::from_region(a)], 64, false).unwrap();
         let io = d.since(&e).total(d.cost_model());
         // Reads ≈ 32 source blocks (+chains), writes ≤ 64 target blocks.
         assert!(io <= 32 + 20 + 64, "merge I/O {io} should be ~linear in blocks");

@@ -2,8 +2,18 @@
 
 use std::collections::HashMap;
 
-use dxh_core::{BootstrappedTable, CoreConfig, ExternalDictionary, LayoutInspect, LogMethodTable};
+use dxh_core::{
+    BootstrappedTable, CoreConfig, ExternalDictionary, KvStore, LayoutInspect, LogMethodTable,
+};
 use proptest::prelude::*;
+
+/// A fresh per-case store directory (proptest runs many cases per test).
+fn case_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dxh-prop-store-{}-{n}", std::process::id()))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -26,6 +36,70 @@ proptest! {
             prop_assert_eq!(t.lookup(k).unwrap(), Some(v));
         }
         prop_assert_eq!(t.lookup(10_000).unwrap(), None);
+    }
+
+    /// The log-method table behaves like a HashMap under interleaved
+    /// insert/delete/reinsert (deletion markers shadow deeper copies;
+    /// purged merges must never resurrect or lose a key).
+    #[test]
+    fn log_method_with_deletes_matches_hashmap(
+        ops in proptest::collection::vec((0u8..10, 0u64..300, 0u64..1000), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let cfg = CoreConfig::lemma5(4, 96, 2).unwrap();
+        let mut t = LogMethodTable::new(cfg, seed).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (sel, k, v) in ops {
+            if sel < 7 {
+                t.insert(k, v).unwrap();
+                model.insert(k, v);
+            } else {
+                let was = t.delete(k).unwrap();
+                prop_assert_eq!(was, model.remove(&k).is_some(), "delete presence for key {}", k);
+            }
+        }
+        for k in 0..300u64 {
+            prop_assert_eq!(t.lookup(k).unwrap(), model.get(&k).copied(), "key {}", k);
+        }
+    }
+
+    /// Insert/delete/reinsert round-trips through `sync` + reopen: the
+    /// persistent store answers exactly like a HashMap at every
+    /// generation boundary, and deleted keys stay deleted across them.
+    #[test]
+    fn kv_store_churn_survives_sync_and_reopen(
+        ops in proptest::collection::vec((0u8..10, 0u64..200, 0u64..1000), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let dir = case_dir();
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CoreConfig::lemma5(8, 128, 2).unwrap();
+        let mut store = KvStore::open(&dir, cfg.clone(), seed).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (sel, k, v) in ops {
+            match sel {
+                0..=5 => {
+                    store.insert(k, v).unwrap();
+                    model.insert(k, v);
+                }
+                6..=8 => {
+                    let was = store.delete(k).unwrap();
+                    prop_assert_eq!(was, model.remove(&k).is_some(), "delete presence {}", k);
+                }
+                _ => {
+                    // Generation boundary: sync, drop, reopen.
+                    drop(store);
+                    store = KvStore::open(&dir, cfg.clone(), seed).unwrap();
+                }
+            }
+        }
+        drop(store);
+        let mut store = KvStore::open(&dir, cfg, seed).unwrap();
+        for k in 0..200u64 {
+            prop_assert_eq!(store.lookup(k).unwrap(), model.get(&k).copied(), "key {}", k);
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The bootstrapped table stores distinct keys exactly.

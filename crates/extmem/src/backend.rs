@@ -1,5 +1,7 @@
 //! The storage-backend abstraction behind [`crate::Disk`].
 
+use std::collections::BTreeMap;
+
 use crate::block::{Block, BlockId};
 use crate::error::Result;
 
@@ -26,7 +28,11 @@ pub trait StorageBackend {
     /// Contiguity is what lets a hash table compute a bucket's block
     /// address from `(base, bucket)` alone — an address function that fits
     /// in O(1) words of internal memory, as the paper's model requires —
-    /// instead of keeping a per-bucket pointer table. Never recycles ids.
+    /// instead of keeping a per-bucket pointer table. A contiguous run of
+    /// freed ids may be recycled (region frees and crash GC return whole
+    /// ranges, so runs are the common case); both built-in backends use
+    /// the identical lowest-first-fit policy ([`FreeRuns`]) so the
+    /// same workload produces the same ids on every backend.
     fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId>;
 
     /// Returns block `id` to the allocator. Reading a freed id is an error
@@ -38,4 +44,140 @@ pub trait StorageBackend {
 
     /// Flushes any OS-level buffering (no-op for in-memory backends).
     fn sync(&mut self) -> Result<()>;
+}
+
+/// Free block ids as a coalesced interval set (`start → end`,
+/// end-exclusive, maximal runs), maintained incrementally by the
+/// allocator alongside its LIFO recycle stack.
+///
+/// This is the shared policy behind every backend's
+/// [`StorageBackend::allocate_contiguous`] — the **lowest** maximal run
+/// of at least `n` consecutive free ids wins — so block ids stay
+/// backend-deterministic. Keeping the runs coalesced as frees arrive
+/// makes the run search `O(runs)` with no allocation (after crash GC or
+/// a region free the returned ranges coalesce into a handful of runs),
+/// where re-deriving it from the flat free list cost a clone plus an
+/// `O(F log F)` sort on every region rebuild — even the ones that found
+/// nothing and fell through to file growth.
+#[derive(Debug, Default)]
+pub(crate) struct FreeRuns {
+    runs: BTreeMap<u64, u64>,
+}
+
+impl FreeRuns {
+    /// Rebuilds from a flat id list (reopen path).
+    pub(crate) fn rebuild(&mut self, ids: &[u64]) {
+        self.runs.clear();
+        for &id in ids {
+            self.insert(id);
+        }
+    }
+
+    /// Marks `id` free, coalescing with adjacent runs. `id` must not
+    /// already be free (callers guard with their liveness checks).
+    pub(crate) fn insert(&mut self, id: u64) {
+        // Absorb a run starting right after id, then either extend a run
+        // ending right at id or open a new one.
+        let end = self.runs.remove(&(id + 1)).unwrap_or(id + 1);
+        if let Some((_, e)) = self.runs.range_mut(..=id).next_back() {
+            debug_assert!(*e <= id, "id {id} already free");
+            if *e == id {
+                *e = end;
+                return;
+            }
+        }
+        self.runs.insert(id, end);
+    }
+
+    /// Un-frees a single `id` (the LIFO `allocate` path), splitting the
+    /// run containing it.
+    pub(crate) fn remove(&mut self, id: u64) {
+        let (&s, &e) = self.runs.range(..=id).next_back().expect("id must be free");
+        debug_assert!(id < e, "id {id} not free");
+        self.runs.remove(&s);
+        if s < id {
+            self.runs.insert(s, id);
+        }
+        if id + 1 < e {
+            self.runs.insert(id + 1, e);
+        }
+    }
+
+    /// Un-frees `[base, end)`, which must lie within one run (as returned
+    /// by [`FreeRuns::first_run_of`]).
+    pub(crate) fn remove_range(&mut self, base: u64, end: u64) {
+        let (&s, &e) = self.runs.range(..=base).next_back().expect("run must be free");
+        debug_assert!(base >= s && end <= e, "[{base},{end}) not within a free run");
+        self.runs.remove(&s);
+        if s < base {
+            self.runs.insert(s, base);
+        }
+        if end < e {
+            self.runs.insert(end, e);
+        }
+    }
+
+    /// The start of the lowest maximal run of at least `n` consecutive
+    /// free ids, if any.
+    pub(crate) fn first_run_of(&self, n: usize) -> Option<u64> {
+        if n == 0 {
+            return None;
+        }
+        let n = n as u64;
+        self.runs.iter().find(|&(&s, &e)| e - s >= n).map(|(&s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FreeRuns;
+
+    /// The policy predecessor: sort the flat list, return the lowest
+    /// maximal run of ≥ n. `FreeRuns` must agree with it exactly.
+    fn reference_run(free: &[u64], n: usize) -> Option<u64> {
+        if n == 0 || free.len() < n {
+            return None;
+        }
+        let mut sorted = free.to_vec();
+        sorted.sort_unstable();
+        let mut run_start = 0usize;
+        for i in 1..=sorted.len() {
+            if i == sorted.len() || sorted[i] != sorted[i - 1] + 1 {
+                if i - run_start >= n {
+                    return Some(sorted[run_start]);
+                }
+                run_start = i;
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn matches_the_sort_based_reference_policy() {
+        // Out-of-order frees with gaps: runs [2,5), [7,8), [10,14).
+        let ids = [12, 2, 10, 7, 4, 13, 3, 11];
+        let mut runs = FreeRuns::default();
+        runs.rebuild(&ids);
+        for n in 0..6 {
+            assert_eq!(runs.first_run_of(n), reference_run(&ids, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn insert_coalesces_and_remove_splits() {
+        let mut runs = FreeRuns::default();
+        runs.insert(5);
+        runs.insert(7);
+        assert_eq!(runs.first_run_of(2), None);
+        runs.insert(6); // bridges [5,6) and [7,8) into [5,8)
+        assert_eq!(runs.first_run_of(3), Some(5));
+        runs.remove(6); // splits back
+        assert_eq!(runs.first_run_of(2), None);
+        assert_eq!(runs.first_run_of(1), Some(5));
+        runs.insert(6);
+        runs.remove_range(5, 7); // leaves [7,8)
+        assert_eq!(runs.first_run_of(1), Some(7));
+        runs.remove(7);
+        assert_eq!(runs.first_run_of(1), None);
+    }
 }

@@ -5,7 +5,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use crate::backend::StorageBackend;
+use crate::backend::{FreeRuns, StorageBackend};
 use crate::block::{Block, BlockId};
 use crate::error::{ExtMemError, Result};
 
@@ -30,6 +30,9 @@ pub struct FileDisk {
     slots: u64,
     /// Recycle stack: freed ids, reused LIFO.
     free: Vec<u64>,
+    /// `free` as coalesced intervals, for O(runs) contiguous-run search
+    /// (quarantined ids join only at [`FileDisk::commit_frees`]).
+    runs: FreeRuns,
     /// Freed ids quarantined from recycling until [`FileDisk::commit_frees`]
     /// (only populated when [`FileDisk::set_defer_recycling`] is on).
     pending_free: Vec<u64>,
@@ -80,6 +83,7 @@ impl FileDisk {
             block_bytes,
             slots,
             free: Vec::new(),
+            runs: FreeRuns::default(),
             pending_free: Vec::new(),
             free_set: HashSet::new(),
             defer_recycling: false,
@@ -121,6 +125,13 @@ impl FileDisk {
         out
     }
 
+    /// Number of dead slots (recyclable plus quarantined) without
+    /// cloning the list: `slots() == live_blocks() + free_count()` always
+    /// holds, which is the invariant GC and compaction accounting lean on.
+    pub fn free_count(&self) -> usize {
+        self.free.len() + self.pending_free.len()
+    }
+
     /// Quarantines future frees (on) or recycles them immediately (off,
     /// the default). With deferral on, a freed block's contents stay on
     /// disk untouched — and its slot is never handed back by
@@ -138,6 +149,9 @@ impl FileDisk {
     /// Releases every quarantined slot for recycling. Call after the
     /// caller's own metadata (which lists those slots as free) is durable.
     pub fn commit_frees(&mut self) {
+        for &id in &self.pending_free {
+            self.runs.insert(id);
+        }
         self.free.append(&mut self.pending_free);
     }
 
@@ -152,6 +166,7 @@ impl FileDisk {
             }
         }
         self.live = self.slots - free.len() as u64;
+        self.runs.rebuild(&free);
         self.free = free;
         self.pending_free.clear();
         self.free_set = set;
@@ -214,6 +229,7 @@ impl StorageBackend for FileDisk {
                 self.file.seek(SeekFrom::Start(idx * self.block_bytes as u64))?;
                 self.file.write_all(&[0u8; 24])?;
                 self.free.pop();
+                self.runs.remove(idx);
                 self.free_set.remove(&idx);
                 idx
             }
@@ -228,6 +244,33 @@ impl StorageBackend for FileDisk {
     }
 
     fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId> {
+        // Recycle a contiguous run of free slots when one exists (only
+        // committed frees — quarantined slots still hold data a sync
+        // point references). Stale images are reset by one zero-fill
+        // write over the run, done *before* the allocator state changes
+        // so a failed write leaves the run safely on the free list.
+        if let Some(base) = self.runs.first_run_of(n) {
+            let end = base + n as u64;
+            self.file.seek(SeekFrom::Start(base * self.block_bytes as u64))?;
+            // Zero in bounded chunks: a post-GC run can span most of the
+            // file, and one Vec for the whole range would be unbounded
+            // transient heap.
+            const ZERO_CHUNK: usize = 1 << 18;
+            let zeros = vec![0u8; ZERO_CHUNK.min(n * self.block_bytes)];
+            let mut remaining = n * self.block_bytes;
+            while remaining > 0 {
+                let step = remaining.min(zeros.len());
+                self.file.write_all(&zeros[..step])?;
+                remaining -= step;
+            }
+            self.free.retain(|&id| !(base..end).contains(&id));
+            self.runs.remove_range(base, end);
+            for id in base..end {
+                self.free_set.remove(&id);
+            }
+            self.live += n as u64;
+            return Ok(BlockId(base));
+        }
         let base = self.slots;
         // One metadata syscall for the whole range — the zero-filled
         // extension already decodes as n empty blocks.
@@ -242,6 +285,7 @@ impl StorageBackend for FileDisk {
             self.pending_free.push(id.raw());
         } else {
             self.free.push(id.raw());
+            self.runs.insert(id.raw());
         }
         self.free_set.insert(id.raw());
         self.live -= 1;
@@ -353,6 +397,42 @@ mod tests {
             d.free(id).unwrap();
         }
         assert_eq!(d.live_blocks(), 1000);
+    }
+
+    #[test]
+    fn out_of_order_frees_coalesce_into_a_recyclable_run() {
+        let mut d = FileDisk::temp(2).unwrap();
+        let _anchor = d.allocate().unwrap(); // keep slot 0 live
+        let ids: Vec<_> = (0..6).map(|_| d.allocate().unwrap()).collect();
+        for &i in &[3usize, 1, 5, 2, 4] {
+            d.free(ids[i]).unwrap();
+        }
+        let base = d.allocate_contiguous(5).unwrap();
+        assert_eq!(base, ids[1], "the coalesced run is recycled, not the file grown");
+        assert_eq!(d.slots(), 7, "no growth");
+        for k in 0..5 {
+            assert!(d.read(BlockId(base.raw() + k)).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn contiguous_search_stays_fast_with_a_fragmented_free_list() {
+        // Regression shape for the old per-call clone+sort: a large free
+        // list fragmented into runs of 2 (so no run of 3 ever exists),
+        // probed by many region rebuilds that all fall through to file
+        // growth. The incremental interval set makes each probe O(runs)
+        // with no allocation; re-sorting the flat list made every one of
+        // these failures pay O(F log F).
+        let mut d = FileDisk::temp(2).unwrap();
+        let ids: Vec<_> = (0..20_000).map(|_| d.allocate().unwrap()).collect();
+        for quad in ids.chunks(4) {
+            d.free(quad[0]).unwrap();
+            d.free(quad[1]).unwrap();
+        }
+        for _ in 0..2_000 {
+            let base = d.allocate_contiguous(3).unwrap();
+            assert!(base.raw() >= 20_000, "no run of 3 exists among the frees");
+        }
     }
 
     #[test]

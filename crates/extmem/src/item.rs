@@ -18,6 +18,14 @@ pub type Value = u64;
 /// smaller than this value; constructors enforce it on insert.
 pub const KEY_TOMBSTONE: Key = u64::MAX;
 
+/// Reserved value used by the buffered (LSM-style) tables as a **per-key
+/// deletion marker**: an item `(k, VALUE_TOMBSTONE)` records "key `k` is
+/// deleted" and shadows older copies of `k` in deeper levels until a
+/// merge into the deepest level purges it. Structures that support
+/// log-method deletion reject user values equal to this sentinel on
+/// insert; the flat tables (which delete physically) accept any value.
+pub const VALUE_TOMBSTONE: Value = u64::MAX;
+
 /// An indivisible record: `(key, value)`.
 ///
 /// The indivisibility assumption of the paper's lower bound — items are
@@ -56,6 +64,20 @@ impl Item {
     pub const fn tombstone() -> Self {
         Item { key: KEY_TOMBSTONE, value: 0 }
     }
+
+    /// A per-key deletion marker for `key` (see [`VALUE_TOMBSTONE`]): it
+    /// hashes like `key`, so it lands in `key`'s bucket and shadows
+    /// deeper copies during shallow-first lookup and level merges.
+    #[inline]
+    pub const fn delete_marker(key: Key) -> Self {
+        Item { key, value: VALUE_TOMBSTONE }
+    }
+
+    /// Whether this item is a per-key deletion marker.
+    #[inline]
+    pub const fn is_delete_marker(&self) -> bool {
+        self.value == VALUE_TOMBSTONE
+    }
 }
 
 impl core::fmt::Debug for Item {
@@ -91,6 +113,15 @@ mod tests {
         assert!(Item::tombstone().is_tombstone());
         assert!(!Item::new(0, 0).is_tombstone());
         assert!(Item::new(KEY_TOMBSTONE, 7).is_tombstone());
+    }
+
+    #[test]
+    fn delete_marker_keeps_the_key() {
+        let d = Item::delete_marker(42);
+        assert_eq!(d.key, 42);
+        assert!(d.is_delete_marker());
+        assert!(!d.is_tombstone(), "a delete marker is not the slot sentinel");
+        assert!(!Item::new(42, 0).is_delete_marker());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use config::{ExtMemConfig, PoolConfig};
 pub use disk::Disk;
 pub use error::{ExtMemError, Result};
 pub use file_disk::FileDisk;
-pub use item::{Item, Key, Value, KEY_TOMBSTONE};
+pub use item::{Item, Key, Value, KEY_TOMBSTONE, VALUE_TOMBSTONE};
 pub use mem_disk::MemDisk;
 pub use pool::{BufferPool, EvictionPolicy, PoolStats};
 pub use stats::{IoCostModel, IoSnapshot, IoStats};

@@ -1,6 +1,6 @@
 //! In-memory storage backend: the exact, deterministic simulator disk.
 
-use crate::backend::StorageBackend;
+use crate::backend::{FreeRuns, StorageBackend};
 use crate::block::{Block, BlockId};
 use crate::error::{ExtMemError, Result};
 
@@ -14,6 +14,8 @@ pub struct MemDisk {
     block_capacity: usize,
     slots: Vec<Option<Block>>,
     free: Vec<u64>,
+    /// `free` as coalesced intervals, for O(runs) contiguous-run search.
+    runs: FreeRuns,
     live: u64,
 }
 
@@ -21,7 +23,13 @@ impl MemDisk {
     /// A new empty disk with block capacity `b` items.
     pub fn new(block_capacity: usize) -> Self {
         assert!(block_capacity > 0, "block capacity must be positive");
-        MemDisk { block_capacity, slots: Vec::new(), free: Vec::new(), live: 0 }
+        MemDisk {
+            block_capacity,
+            slots: Vec::new(),
+            free: Vec::new(),
+            runs: FreeRuns::default(),
+            live: 0,
+        }
     }
 
     fn slot(&self, id: BlockId) -> Result<&Block> {
@@ -55,6 +63,7 @@ impl StorageBackend for MemDisk {
     fn allocate(&mut self) -> Result<BlockId> {
         self.live += 1;
         if let Some(idx) = self.free.pop() {
+            self.runs.remove(idx);
             self.slots[idx as usize] = Some(Block::new(self.block_capacity));
             return Ok(BlockId(idx));
         }
@@ -64,6 +73,18 @@ impl StorageBackend for MemDisk {
     }
 
     fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId> {
+        // Same run-recycling policy as FileDisk, so block ids stay
+        // identical across backends for identical workloads.
+        if let Some(base) = self.runs.first_run_of(n) {
+            let end = base + n as u64;
+            self.free.retain(|&id| !(base..end).contains(&id));
+            self.runs.remove_range(base, end);
+            for id in base..end {
+                self.slots[id as usize] = Some(Block::new(self.block_capacity));
+            }
+            self.live += n as u64;
+            return Ok(BlockId(base));
+        }
         let base = self.slots.len() as u64;
         self.slots.reserve(n);
         for _ in 0..n {
@@ -80,6 +101,7 @@ impl StorageBackend for MemDisk {
         }
         *slot = None;
         self.free.push(id.raw());
+        self.runs.insert(id.raw());
         self.live -= 1;
         Ok(())
     }

@@ -15,9 +15,14 @@ use dxh_extmem::{IoCostModel, IoSnapshot, Key, Result, Value};
 ///   physically present in a deeper level, but `lookup` always returns
 ///   the newest value.
 /// * `lookup` of an absent key returns `Ok(None)`.
-/// * `delete` returns whether the key was present.
+/// * `delete` returns whether the key was present. Buffered (LSM-style)
+///   implementations delete via per-key markers: the key is immediately
+///   absent to `lookup`, while its physical space is reclaimed by the
+///   next deepest-level merge or compaction.
 /// * Keys must be `< u64::MAX` ([`dxh_extmem::KEY_TOMBSTONE`] is
-///   reserved).
+///   reserved). Implementations that delete via markers also reserve the
+///   value `u64::MAX` ([`dxh_extmem::VALUE_TOMBSTONE`]) and reject it on
+///   insert; flat tables accept any value.
 ///
 /// ## Measurement
 ///

@@ -18,6 +18,42 @@ pub trait Workload {
     fn name(&self) -> &'static str;
 }
 
+/// A request the workload generators cannot satisfy, reported as a typed
+/// error instead of a panic so harnesses can skip or reconfigure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadError {
+    /// An operation-class ratio is outside its documented range.
+    BadRatio {
+        /// Which parameter was rejected.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested operation mix cannot be generated (e.g. deletes
+    /// from a workload family defined as insert-only).
+    UnsupportedMix {
+        /// The workload family that rejected the request.
+        workload: &'static str,
+        /// What was asked of it.
+        why: &'static str,
+    },
+}
+
+impl core::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkloadError::BadRatio { param, value } => {
+                write!(f, "workload ratio {param} = {value} out of range")
+            }
+            WorkloadError::UnsupportedMix { workload, why } => {
+                write!(f, "workload {workload} cannot generate the requested mix: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 fn fresh_key(rng: &mut SplitMix64, used: &mut HashSet<Key>) -> Key {
     loop {
         let k = rng.next_u64() >> 1;
@@ -86,6 +122,87 @@ impl Workload for InsertLookupMix {
 
     fn name(&self) -> &'static str {
         "insert-lookup-mix"
+    }
+}
+
+/// A churn stream: inserts, deletes, and lookups interleaved, the
+/// workload family the persistent store's deletion and compaction paths
+/// are measured under. Each step inserts a fresh key with probability
+/// `insert_ratio`, deletes a uniformly chosen **live** key with
+/// probability `delete_ratio`, and otherwise looks up a uniformly chosen
+/// previously inserted key (live or deleted — deleted keys exercise the
+/// deletion-marker miss path). Steps with no eligible target fall back
+/// to an insert, so the trace always has exactly `ops` operations.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnMix {
+    /// Total operations.
+    pub ops: usize,
+    /// Fraction of operations that are insertions, in `(0, 1]`.
+    pub insert_ratio: f64,
+    /// Fraction of operations that are deletions, in `[0, 1]`;
+    /// `insert_ratio + delete_ratio ≤ 1`.
+    pub delete_ratio: f64,
+}
+
+impl ChurnMix {
+    /// Validates the mix. Ratios outside their ranges are
+    /// [`WorkloadError::BadRatio`]; deletes without inserts to target
+    /// are a genuinely unsupported request —
+    /// [`WorkloadError::UnsupportedMix`].
+    pub fn new(ops: usize, insert_ratio: f64, delete_ratio: f64) -> Result<Self, WorkloadError> {
+        if !(0.0..=1.0).contains(&insert_ratio) {
+            return Err(WorkloadError::BadRatio { param: "insert_ratio", value: insert_ratio });
+        }
+        if !(0.0..=1.0).contains(&delete_ratio) {
+            return Err(WorkloadError::BadRatio { param: "delete_ratio", value: delete_ratio });
+        }
+        if insert_ratio + delete_ratio > 1.0 {
+            return Err(WorkloadError::BadRatio {
+                param: "insert_ratio + delete_ratio",
+                value: insert_ratio + delete_ratio,
+            });
+        }
+        if delete_ratio > 0.0 && insert_ratio == 0.0 {
+            return Err(WorkloadError::UnsupportedMix {
+                workload: "churn-mix",
+                why: "deletes need inserts to target",
+            });
+        }
+        Ok(ChurnMix { ops, insert_ratio, delete_ratio })
+    }
+}
+
+impl Workload for ChurnMix {
+    fn generate(&self, seed: u64) -> Trace {
+        let mut rng = SplitMix64::new(seed);
+        let mut used = HashSet::new();
+        let mut inserted: Vec<Key> = Vec::new(); // every key ever inserted
+        let mut live: Vec<Key> = Vec::new(); // currently live keys
+        let mut ops = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if coin < self.insert_ratio + self.delete_ratio && coin >= self.insert_ratio {
+                if let Some(idx) = (!live.is_empty()).then(|| rng.below(live.len() as u64)) {
+                    ops.push(Op::Delete(live.swap_remove(idx as usize)));
+                    continue;
+                }
+            } else if coin >= self.insert_ratio + self.delete_ratio && !inserted.is_empty() {
+                let k = inserted[rng.below(inserted.len() as u64) as usize];
+                ops.push(Op::Lookup(k));
+                continue;
+            }
+            // Insert — also the fallback when a delete or lookup has no
+            // eligible target yet.
+            let k = fresh_key(&mut rng, &mut used);
+            inserted.push(k);
+            live.push(k);
+            ops.push(Op::Insert(k, k));
+        }
+        Trace { ops }
+    }
+
+    fn name(&self) -> &'static str {
+        "churn-mix"
     }
 }
 
@@ -180,12 +297,14 @@ mod tests {
         let a = w.generate(5);
         let b = w.generate(5);
         assert_eq!(a, b, "same seed, same trace");
+        let (inserts, lookups, deletes) = a.histogram();
+        assert_eq!((inserts, lookups, deletes), (1000, 0, 0), "inserts only, by construction");
         let keys: HashSet<_> = a
             .ops
             .iter()
-            .map(|op| match op {
-                Op::Insert(k, _) => *k,
-                _ => panic!("inserts only"),
+            .filter_map(|op| match op {
+                Op::Insert(k, _) => Some(*k),
+                _ => None,
             })
             .collect();
         assert_eq!(keys.len(), 1000, "keys are distinct");
@@ -217,6 +336,52 @@ mod tests {
                 Op::Delete(_) => unreachable!(),
             }
         }
+    }
+
+    #[test]
+    fn churn_mix_validates_its_ratios() {
+        assert!(matches!(
+            ChurnMix::new(10, 1.5, 0.0),
+            Err(WorkloadError::BadRatio { param: "insert_ratio", .. })
+        ));
+        assert!(matches!(
+            ChurnMix::new(10, 0.7, 0.7),
+            Err(WorkloadError::BadRatio { param: "insert_ratio + delete_ratio", .. })
+        ));
+        assert!(matches!(
+            ChurnMix::new(10, 0.0, 0.3),
+            Err(WorkloadError::UnsupportedMix { workload: "churn-mix", .. })
+        ));
+        assert!(ChurnMix::new(10, 0.5, 0.3).is_ok());
+    }
+
+    #[test]
+    fn churn_mix_deletes_live_keys_only_and_is_reproducible() {
+        let w = ChurnMix::new(10_000, 0.5, 0.2).unwrap();
+        let a = w.generate(7);
+        assert_eq!(a, w.generate(7), "same seed, same trace");
+        assert_eq!(a.len(), 10_000);
+        let mut live = HashSet::new();
+        let mut ever = HashSet::new();
+        for op in &a.ops {
+            match op {
+                Op::Insert(k, _) => {
+                    assert!(ever.insert(*k), "fresh keys only");
+                    live.insert(*k);
+                }
+                Op::Delete(k) => {
+                    assert!(live.remove(k), "deletes target a live key");
+                }
+                Op::Lookup(k) => {
+                    assert!(ever.contains(k), "lookups target inserted keys (live or deleted)");
+                }
+            }
+        }
+        let (ins, looks, dels) = a.histogram();
+        assert_eq!(ins + looks + dels, 10_000);
+        assert!(dels > 1000, "deletes materialize: {dels}");
+        assert!((ins as f64 / 10_000.0 - 0.5).abs() < 0.05, "insert ratio ≈ 0.5: {ins}");
+        assert!(looks > 1000, "lookups materialize: {looks}");
     }
 
     #[test]

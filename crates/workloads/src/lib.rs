@@ -4,8 +4,10 @@
 //!   round-tripping, so experiments are replayable.
 //! * [`generator`] — the workload families used by the experiments:
 //!   uniform random insertions (the paper's model), insert/lookup mixes,
-//!   the intro's motivating *archival stream* (insert-heavy, occasional
-//!   point queries), and Zipf-skewed query workloads.
+//!   insert/delete/lookup churn (for the store's deletion and compaction
+//!   paths), the intro's motivating *archival stream* (insert-heavy,
+//!   occasional point queries), and Zipf-skewed query workloads.
+//!   Unsatisfiable requests are typed [`WorkloadError`]s, not panics.
 //! * [`zipf`] — a Zipf(θ) rank sampler.
 //! * [`runner`] — drives any [`dxh_tables::ExternalDictionary`] through
 //!   a trace with per-operation-class I/O attribution, measures the
@@ -20,7 +22,9 @@ pub mod runner;
 pub mod trace;
 pub mod zipf;
 
-pub use generator::{ArchivalStream, InsertLookupMix, UniformInserts, Workload, ZipfQueries};
+pub use generator::{
+    ArchivalStream, ChurnMix, InsertLookupMix, UniformInserts, Workload, WorkloadError, ZipfQueries,
+};
 pub use runner::{measure_tq, measure_tq_unsuccessful, parallel_trials, run_trace, RunReport};
 pub use trace::{Op, Trace};
 pub use zipf::ZipfSampler;

@@ -86,6 +86,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.reads, s.writes
     );
 
+    // ---- Generation 3: retire most of the corpus, then compact. ----
+    // Deletion writes a marker that shadows deeper copies immediately;
+    // compact() streams the survivors into a dense new data file and
+    // commits the swap through the manifest. (Words repeat across the
+    // corpus, so "retire the even indices" retires every occurrence of
+    // those words — survivors are the words only seen at odd indices.)
+    let retired: std::collections::HashSet<u64> =
+        corpus.iter().step_by(2).map(|w| string_key(w)).collect();
+    let mut deleted = 0u64;
+    for &k in &retired {
+        deleted += store.delete(k)? as u64;
+    }
+    let before = std::fs::metadata(store.data_path())?.len();
+    let stats = store.compact()?;
+    println!(
+        "deleted {deleted} keys, compacted {} KiB → {} KiB ({} live items, {} markers purged)",
+        before / 1024,
+        stats.bytes_after / 1024,
+        stats.live_items,
+        stats.purged
+    );
+    assert!(stats.bytes_after < before);
+    assert_eq!(store.lookup(string_key(&corpus[0]))?, None, "retired words are gone");
+    let survivor = corpus.iter().find(|w| !retired.contains(&string_key(w)));
+    if let Some(w) = survivor {
+        assert!(store.lookup(string_key(w))?.is_some(), "unretired words survive");
+    }
+
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())

@@ -1,6 +1,9 @@
 //! The persistent store survives process-style lifecycle boundaries:
-//! create → insert → drop → reopen → verify, plus sharded file-backed
+//! create → insert/delete churn → drop → reopen → verify, plus crash
+//! recovery with orphan GC, explicit compaction, and sharded file-backed
 //! deployments, exercised end-to-end through the umbrella crate.
+
+use std::collections::HashMap;
 
 use dyn_ext_hash::core::{
     BootstrappedTable, CoreConfig, DynamicHashTable, ExternalDictionary, KvStore, ShardedTable,
@@ -8,9 +11,19 @@ use dyn_ext_hash::core::{
 };
 use dyn_ext_hash::extmem::{Disk, FileDisk, IoCostModel};
 use dyn_ext_hash::hashfn::SplitMix64;
+use dyn_ext_hash::workloads::{run_trace, ChurnMix, Op, Workload};
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("dxh-it-{tag}-{}", std::process::id()))
+}
+
+/// Simulates a process crash: Drop never runs, and the dead process's
+/// LOCK file goes away with the process (same-process tests must remove
+/// it by hand because their own pid is still alive).
+fn crash(s: KvStore) {
+    let lock = s.path().join("LOCK");
+    std::mem::forget(s);
+    let _ = std::fs::remove_file(lock);
 }
 
 #[test]
@@ -62,6 +75,93 @@ fn store_matches_volatile_twin_lookup_for_lookup() {
     for k in 0..1600u64 {
         assert_eq!(store.lookup(k).unwrap(), twin.lookup(k).unwrap(), "key {k}");
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn churn_workload_round_trips_through_sync_and_reopen() {
+    // A generated insert/delete/lookup churn trace replayed against the
+    // persistent store across two generations answers exactly like a
+    // HashMap replay of the same trace.
+    let dir = tmp_dir("churn");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CoreConfig::lemma5(16, 256, 2).unwrap();
+    let trace = ChurnMix::new(6000, 0.5, 0.25).unwrap().generate(0xC0DE);
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let (first, second) = trace.ops.split_at(trace.ops.len() / 2);
+    for half in [first, second] {
+        let mut store = KvStore::open(&dir, cfg.clone(), 17).unwrap();
+        let report =
+            run_trace(&mut store, &dyn_ext_hash::workloads::Trace { ops: half.to_vec() }).unwrap();
+        assert!(report.deletes > 0, "the trace exercises deletion");
+        for op in half {
+            match *op {
+                Op::Insert(k, v) => {
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    model.remove(&k);
+                }
+                Op::Lookup(_) => {}
+            }
+        }
+        // Drop syncs: the next generation must see this one's state.
+    }
+    let mut store = KvStore::open(&dir, cfg, 17).unwrap();
+    for op in &trace.ops {
+        let k = match op {
+            Op::Insert(k, _) | Op::Delete(k) | Op::Lookup(k) => *k,
+        };
+        assert_eq!(store.lookup(k).unwrap(), model.get(&k).copied(), "key {k}");
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_orphans_are_collected_and_compaction_shrinks_the_file() {
+    // The full space-reclamation lifecycle: insert/delete churn, sync,
+    // unsynced churn, crash, reopen (orphan GC), more churn, compact —
+    // ending with a file near the live-data footprint and exact answers.
+    let dir = tmp_dir("reclaim");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CoreConfig::lemma5(16, 256, 2).unwrap();
+    let mut store = KvStore::open(&dir, cfg.clone(), 23).unwrap();
+    for k in 0..4000u64 {
+        store.insert(k, k).unwrap();
+    }
+    for k in (0..4000u64).step_by(2) {
+        assert!(store.delete(k).unwrap());
+    }
+    store.sync().unwrap();
+    // Unsynced churn, then crash.
+    for k in 4000..6000u64 {
+        store.insert(k, k).unwrap();
+    }
+    crash(store);
+    let mut store = KvStore::open(&dir, cfg.clone(), 23).unwrap();
+    let backend = store.table().disk().backend();
+    assert!(backend.free_count() > 0, "crash orphans returned to the free list");
+    let slots_after_gc = backend.slots();
+    // Orphans are recycled before the file grows.
+    for k in 10_000..10_200u64 {
+        store.insert(k, k).unwrap();
+    }
+    assert_eq!(store.table().disk().backend().slots(), slots_after_gc, "no growth yet");
+    let stats = store.compact().unwrap();
+    assert!(stats.bytes_after < stats.bytes_before, "compaction shrank the file: {stats:?}");
+    assert_eq!(stats.live_items, 2000 + 200, "odd survivors + fresh keys");
+    // Deleted keys stay gone across one more reopen of the compacted store.
+    drop(store);
+    let mut store = KvStore::open(&dir, cfg, 23).unwrap();
+    for k in 0..4000u64 {
+        let expect = (k % 2 == 1).then_some(k);
+        assert_eq!(store.lookup(k).unwrap(), expect, "key {k}");
+    }
+    for k in 10_000..10_200u64 {
+        assert_eq!(store.lookup(k).unwrap(), Some(k));
+    }
+    drop(store);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
