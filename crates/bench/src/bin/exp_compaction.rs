@@ -12,9 +12,12 @@
 //!
 //! Output: an aligned table, `results/exp_compaction.csv`, and
 //! `results/exp_compaction.json` (the shape tracked by
-//! `BENCH_COMPACTION.json` at the repo root).
+//! `BENCH_COMPACTION.json` at the repo root). The key stream and the
+//! store's hash seed both derive from `--seed` (default below), and the
+//! JSON echoes it, so a snapshot names the exact run that produced it.
 //!
-//! Run: `cargo run -p dxh-bench --release --bin exp_compaction [--quick]`
+//! Run: `cargo run -p dxh-bench --release --bin exp_compaction [--quick]
+//! [--seed N]`
 
 use std::time::Instant;
 
@@ -39,7 +42,12 @@ fn snapshot(name: &'static str, s: &KvStore, ios: u64, wall_ms: f64) -> Phase {
     Phase {
         name,
         items: s.len(),
-        file_bytes: std::fs::metadata(s.data_path()).map(|m| m.len()).unwrap_or(0),
+        file_bytes: s
+            .data_path()
+            .ok()
+            .and_then(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .unwrap_or(0),
         slots: backend.slots(),
         live: s.table().disk().live_blocks(),
         free: backend.free_count(),
@@ -53,16 +61,20 @@ fn main() {
     let b = 32;
     let m = 1024;
     let n = args.scale(120_000, 12_000);
+    // One seed drives the key stream and the store's hash function, so
+    // the emitted snapshot is reproducible from its own JSON.
+    let seed: u64 =
+        args.get("seed").map(|v| v.parse().expect("--seed takes a number")).unwrap_or(0xC0117EC7);
     let cfg = CoreConfig::lemma5(b, m, 2).expect("config");
     let dir = std::env::temp_dir().join(format!("dxh-exp-compaction-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let mut rng = SplitMix64::new(0xC0117EC7);
+    let mut rng = SplitMix64::new(seed);
     let keys: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 1).collect();
     let mut phases: Vec<Phase> = Vec::new();
 
     // Phase 1: bulk load + sync.
-    let mut store = KvStore::open(&dir, cfg.clone(), 7).expect("create");
+    let mut store = KvStore::open(&dir, cfg.clone(), seed ^ 0x5704E).expect("create");
     let t0 = Instant::now();
     for &k in &keys {
         store.insert(k, k).expect("insert");
@@ -98,7 +110,7 @@ fn main() {
     // Phase 4: reopen — crash recovery walks the manifest's regions and
     // returns every orphaned slot to the free list.
     let t0 = Instant::now();
-    let mut store = KvStore::open(&dir, cfg.clone(), 7).expect("reopen after crash");
+    let mut store = KvStore::open(&dir, cfg.clone(), seed ^ 0x5704E).expect("reopen after crash");
     phases.push(snapshot("crash+reopen (GC)", &store, 0, ms(t0)));
     let orphans = store.table().disk().backend().free_count();
     assert!(orphans > 0, "GC must hand dead slots back to the allocator");
@@ -112,7 +124,7 @@ fn main() {
 
     // Verify: deleted keys absent, survivors present, across a reopen.
     drop(store);
-    let mut store = KvStore::open(&dir, cfg, 7).expect("reopen compacted");
+    let mut store = KvStore::open(&dir, cfg, seed ^ 0x5704E).expect("reopen compacted");
     for (i, &k) in keys.iter().enumerate().step_by(97) {
         let got = store.lookup(k).expect("lookup");
         if i % 2 == 0 {
@@ -153,9 +165,9 @@ fn main() {
     emit("KvStore space-reclamation lifecycle", &table, &args, "exp_compaction.csv");
 
     let json = format!(
-        "{{\n  \"bench\": \"exp_compaction\",\n  \"command\": \"cargo run -p dxh-bench --release --bin exp_compaction\",\n  \
+        "{{\n  \"bench\": \"exp_compaction\",\n  \"command\": \"cargo run -p dxh-bench --release --bin exp_compaction -- --seed {seed}\",\n  \
          \"note\": \"File sizes are exact; wall-clock is container-local (trajectory, not absolutes). I/O counters restart at reopen/compact.\",\n  \
-         \"params\": {{\"b\": {b}, \"m\": {m}, \"n\": {n}}},\n  \
+         \"params\": {{\"b\": {b}, \"m\": {m}, \"n\": {n}, \"seed\": {seed}}},\n  \
          \"compaction\": {{\"bytes_before\": {}, \"bytes_after\": {}, \"live_items\": {}, \
          \"purged\": {}, \"shadowed\": {}, \"orphans_reclaimed\": {orphans}}},\n  \"phases\": [\n{}\n  ]\n}}\n",
         stats.bytes_before,

@@ -52,6 +52,7 @@ mod bootstrap;
 mod config;
 mod facade;
 mod log_method;
+mod media;
 mod mem_table;
 mod sharded;
 mod store;
@@ -61,6 +62,7 @@ pub use bootstrap::BootstrappedTable;
 pub use config::CoreConfig;
 pub use facade::{DynamicHashTable, TradeoffTarget};
 pub use log_method::LogMethodTable;
+pub use media::{DirMedia, SimMedia, StoreMedia};
 pub use mem_table::MemTable;
 pub use sharded::ShardedTable;
 pub use store::{CompactionStats, KvStore};

@@ -1,0 +1,394 @@
+//! The store's persistence seam: *where* a [`crate::KvStore`]'s
+//! directory lives.
+//!
+//! [`StoreMedia`] abstracts everything the store touches outside the
+//! block device proper — manifest commits, the clean marker, data-file
+//! creation and stale-file cleanup, mutual exclusion — so the same
+//! open/sync/recover/compact protocol runs against a real directory
+//! ([`DirMedia`], the default) or the deterministic crash-simulation
+//! environment ([`crate::SimMedia`]). The protocol itself stays in
+//! `store.rs`; implementations of this trait only answer "make this
+//! durable now" and "what survived".
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dxh_extmem::{ExtMemError, FileDisk, PersistentBackend, Result};
+
+/// Manifest file name inside a store directory.
+pub(crate) const MANIFEST: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+/// Generation-0 data file name (see `data_file_name` in `store.rs`).
+pub(crate) const DATA: &str = "store.blk";
+/// Lock file name.
+pub(crate) const LOCK: &str = "LOCK";
+/// Clean-shutdown marker name: present exactly while no block write has
+/// happened since the last manifest.
+pub(crate) const CLEAN: &str = "CLEAN";
+
+/// Whether `name` is a store data file (any generation).
+fn is_data_file(name: &str) -> bool {
+    name.starts_with("store") && name.ends_with(".blk")
+}
+
+/// The persistence environment a [`crate::KvStore`] runs on: a block
+/// backend factory plus the small durable metadata the recovery
+/// protocol leans on.
+///
+/// Contract (what `store.rs` assumes of every implementation):
+///
+/// * **Mutual exclusion** is acquired when the media handle is
+///   constructed and released when it drops — at most one live handle
+///   per store, with a crashed owner's lock released by the
+///   environment, never reclaimed by guesswork.
+/// * [`StoreMedia::commit_manifest`] is **atomic and durable**: after it
+///   returns, a reopen sees the new manifest; interrupted, a reopen sees
+///   the old one — never a mix. This is the store's single commit point.
+/// * Marker writes/removals are durable when they return. For a marker
+///   **write** an interrupted call is recoverable either way (a lost
+///   write merely forces recovery mode), but a marker **removal** must
+///   reach durability before the caller's next block write does: a lost
+///   removal would let a later reopen trust a manifest whose data the
+///   crash-interrupted writes have already diverged from.
+/// * Data files created by [`StoreMedia::create_data`] start empty; the
+///   returned backend follows [`PersistentBackend`]'s deferred-recycling
+///   protocol.
+pub trait StoreMedia {
+    /// The block backend this media serves.
+    type Backend: PersistentBackend;
+
+    /// Reads the manifest; `None` when the store has never committed one
+    /// (the create path).
+    fn read_manifest(&mut self) -> Result<Option<String>>;
+
+    /// Atomically replaces the manifest and makes the swap durable.
+    fn commit_manifest(&mut self, text: &str) -> Result<()>;
+
+    /// Whether the clean-shutdown marker is present.
+    fn clean_marker(&mut self) -> Result<bool>;
+
+    /// Writes the clean-shutdown marker.
+    fn set_clean_marker(&mut self) -> Result<()>;
+
+    /// Removes the clean-shutdown marker (absent is not an error).
+    fn clear_clean_marker(&mut self) -> Result<()>;
+
+    /// Creates (truncating) data file `name` and opens a backend on it.
+    fn create_data(&mut self, name: &str, block_capacity: usize) -> Result<Self::Backend>;
+
+    /// Opens existing data file `name` without truncating; every slot is
+    /// initially live until a free list is restored.
+    fn open_data(&mut self, name: &str, block_capacity: usize) -> Result<Self::Backend>;
+
+    /// Size of data file `name` in bytes (0 when absent) — footprint
+    /// reporting, not a correctness input.
+    fn data_len(&mut self, name: &str) -> u64;
+
+    /// Best-effort removal of data file `name` (a failed compaction's
+    /// half-written generation).
+    fn remove_data(&mut self, name: &str);
+
+    /// Best-effort removal of every data file except `keep` — strays
+    /// from a compaction interrupted on either side of its commit. Only
+    /// called with the store lock held.
+    fn remove_stale_data(&mut self, keep: &str);
+
+    /// Filesystem path of file `name`, for media that have one.
+    fn file_path(&self, name: &str) -> Option<PathBuf>;
+}
+
+/// Fsyncs `dir` so a just-renamed directory entry survives power loss
+/// (`rename(2)` alone only orders against the file's own data).
+fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Whether `file`'s open inode is still the one `path` names — false
+/// when a racer unlinked or replaced the path after we opened it.
+#[cfg(unix)]
+fn is_current_inode(file: &fs::File, path: &Path) -> bool {
+    use std::os::unix::fs::MetadataExt;
+    match (file.metadata(), fs::metadata(path)) {
+        (Ok(a), Ok(b)) => a.dev() == b.dev() && a.ino() == b.ino(),
+        _ => false,
+    }
+}
+
+/// Non-unix has no inode identity to compare — sound only because
+/// [`DirLock`]'s drop never unlinks the file there, so the path always
+/// names the inode that was opened.
+#[cfg(not(unix))]
+fn is_current_inode(_file: &fs::File, _path: &Path) -> bool {
+    true
+}
+
+/// Holds `LOCK` in a store directory for the lifetime of a media handle;
+/// unlinked on drop on unix, left in place elsewhere — see [`DirLock`]'s
+/// `Drop`.
+///
+/// Mutual exclusion is the **OS advisory lock** held on the open file,
+/// not the file's existence or contents: the kernel releases it when the
+/// descriptor closes — including when the owning process dies — so a
+/// crash leaves no lock to reclaim and no pid to judge. (Reading a pid
+/// out of the file and deciding liveness ourselves would race: between
+/// the read and the takeover the judged-dead owner's slot can be
+/// re-acquired by a third handle.) The pid written inside is
+/// informational only.
+struct DirLock {
+    path: PathBuf,
+    /// Keeps the OS lock alive; closing the descriptor releases it.
+    _file: fs::File,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<Self> {
+        let path = dir.join(LOCK);
+        // A few attempts: a racing handle's drop may unlink the file
+        // between our open and lock, leaving our lock on an orphaned
+        // inode — detected below; the next attempt opens the fresh file.
+        for _ in 0..8 {
+            // truncate(false): wiping the file before the lock is ours
+            // would erase a live owner's pid; truncation happens via
+            // `set_len` below, after the lock is held.
+            let file = fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)?;
+            match file.try_lock() {
+                Ok(()) => {}
+                Err(fs::TryLockError::WouldBlock) => {
+                    let owner = fs::read_to_string(&path).unwrap_or_default();
+                    return Err(ExtMemError::BadConfig(format!(
+                        "store is locked by pid {} (a live handle; the OS releases the \
+                         lock when that process exits)",
+                        owner.trim()
+                    )));
+                }
+                Err(fs::TryLockError::Error(e)) => return Err(e.into()),
+            }
+            // The lock lives on the inode we opened, which matters only
+            // while `path` still names it.
+            if !is_current_inode(&file, &path) {
+                continue;
+            }
+            file.set_len(0)?;
+            writeln!(&file, "{}", std::process::id())?;
+            let _ = file.sync_data();
+            return Ok(DirLock { path, _file: file });
+        }
+        Err(ExtMemError::BadConfig(format!("could not acquire {}", path.display())))
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        // Unlink first; the descriptor then closes and the OS lock goes
+        // with it. An opener racing this re-checks the inode after
+        // locking, so it never settles on the unlinked file. Where that
+        // re-check has no inode identity to compare (non-unix), the file
+        // stays in place — ownership is the OS lock alone, and a leftover
+        // pidfile is informational, not a lock.
+        #[cfg(unix)]
+        let _ = fs::remove_file(&self.path);
+        #[cfg(not(unix))]
+        let _ = &self.path;
+    }
+}
+
+/// The real thing: a directory on the local filesystem, exactly the
+/// on-disk layout documented on [`crate::KvStore`]. Construction
+/// acquires the directory lock; dropping the media releases it.
+pub struct DirMedia {
+    dir: PathBuf,
+    /// Held for the media's lifetime; the OS releases it with the
+    /// process on a crash.
+    _lock: DirLock,
+}
+
+impl DirMedia {
+    /// Locks `dir` (creating it first if needed) and returns the media.
+    /// Fails fast when another live handle holds the lock.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let lock = DirLock::acquire(dir)?;
+        Ok(DirMedia { dir: dir.to_path_buf(), _lock: lock })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl StoreMedia for DirMedia {
+    type Backend = FileDisk;
+
+    fn read_manifest(&mut self) -> Result<Option<String>> {
+        match fs::read_to_string(self.dir.join(MANIFEST)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn commit_manifest(&mut self, text: &str) -> Result<()> {
+        let tmp = self.dir.join(MANIFEST_TMP);
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+        fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        // The rename is only durable once the directory entry is: fsync
+        // the store dir, or a power failure could resurrect the old
+        // manifest under the new data (or lose a compaction's swap).
+        sync_dir(&self.dir)
+    }
+
+    fn clean_marker(&mut self) -> Result<bool> {
+        Ok(self.dir.join(CLEAN).exists())
+    }
+
+    fn set_clean_marker(&mut self) -> Result<()> {
+        fs::write(self.dir.join(CLEAN), b"clean\n")?;
+        Ok(())
+    }
+
+    fn clear_clean_marker(&mut self) -> Result<()> {
+        match fs::remove_file(self.dir.join(CLEAN)) {
+            // The unlink must be durable before any block write lands:
+            // a power loss that persisted post-sync block writes but
+            // resurrected the marker would make the next reopen trust a
+            // manifest that no longer matches the file. One directory
+            // fsync per clean→dirty transition (not per write) buys
+            // that ordering.
+            Ok(()) => sync_dir(&self.dir),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn create_data(&mut self, name: &str, block_capacity: usize) -> Result<FileDisk> {
+        FileDisk::create(&self.dir.join(name), block_capacity)
+    }
+
+    fn open_data(&mut self, name: &str, block_capacity: usize) -> Result<FileDisk> {
+        FileDisk::open(&self.dir.join(name), block_capacity)
+    }
+
+    fn data_len(&mut self, name: &str) -> u64 {
+        fs::metadata(self.dir.join(name)).map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn remove_data(&mut self, name: &str) {
+        let _ = fs::remove_file(self.dir.join(name));
+    }
+
+    fn remove_stale_data(&mut self, keep: &str) {
+        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name != keep && is_data_file(name) {
+                let _ = fs::remove_file(e.path());
+            }
+        }
+    }
+
+    fn file_path(&self, name: &str) -> Option<PathBuf> {
+        Some(self.dir.join(name))
+    }
+}
+
+/// The crash-simulation media: the same store protocol over a
+/// [`dxh_extmem::SimEnv`] — simulated block files, a simulated manifest
+/// namespace, and the environment's exclusive lock. Every operation
+/// ticks the environment's I/O clock, so a [`dxh_extmem::FaultPlan`] can
+/// crash the store between *any* two steps of open/sync/compact — the
+/// seam the torture harness sweeps exhaustively.
+pub struct SimMedia {
+    env: dxh_extmem::SimEnv,
+    /// Epoch of this handle's lock acquisition; quoting it on release
+    /// makes the drop owner-scoped (a crashed handle dropped after a
+    /// power cycle must not free a newer handle's lock).
+    lock_epoch: u64,
+}
+
+impl SimMedia {
+    /// Acquires the environment's store lock and returns the media.
+    /// Fails fast while another live handle holds it; a crashed owner's
+    /// lock is released by [`dxh_extmem::SimEnv::power_cycle`].
+    pub fn open(env: &dxh_extmem::SimEnv) -> Result<Self> {
+        let lock_epoch = env.lock()?;
+        Ok(SimMedia { env: env.clone(), lock_epoch })
+    }
+}
+
+impl Drop for SimMedia {
+    fn drop(&mut self) {
+        self.env.unlock(self.lock_epoch);
+    }
+}
+
+impl StoreMedia for SimMedia {
+    type Backend = dxh_extmem::SimDisk;
+
+    fn read_manifest(&mut self) -> Result<Option<String>> {
+        match self.env.meta_read(MANIFEST)? {
+            Some(bytes) => String::from_utf8(bytes)
+                .map(Some)
+                .map_err(|_| ExtMemError::Corrupt("manifest is not UTF-8".into())),
+            None => Ok(None),
+        }
+    }
+
+    fn commit_manifest(&mut self, text: &str) -> Result<()> {
+        self.env.meta_write(MANIFEST, text.as_bytes())
+    }
+
+    fn clean_marker(&mut self) -> Result<bool> {
+        Ok(self.env.meta_read(CLEAN)?.is_some())
+    }
+
+    fn set_clean_marker(&mut self) -> Result<()> {
+        self.env.meta_write(CLEAN, b"clean\n")
+    }
+
+    fn clear_clean_marker(&mut self) -> Result<()> {
+        self.env.meta_remove(CLEAN)
+    }
+
+    fn create_data(&mut self, name: &str, block_capacity: usize) -> Result<dxh_extmem::SimDisk> {
+        self.env.create_disk(name, block_capacity)
+    }
+
+    fn open_data(&mut self, name: &str, block_capacity: usize) -> Result<dxh_extmem::SimDisk> {
+        self.env.open_disk(name, block_capacity)
+    }
+
+    fn data_len(&mut self, name: &str) -> u64 {
+        self.env.file_len(name)
+    }
+
+    fn remove_data(&mut self, name: &str) {
+        let _ = self.env.remove_file(name);
+    }
+
+    fn remove_stale_data(&mut self, keep: &str) {
+        for name in self.env.file_names() {
+            if name != keep && is_data_file(&name) {
+                let _ = self.env.remove_file(&name);
+            }
+        }
+    }
+
+    fn file_path(&self, _name: &str) -> Option<PathBuf> {
+        None
+    }
+}

@@ -1,11 +1,10 @@
 //! File-backed storage backend: the same block interface over a real file.
 
-use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use crate::backend::{FreeRuns, StorageBackend};
+use crate::backend::{PersistentBackend, SlotAllocator, StorageBackend};
 use crate::block::{Block, BlockId};
 use crate::error::{ExtMemError, Result};
 
@@ -26,23 +25,10 @@ pub struct FileDisk {
     file: File,
     block_capacity: usize,
     block_bytes: usize,
-    /// Total slots ever allocated in the file (high-water mark).
-    slots: u64,
-    /// Recycle stack: freed ids, reused LIFO.
-    free: Vec<u64>,
-    /// `free` as coalesced intervals, for O(runs) contiguous-run search
-    /// (quarantined ids join only at [`FileDisk::commit_frees`]).
-    runs: FreeRuns,
-    /// Freed ids quarantined from recycling until [`FileDisk::commit_frees`]
-    /// (only populated when [`FileDisk::set_defer_recycling`] is on).
-    pending_free: Vec<u64>,
-    /// All dead ids (`free` ∪ `pending_free`), for O(1) liveness checks
-    /// on every read/write.
-    free_set: HashSet<u64>,
-    /// When set, freed blocks are quarantined instead of recycled, so
-    /// their contents survive until the caller commits a sync point.
-    defer_recycling: bool,
-    live: u64,
+    /// The shared allocator state machine (LIFO recycling, contiguous
+    /// runs, deferred-recycling quarantine) — one implementation across
+    /// backends, so block ids stay backend-deterministic.
+    alloc: SlotAllocator,
     /// Scratch buffer reused across reads/writes to avoid per-op allocation.
     scratch: Vec<u8>,
 }
@@ -81,13 +67,7 @@ impl FileDisk {
             file,
             block_capacity,
             block_bytes,
-            slots,
-            free: Vec::new(),
-            runs: FreeRuns::default(),
-            pending_free: Vec::new(),
-            free_set: HashSet::new(),
-            defer_recycling: false,
-            live: slots,
+            alloc: SlotAllocator::with_all_live(slots),
             scratch: vec![0u8; block_bytes],
         }
     }
@@ -112,7 +92,7 @@ impl FileDisk {
 
     /// High-water mark: total slots ever allocated (free ones included).
     pub fn slots(&self) -> u64 {
-        self.slots
+        self.alloc.slots()
     }
 
     /// Every dead slot — the recyclable stack plus any quarantined frees
@@ -120,16 +100,14 @@ impl FileDisk {
     /// sync point's metadata references none of these slots, so all of
     /// them are recyclable after a reopen.
     pub fn free_list(&self) -> Vec<u64> {
-        let mut out = self.free.clone();
-        out.extend_from_slice(&self.pending_free);
-        out
+        self.alloc.free_list()
     }
 
     /// Number of dead slots (recyclable plus quarantined) without
     /// cloning the list: `slots() == live_blocks() + free_count()` always
     /// holds, which is the invariant GC and compaction accounting lean on.
     pub fn free_count(&self) -> usize {
-        self.free.len() + self.pending_free.len()
+        self.alloc.free_count()
     }
 
     /// Quarantines future frees (on) or recycles them immediately (off,
@@ -140,37 +118,20 @@ impl FileDisk {
     /// last durable sync point still hold the data that sync point's
     /// metadata references.
     pub fn set_defer_recycling(&mut self, defer: bool) {
-        self.defer_recycling = defer;
-        if !defer {
-            self.commit_frees();
-        }
+        self.alloc.set_defer_recycling(defer);
     }
 
     /// Releases every quarantined slot for recycling. Call after the
     /// caller's own metadata (which lists those slots as free) is durable.
     pub fn commit_frees(&mut self) {
-        for &id in &self.pending_free {
-            self.runs.insert(id);
-        }
-        self.free.append(&mut self.pending_free);
+        self.alloc.commit_frees();
     }
 
     /// Restores a persisted free list after [`FileDisk::open`]. Ids must
     /// be in-range and distinct; the matching slots become dead until
     /// re-allocated.
     pub fn restore_free_list(&mut self, free: Vec<u64>) -> Result<()> {
-        let mut set = HashSet::with_capacity(free.len());
-        for &id in &free {
-            if id >= self.slots || !set.insert(id) {
-                return Err(ExtMemError::Corrupt(format!("bad free-list id {id}")));
-            }
-        }
-        self.live = self.slots - free.len() as u64;
-        self.runs.rebuild(&free);
-        self.free = free;
-        self.pending_free.clear();
-        self.free_set = set;
-        Ok(())
+        self.alloc.restore_free_list(free)
     }
 
     fn offset(&self, id: BlockId) -> u64 {
@@ -178,18 +139,9 @@ impl FileDisk {
     }
 
     fn check_live(&self, id: BlockId) -> Result<()> {
-        if id.raw() >= self.slots || self.free_set.contains(&id.raw()) {
+        if self.alloc.is_dead(id.raw()) {
             return Err(ExtMemError::BadBlockId(id));
         }
-        Ok(())
-    }
-
-    /// Extends the file to cover slots `[0, new_slots)`. The extension is
-    /// zero-filled by the OS, and an all-zero slot *is* a valid empty
-    /// block, so no initialization writes are needed.
-    fn grow_to(&mut self, new_slots: u64) -> Result<()> {
-        self.file.set_len(new_slots * self.block_bytes as u64)?;
-        self.slots = new_slots;
         Ok(())
     }
 }
@@ -218,7 +170,7 @@ impl StorageBackend for FileDisk {
     }
 
     fn allocate(&mut self) -> Result<BlockId> {
-        let idx = match self.free.last().copied() {
+        let idx = match self.alloc.peek_recycle() {
             Some(idx) => {
                 // Recycled slot: reset the stale image to an empty block.
                 // Only the 24-byte header matters — decode reads `len`
@@ -228,18 +180,18 @@ impl StorageBackend for FileDisk {
                 // list instead of in limbo (neither free nor live).
                 self.file.seek(SeekFrom::Start(idx * self.block_bytes as u64))?;
                 self.file.write_all(&[0u8; 24])?;
-                self.free.pop();
-                self.runs.remove(idx);
-                self.free_set.remove(&idx);
+                self.alloc.commit_recycle(idx);
                 idx
             }
             None => {
-                let idx = self.slots;
-                self.grow_to(idx + 1)?;
-                idx
+                // Extend the file first: the extension is zero-filled by
+                // the OS, and an all-zero slot *is* a valid empty block,
+                // so no initialization writes are needed.
+                let new_slots = self.alloc.slots() + 1;
+                self.file.set_len(new_slots * self.block_bytes as u64)?;
+                self.alloc.commit_grow(1)
             }
         };
-        self.live += 1;
         Ok(BlockId(idx))
     }
 
@@ -249,8 +201,7 @@ impl StorageBackend for FileDisk {
         // point references). Stale images are reset by one zero-fill
         // write over the run, done *before* the allocator state changes
         // so a failed write leaves the run safely on the free list.
-        if let Some(base) = self.runs.first_run_of(n) {
-            let end = base + n as u64;
+        if let Some(base) = self.alloc.peek_run(n) {
             self.file.seek(SeekFrom::Start(base * self.block_bytes as u64))?;
             // Zero in bounded chunks: a post-GC run can span most of the
             // file, and one Vec for the whole range would be unbounded
@@ -263,42 +214,57 @@ impl StorageBackend for FileDisk {
                 self.file.write_all(&zeros[..step])?;
                 remaining -= step;
             }
-            self.free.retain(|&id| !(base..end).contains(&id));
-            self.runs.remove_range(base, end);
-            for id in base..end {
-                self.free_set.remove(&id);
-            }
-            self.live += n as u64;
+            self.alloc.commit_run(base, n);
             return Ok(BlockId(base));
         }
-        let base = self.slots;
         // One metadata syscall for the whole range — the zero-filled
         // extension already decodes as n empty blocks.
-        self.grow_to(base + n as u64)?;
-        self.live += n as u64;
-        Ok(BlockId(base))
+        let new_slots = self.alloc.slots() + n as u64;
+        self.file.set_len(new_slots * self.block_bytes as u64)?;
+        Ok(BlockId(self.alloc.commit_grow(n as u64)))
     }
 
     fn free(&mut self, id: BlockId) -> Result<()> {
         self.check_live(id)?;
-        if self.defer_recycling {
-            self.pending_free.push(id.raw());
-        } else {
-            self.free.push(id.raw());
-            self.runs.insert(id.raw());
-        }
-        self.free_set.insert(id.raw());
-        self.live -= 1;
+        self.alloc.release(id.raw());
         Ok(())
     }
 
     fn live_blocks(&self) -> u64 {
-        self.live
+        self.alloc.live()
     }
 
     fn sync(&mut self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
+    }
+}
+
+/// The persistence surface, forwarded to the inherent methods (which
+/// remain the primary documentation).
+impl PersistentBackend for FileDisk {
+    fn slots(&self) -> u64 {
+        FileDisk::slots(self)
+    }
+
+    fn free_list(&self) -> Vec<u64> {
+        FileDisk::free_list(self)
+    }
+
+    fn free_count(&self) -> usize {
+        FileDisk::free_count(self)
+    }
+
+    fn set_defer_recycling(&mut self, defer: bool) {
+        FileDisk::set_defer_recycling(self, defer)
+    }
+
+    fn commit_frees(&mut self) {
+        FileDisk::commit_frees(self)
+    }
+
+    fn restore_free_list(&mut self, free: Vec<u64>) -> Result<()> {
+        FileDisk::restore_free_list(self, free)
     }
 }
 

@@ -10,9 +10,15 @@
 //! * computation is free; the complexity measure is the number of block
 //!   transfers (**I/Os**) performed ([`IoStats`]).
 //!
-//! Two storage backends are provided: an in-RAM [`MemDisk`] used by the
-//! experiments (exact, fast, deterministic) and a real-file [`FileDisk`]
-//! that demonstrates the same code paths against a filesystem.
+//! Three storage backends are provided: an in-RAM [`MemDisk`] used by
+//! the experiments (exact, fast, deterministic), a real-file
+//! [`FileDisk`] that demonstrates the same code paths against a
+//! filesystem, and a crash-simulation [`SimDisk`] whose unsynced writes
+//! are volatile and whose seeded [`FaultPlan`] can crash or fault any
+//! I/O by index — the engine of the recovery torture harness. Backends
+//! that additionally expose the allocator-persistence protocol
+//! (free-list serialization, deferred recycling) implement
+//! [`PersistentBackend`].
 //!
 //! ## I/O accounting convention
 //!
@@ -46,9 +52,10 @@ mod file_disk;
 mod item;
 mod mem_disk;
 mod pool;
+mod sim_disk;
 mod stats;
 
-pub use backend::StorageBackend;
+pub use backend::{PersistentBackend, StorageBackend};
 pub use block::{Block, BlockId};
 pub use budget::{Enforcement, MemoryBudget};
 pub use config::{ExtMemConfig, PoolConfig};
@@ -58,6 +65,7 @@ pub use file_disk::FileDisk;
 pub use item::{Item, Key, Value, KEY_TOMBSTONE, VALUE_TOMBSTONE};
 pub use mem_disk::MemDisk;
 pub use pool::{BufferPool, EvictionPolicy, PoolStats};
+pub use sim_disk::{fnv1a64, FaultPlan, IoEvent, SimDisk, SimEnv};
 pub use stats::{IoCostModel, IoSnapshot, IoStats};
 
 /// Convenience constructor: an accounting [`Disk`] over an in-memory

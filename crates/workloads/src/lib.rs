@@ -13,12 +13,18 @@
 //!   a trace with per-operation-class I/O attribution, measures the
 //!   paper's `tu` and `tq`, and fans independent trials out across
 //!   threads (crossbeam scoped threads, one seed per trial).
+//! * [`torture`] — the crash-recovery torture harness: churn a
+//!   persistent store on the crash-simulation environment, crash it at
+//!   a chosen (or exhaustively swept) I/O index, reopen, and check the
+//!   recovered state against a shadow model — all deterministic in one
+//!   seed.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod generator;
 pub mod runner;
+pub mod torture;
 pub mod trace;
 pub mod zipf;
 
@@ -26,5 +32,6 @@ pub use generator::{
     ArchivalStream, ChurnMix, InsertLookupMix, UniformInserts, Workload, WorkloadError, ZipfQueries,
 };
 pub use runner::{measure_tq, measure_tq_unsuccessful, parallel_trials, run_trace, RunReport};
+pub use torture::{sweep_crash_indices, torture_run, PhaseMarkers, TortureReport, TortureSpec};
 pub use trace::{Op, Trace};
 pub use zipf::ZipfSampler;

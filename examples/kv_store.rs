@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &k in &retired {
         deleted += store.delete(k)? as u64;
     }
-    let before = std::fs::metadata(store.data_path())?.len();
+    let before = std::fs::metadata(store.data_path()?)?.len();
     let stats = store.compact()?;
     println!(
         "deleted {deleted} keys, compacted {} KiB → {} KiB ({} live items, {} markers purged)",

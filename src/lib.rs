@@ -21,7 +21,8 @@
 //!   adversary harness.
 //! * [`analysis`] — closed-form bounds, Knuth-style formulas, tail
 //!   bounds, statistics.
-//! * [`workloads`] — generators, traces, sequential and parallel runners.
+//! * [`workloads`] — generators, traces, sequential and parallel
+//!   runners, and the crash-recovery torture harness.
 //!
 //! ## Quickstart
 //!

@@ -1,74 +1,25 @@
 //! Failure injection: every structure must surface backend I/O errors as
 //! `Err`, never panic, and never corrupt its accounting.
+//!
+//! The fault schedule is [`SimDisk`]'s fuse plan (`FaultPlan::fail_from`
+//! anchored via `SimEnv::fail_after`): after `okay` successful
+//! operations every backend op returns `ExtMemError::Io` — the same
+//! semantics the old hand-rolled `FailingDisk` wrapper had, now provided
+//! by the crash-simulation backend itself.
 
-use dyn_ext_hash::extmem::{
-    Block, BlockId, Disk, ExtMemError, IoCostModel, MemDisk, Result, StorageBackend,
-};
+use dyn_ext_hash::extmem::{Block, Disk, ExtMemError, IoCostModel, SimDisk};
 
-/// A backend that starts failing every operation after a fuse of `okay`
-/// successful calls burns out.
-struct FailingDisk {
-    inner: MemDisk,
-    okay: u64,
-}
-
-impl FailingDisk {
-    fn new(b: usize, okay: u64) -> Self {
-        FailingDisk { inner: MemDisk::new(b), okay }
-    }
-
-    fn tick(&mut self) -> Result<()> {
-        if self.okay == 0 {
-            return Err(ExtMemError::Io(std::io::Error::other("injected fault")));
-        }
-        self.okay -= 1;
-        Ok(())
-    }
-}
-
-impl StorageBackend for FailingDisk {
-    fn block_capacity(&self) -> usize {
-        self.inner.block_capacity()
-    }
-
-    fn read(&mut self, id: BlockId) -> Result<Block> {
-        self.tick()?;
-        self.inner.read(id)
-    }
-
-    fn write(&mut self, id: BlockId, block: &Block) -> Result<()> {
-        self.tick()?;
-        self.inner.write(id, block)
-    }
-
-    fn allocate(&mut self) -> Result<BlockId> {
-        self.tick()?;
-        self.inner.allocate()
-    }
-
-    fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId> {
-        self.tick()?;
-        self.inner.allocate_contiguous(n)
-    }
-
-    fn free(&mut self, id: BlockId) -> Result<()> {
-        self.tick()?;
-        self.inner.free(id)
-    }
-
-    fn live_blocks(&self) -> u64 {
-        self.inner.live_blocks()
-    }
-
-    fn sync(&mut self) -> Result<()> {
-        self.tick()?;
-        self.inner.sync()
-    }
+/// A `Disk` over a [`SimDisk`] whose fuse burns out after `okay`
+/// successful backend calls.
+fn fused_disk(b: usize, okay: u64) -> Disk<SimDisk> {
+    let sim = SimDisk::new(b);
+    sim.env().fail_after(okay);
+    Disk::new(sim, b, IoCostModel::SeekDominated)
 }
 
 #[test]
 fn disk_operations_propagate_faults() {
-    let mut d = Disk::new(FailingDisk::new(4, 3), 4, IoCostModel::SeekDominated);
+    let mut d = fused_disk(4, 3);
     let id = d.allocate().unwrap(); // 1
     let _ = d.read(id).unwrap(); // 2
     d.write(id, &Block::new(4)).unwrap(); // 3 — fuse burnt
@@ -84,7 +35,7 @@ fn chaining_table_fails_cleanly_at_any_fuse_length() {
     // Find how many backend ops a full healthy run needs, then re-run
     // with every possible truncation; each must end in Err, not panic.
     let healthy_ops = {
-        let disk = Disk::new(FailingDisk::new(4, u64::MAX), 4, IoCostModel::SeekDominated);
+        let disk = fused_disk(4, u64::MAX);
         let mut t =
             ChainingTable::with_disk(disk, ChainingConfig::new(4, 4096), IdealFn::from_seed(1))
                 .unwrap();
@@ -97,7 +48,7 @@ fn chaining_table_fails_cleanly_at_any_fuse_length() {
     };
     let mut failures = 0;
     for fuse in (0..healthy_ops).step_by(37) {
-        let disk = Disk::new(FailingDisk::new(4, fuse), 4, IoCostModel::SeekDominated);
+        let disk = fused_disk(4, fuse);
         let result =
             ChainingTable::with_disk(disk, ChainingConfig::new(4, 4096), IdealFn::from_seed(1))
                 .and_then(|mut t| {
@@ -120,7 +71,9 @@ fn bootstrapped_table_fails_cleanly_mid_merge() {
     // Pick fuses that land inside Ĥ merges (the most stateful phase).
     for fuse in [50u64, 200, 500, 1500, 4000] {
         let cfg = CoreConfig::theorem2(8, 128, 0.5).unwrap();
-        let disk = Disk::new(FailingDisk::new(8, fuse), 8, cfg.cost);
+        let sim = SimDisk::new(8);
+        sim.env().fail_after(fuse);
+        let disk = Disk::new(sim, 8, cfg.cost);
         let result =
             BootstrappedTable::with_disk(disk, cfg, IdealFn::from_seed(2)).and_then(|mut t| {
                 for k in 0..3000u64 {
@@ -141,7 +94,9 @@ fn btree_fails_cleanly_mid_split() {
     use dyn_ext_hash::tables::ExternalDictionary;
     for fuse in [10u64, 60, 150, 400] {
         let cfg = BPlusTreeConfig::new(4, 4096);
-        let disk = Disk::new(FailingDisk::new(4, fuse), 4, cfg.cost);
+        let sim = SimDisk::new(4);
+        sim.env().fail_after(fuse);
+        let disk = Disk::new(sim, 4, cfg.cost);
         let result = BPlusTree::with_disk(disk, cfg).and_then(|mut t| {
             for k in 0..300u64 {
                 t.insert(k, k)?;
@@ -152,4 +107,37 @@ fn btree_fails_cleanly_mid_split() {
             assert!(matches!(e, ExtMemError::Io(_)));
         }
     }
+}
+
+#[test]
+fn transient_lookup_faults_heal_on_retry() {
+    // Beyond the fuse (permanent failure), the fault schedule also
+    // injects *transient* errors at exact indices: a read-only lookup
+    // fails once with `Io`, the table's state is untouched, and the
+    // retried lookup answers exactly.
+    use dyn_ext_hash::extmem::FaultPlan;
+    use dyn_ext_hash::hashfn::IdealFn;
+    use dyn_ext_hash::tables::{ChainingConfig, ChainingTable, ExternalDictionary};
+    let sim = SimDisk::new(4);
+    let env = sim.env();
+    let disk = Disk::new(sim, 4, IoCostModel::SeekDominated);
+    let mut t = ChainingTable::with_disk(disk, ChainingConfig::new(4, 4096), IdealFn::from_seed(3))
+        .unwrap();
+    for k in 0..200u64 {
+        t.insert(k, k).unwrap();
+    }
+    let mut faulted = 0;
+    for k in 0..200u64 {
+        // Every 10th lookup hits a scheduled one-shot fault on its first
+        // backend op.
+        if k % 10 == 0 {
+            env.set_plan(FaultPlan { fail_at: vec![env.ops()], ..Default::default() });
+            match t.lookup(k) {
+                Err(ExtMemError::Io(_)) => faulted += 1,
+                other => panic!("scheduled fault must surface as Io, got {other:?}"),
+            }
+        }
+        assert_eq!(t.lookup(k).unwrap(), Some(k), "retry answers exactly, key {k}");
+    }
+    assert_eq!(faulted, 20, "every scheduled transient fault fired exactly once");
 }
