@@ -19,6 +19,14 @@
 //!   (Theorem 1, case 3). With `β = Θ(εb)` it gives `tu = ε` and
 //!   `tq = 1 + O(1/b)`.
 //!
+//! Above the constructions sits the persistence stack: [`KvStore`] (one
+//! durable store — manifest, crash recovery, GC, compaction, generic
+//! over the [`StoreMedia`] seam) and [`ShardedKvStore`] (N shards
+//! behind a thread-safe handle with per-shard **group-commit**
+//! batching, so concurrent writers share manifest fsyncs). See
+//! `docs/ARCHITECTURE.md` for the layer map and `docs/GUARANTEES.md`
+//! for the crash-consistency contract.
+//!
 //! The merge machinery (internal `stream` module) exploits the hierarchy
 //! of [`dxh_hashfn::prefix_bucket`]: every table's sequential bucket
 //! order is also hash-prefix order, so merging any set of tables into a
@@ -45,7 +53,7 @@
 //!   marker's amortized insertion plus one probe; the paper's insertion
 //!   and lookup bounds are unchanged for insert-only workloads.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod bootstrap;
@@ -54,6 +62,7 @@ mod facade;
 mod log_method;
 mod media;
 mod mem_table;
+mod service;
 mod sharded;
 mod store;
 mod stream;
@@ -64,6 +73,10 @@ pub use facade::{DynamicHashTable, TradeoffTarget};
 pub use log_method::LogMethodTable;
 pub use media::{DirMedia, SimMedia, StoreMedia};
 pub use mem_table::MemTable;
+pub use service::{
+    BatchRecord, DirServiceMedia, ServiceMedia, ServiceStats, ShardBatchHistory, ShardedKvStore,
+    SimServiceMedia, WriteOp,
+};
 pub use sharded::ShardedTable;
 pub use store::{CompactionStats, KvStore};
 

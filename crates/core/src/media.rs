@@ -18,7 +18,6 @@ use dxh_extmem::{ExtMemError, FileDisk, PersistentBackend, Result};
 
 /// Manifest file name inside a store directory.
 pub(crate) const MANIFEST: &str = "MANIFEST";
-const MANIFEST_TMP: &str = "MANIFEST.tmp";
 /// Generation-0 data file name (see `data_file_name` in `store.rs`).
 pub(crate) const DATA: &str = "store.blk";
 /// Lock file name.
@@ -96,6 +95,21 @@ pub trait StoreMedia {
 
     /// Filesystem path of file `name`, for media that have one.
     fn file_path(&self, name: &str) -> Option<PathBuf>;
+}
+
+/// Atomically (tmp + rename + directory fsync) replaces `name` in `dir`
+/// with `text` — the commit primitive behind every durable metadata file
+/// on the real filesystem (the store manifest, the service manifest).
+pub(crate) fn commit_file_atomic(dir: &Path, name: &str, text: &str) -> Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_data()?;
+    fs::rename(&tmp, dir.join(name))?;
+    // The rename is only durable once the directory entry is: fsync the
+    // dir, or a power failure could resurrect the old contents under
+    // data written after the commit.
+    sync_dir(dir)
 }
 
 /// Fsyncs `dir` so a just-renamed directory entry survives power loss
@@ -240,15 +254,7 @@ impl StoreMedia for DirMedia {
     }
 
     fn commit_manifest(&mut self, text: &str) -> Result<()> {
-        let tmp = self.dir.join(MANIFEST_TMP);
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(text.as_bytes())?;
-        f.sync_data()?;
-        fs::rename(&tmp, self.dir.join(MANIFEST))?;
-        // The rename is only durable once the directory entry is: fsync
-        // the store dir, or a power failure could resurrect the old
-        // manifest under the new data (or lose a compaction's swap).
-        sync_dir(&self.dir)
+        commit_file_atomic(&self.dir, MANIFEST, text)
     }
 
     fn clean_marker(&mut self) -> Result<bool> {
@@ -312,8 +318,17 @@ impl StoreMedia for DirMedia {
 /// ticks the environment's I/O clock, so a [`dxh_extmem::FaultPlan`] can
 /// crash the store between *any* two steps of open/sync/compact — the
 /// seam the torture harness sweeps exhaustively.
+///
+/// One environment can host many stores: [`SimMedia::open_at`] scopes a
+/// handle to a name prefix (the simulated twin of a subdirectory), which
+/// is how a sharded service puts every shard on one machine under one
+/// I/O clock — a single crash index takes all of them down together.
 pub struct SimMedia {
     env: dxh_extmem::SimEnv,
+    /// Name prefix of this store inside the environment (`""` for the
+    /// machine's default store). Every file, metadata, and lock name the
+    /// store protocol uses is prefixed with it.
+    prefix: String,
     /// Epoch of this handle's lock acquisition; quoting it on release
     /// makes the drop owner-scoped (a crashed handle dropped after a
     /// power cycle must not free a newer handle's lock).
@@ -321,18 +336,30 @@ pub struct SimMedia {
 }
 
 impl SimMedia {
-    /// Acquires the environment's store lock and returns the media.
-    /// Fails fast while another live handle holds it; a crashed owner's
-    /// lock is released by [`dxh_extmem::SimEnv::power_cycle`].
+    /// Acquires the environment's default store lock and returns the
+    /// media. Fails fast while another live handle holds it; a crashed
+    /// owner's lock is released by [`dxh_extmem::SimEnv::power_cycle`].
     pub fn open(env: &dxh_extmem::SimEnv) -> Result<Self> {
-        let lock_epoch = env.lock()?;
-        Ok(SimMedia { env: env.clone(), lock_epoch })
+        Self::open_at(env, "")
+    }
+
+    /// [`SimMedia::open`] scoped to the store named by `prefix` — e.g.
+    /// `"shard-000/"`. Stores with distinct prefixes coexist on the one
+    /// machine, each behind its own fail-fast lock, all sharing the
+    /// environment's I/O clock and fault plan.
+    pub fn open_at(env: &dxh_extmem::SimEnv, prefix: &str) -> Result<Self> {
+        let lock_epoch = env.lock_named(prefix)?;
+        Ok(SimMedia { env: env.clone(), prefix: prefix.to_string(), lock_epoch })
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
     }
 }
 
 impl Drop for SimMedia {
     fn drop(&mut self) {
-        self.env.unlock(self.lock_epoch);
+        self.env.unlock_named(&self.prefix, self.lock_epoch);
     }
 }
 
@@ -340,7 +367,7 @@ impl StoreMedia for SimMedia {
     type Backend = dxh_extmem::SimDisk;
 
     fn read_manifest(&mut self) -> Result<Option<String>> {
-        match self.env.meta_read(MANIFEST)? {
+        match self.env.meta_read(&self.scoped(MANIFEST))? {
             Some(bytes) => String::from_utf8(bytes)
                 .map(Some)
                 .map_err(|_| ExtMemError::Corrupt("manifest is not UTF-8".into())),
@@ -349,40 +376,44 @@ impl StoreMedia for SimMedia {
     }
 
     fn commit_manifest(&mut self, text: &str) -> Result<()> {
-        self.env.meta_write(MANIFEST, text.as_bytes())
+        self.env.meta_write(&self.scoped(MANIFEST), text.as_bytes())
     }
 
     fn clean_marker(&mut self) -> Result<bool> {
-        Ok(self.env.meta_read(CLEAN)?.is_some())
+        Ok(self.env.meta_read(&self.scoped(CLEAN))?.is_some())
     }
 
     fn set_clean_marker(&mut self) -> Result<()> {
-        self.env.meta_write(CLEAN, b"clean\n")
+        self.env.meta_write(&self.scoped(CLEAN), b"clean\n")
     }
 
     fn clear_clean_marker(&mut self) -> Result<()> {
-        self.env.meta_remove(CLEAN)
+        self.env.meta_remove(&self.scoped(CLEAN))
     }
 
     fn create_data(&mut self, name: &str, block_capacity: usize) -> Result<dxh_extmem::SimDisk> {
-        self.env.create_disk(name, block_capacity)
+        self.env.create_disk(&self.scoped(name), block_capacity)
     }
 
     fn open_data(&mut self, name: &str, block_capacity: usize) -> Result<dxh_extmem::SimDisk> {
-        self.env.open_disk(name, block_capacity)
+        self.env.open_disk(&self.scoped(name), block_capacity)
     }
 
     fn data_len(&mut self, name: &str) -> u64 {
-        self.env.file_len(name)
+        self.env.file_len(&self.scoped(name))
     }
 
     fn remove_data(&mut self, name: &str) {
-        let _ = self.env.remove_file(name);
+        let _ = self.env.remove_file(&self.scoped(name));
     }
 
     fn remove_stale_data(&mut self, keep: &str) {
+        let keep = self.scoped(keep);
         for name in self.env.file_names() {
-            if name != keep && is_data_file(&name) {
+            // Only this store's namespace: a sibling shard's data files
+            // are not strays, whatever their generation.
+            let Some(local) = name.strip_prefix(&self.prefix) else { continue };
+            if name != keep && is_data_file(local) {
                 let _ = self.env.remove_file(&name);
             }
         }

@@ -1,0 +1,1031 @@
+//! A concurrent, sharded, persistent key-value service with per-shard
+//! **group-commit** batching — the systems realization of the paper's
+//! thesis that buffering updates is what buys `tu < 1`.
+//!
+//! A single [`crate::KvStore`] already batches *logically*: inserts land
+//! in the memory-resident `H0` and reach disk in bulk migrations, which
+//! is exactly the paper's update buffer. But its durability is
+//! single-threaded — every caller serializes on one handle and every
+//! commit pays a full `sync` (H0 flush + data fsync + manifest rename +
+//! directory fsync). Under `K` concurrent writers that is `K` manifest
+//! fsyncs for `K` acknowledged writes: the sub-one-I/O update advantage
+//! drowns in commit overhead. [`ShardedKvStore`] restores it with the
+//! classic group-commit move (the same batched-update regime the
+//! buffer-tree line of work targets — Iacono–Pătrașcu's "Using Hashing
+//! to Solve the Dictionary Problem", Conway et al.'s "Optimal Hashing in
+//! External Memory"):
+//!
+//! * the key space is hash-partitioned across `N` independent
+//!   [`crate::KvStore`] shards (each its own directory or [`SimMedia`]
+//!   namespace, each its own lock), by the same router construction
+//!   [`crate::ShardedTable`] uses — every shard sees uniformly random
+//!   keys, so each one's per-shard guarantees are the paper's;
+//! * concurrent [`ShardedKvStore::put`] / [`ShardedKvStore::delete`]
+//!   calls **enqueue and park**: one caller becomes the shard's
+//!   committer, drains everything queued, applies it to the shard's
+//!   table, and runs **one** [`crate::KvStore::sync`] that durably
+//!   commits the whole batch. `K` writers share one manifest fsync
+//!   instead of paying `K`; acknowledgements are returned only after
+//!   that sync, so every acknowledged write is durable;
+//! * reads route to the owning shard and answer **read-your-writes**
+//!   from the shard's pending write buffer before touching the store,
+//!   so a reader never waits behind a group commit for a key that is
+//!   sitting in the buffer.
+//!
+//! ## Batch atomicity
+//!
+//! Each group commit is all-in or all-out per shard: the batch's
+//! operations are applied between two manifest commits and the manifest
+//! rename is the single commit point, so a crash anywhere in the window
+//! recovers the shard to a batch boundary. If applying or syncing a
+//! batch fails, the shard **wedges**: the partially applied batch is
+//! quarantined behind a poisoned store handle (it can never reach a
+//! manifest — not even through a drop-time sync), every parked and
+//! future caller gets an error, and reopening the service recovers the
+//! shard to its last committed batch. The crash-simulation torture
+//! harness (`dxh_workloads::service`) sweeps crash indices across the
+//! commit window and checks exactly this boundary; see
+//! `docs/GUARANTEES.md` for the normative statement.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use dxh_extmem::{ExtMemError, Key, Result, SimEnv, Value, KEY_TOMBSTONE, VALUE_TOMBSTONE};
+use dxh_hashfn::IdealFn;
+use dxh_tables::ExternalDictionary;
+
+use crate::config::CoreConfig;
+use crate::media::{commit_file_atomic, DirMedia, SimMedia, StoreMedia};
+use crate::sharded::{shard_of_key, shard_router};
+use crate::store::KvStore;
+
+/// Service manifest file name inside a service root.
+const SERVICE: &str = "SERVICE";
+const SERVICE_MAGIC: &str = "dxh-service v1";
+
+/// Directory (or simulated namespace) name of shard `i`.
+fn shard_name(i: usize) -> String {
+    format!("shard-{i:03}")
+}
+
+/// Recovers a poisoned std mutex: the service never leaves shared state
+/// inconsistent across an unlock (batch state transitions happen while
+/// holding the guard), so a panicking caller poisons nothing logical —
+/// the same stance the vendored `parking_lot` takes.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wedged_err(why: &str) -> ExtMemError {
+    ExtMemError::Io(std::io::Error::other(format!(
+        "shard wedged by a failed group commit (reopen the service to recover to the last \
+         committed batch): {why}"
+    )))
+}
+
+/// One write operation of a [`ShardedKvStore`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert (or upsert) `key` with `value`.
+    Put(Key, Value),
+    /// Delete `key` (succeeds with `false` when the key is absent).
+    Delete(Key),
+}
+
+impl WriteOp {
+    fn key(&self) -> Key {
+        match *self {
+            WriteOp::Put(k, _) | WriteOp::Delete(k) => k,
+        }
+    }
+
+    /// The op as a `(key, effect)` pair: `Some(value)` for a put, `None`
+    /// for a delete — the shape both the read-your-writes overlay and
+    /// [`BatchRecord`] store.
+    fn effect(&self) -> (Key, Option<Value>) {
+        match *self {
+            WriteOp::Put(k, v) => (k, Some(v)),
+            WriteOp::Delete(k) => (k, None),
+        }
+    }
+
+    /// Rejects the reserved sentinels before anything is enqueued, so an
+    /// invalid op is an immediate per-call error and an apply-time error
+    /// is always environmental (and wedges the shard).
+    fn validate(&self) -> Result<()> {
+        if self.key() == KEY_TOMBSTONE {
+            return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
+        }
+        if let WriteOp::Put(_, v) = self {
+            if *v == VALUE_TOMBSTONE {
+                return Err(ExtMemError::BadConfig(
+                    "value u64::MAX is reserved as the deletion marker".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One committed (or in-flight) group commit, as recorded when
+/// [`ShardedKvStore::set_batch_recording`] is on — the torture harness's
+/// ground truth for the all-in-or-all-out check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// The batch's operations in application order: `(key, Some(v))` for
+    /// a put, `(key, None)` for a delete.
+    pub ops: Vec<(Key, Option<Value>)>,
+}
+
+/// A shard's recorded commit history (see
+/// [`ShardedKvStore::batch_history`]).
+#[derive(Clone, Debug, Default)]
+pub struct ShardBatchHistory {
+    /// Batches whose `sync` returned success — durable in order.
+    pub committed: Vec<BatchRecord>,
+    /// The batch that was mid-commit when the shard wedged or crashed,
+    /// if any: recovery must find it wholly present or wholly absent.
+    pub inflight: Option<BatchRecord>,
+}
+
+/// Aggregate counters across every shard of a [`ShardedKvStore`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Write operations acknowledged (durably committed).
+    pub committed_ops: u64,
+    /// Group commits performed — also the number of `sync`s paid for
+    /// those operations (each batch costs exactly one).
+    pub committed_batches: u64,
+    /// Largest single batch any shard committed.
+    pub largest_batch: u64,
+    /// Shards currently wedged by a failed group commit.
+    pub wedged_shards: usize,
+}
+
+impl ServiceStats {
+    /// Manifest syncs paid per acknowledged write — the group-commit
+    /// figure of merit (`1.0` means no batching; `K` concurrent writers
+    /// sharing commits drive it toward `1/K`).
+    pub fn syncs_per_op(&self) -> f64 {
+        if self.committed_ops == 0 {
+            0.0
+        } else {
+            self.committed_batches as f64 / self.committed_ops as f64
+        }
+    }
+}
+
+/// A queued write plus the cell its caller is parked on.
+struct QueuedOp {
+    op: WriteOp,
+    cell: Arc<OpCell>,
+}
+
+/// Where a parked writer's outcome lands: `Ok(presence)` for a committed
+/// op (`presence` is delete's was-present answer, `true` for puts),
+/// `Err(why)` when the batch failed. Filled exactly once, under the
+/// shard's buffer lock, before the condvar broadcast.
+#[derive(Default)]
+struct OpCell(Mutex<Option<std::result::Result<bool, String>>>);
+
+/// The mutable half of a shard that writers and readers touch on every
+/// call; deliberately separate from the store so enqueues and overlay
+/// reads never wait behind a running group commit.
+#[derive(Default)]
+struct BufState {
+    /// Ops accepted for the *next* batch.
+    pending: Vec<QueuedOp>,
+    /// Read-your-writes overlay of `pending` (`None` = pending delete).
+    pending_overlay: HashMap<Key, Option<Value>>,
+    /// Overlay of the batch currently being committed — still visible
+    /// to readers until the store itself can answer for it.
+    inflight_overlay: HashMap<Key, Option<Value>>,
+    /// Whether a committer is currently draining a batch.
+    committing: bool,
+    /// Set when a group commit failed: the shard stops accepting work
+    /// (its store handle is poisoned) until the service is reopened.
+    wedged: Option<String>,
+    committed_ops: u64,
+    committed_batches: u64,
+    largest_batch: u64,
+    /// Record batch compositions (torture-harness ground truth).
+    recording: bool,
+    history: Vec<BatchRecord>,
+    inflight_record: Option<BatchRecord>,
+}
+
+impl BufState {
+    fn overlay_get(&self, key: Key) -> Option<Option<Value>> {
+        // `pending` is strictly newer than the in-flight batch.
+        self.pending_overlay.get(&key).or_else(|| self.inflight_overlay.get(&key)).copied()
+    }
+}
+
+struct Shard<M: StoreMedia> {
+    buf: Mutex<BufState>,
+    cv: Condvar,
+    /// The persistent store; held only by the committer (for the length
+    /// of one batch) and by readers that miss the overlay.
+    store: Mutex<KvStore<M>>,
+}
+
+/// Where a [`ShardedKvStore`] keeps its shards: a service manifest (the
+/// shard count and router seed, which are baked into the data layout)
+/// plus one [`StoreMedia`] per shard.
+pub trait ServiceMedia {
+    /// The per-shard media this service hands to its [`crate::KvStore`]s.
+    type Store: StoreMedia;
+
+    /// Reads the service manifest; `None` when the service has never
+    /// been created.
+    fn read_meta(&mut self) -> Result<Option<String>>;
+
+    /// Atomically and durably replaces the service manifest.
+    fn commit_meta(&mut self, text: &str) -> Result<()>;
+
+    /// Opens (creating if needed) shard `index`'s media, acquiring its
+    /// exclusive lock.
+    fn open_shard(&mut self, index: usize) -> Result<Self::Store>;
+}
+
+/// The real thing: a root directory holding `SERVICE` plus one
+/// subdirectory per shard (`shard-000/`, `shard-001/`, …), each an
+/// ordinary [`crate::KvStore`] directory with its own `LOCK`.
+pub struct DirServiceMedia {
+    root: PathBuf,
+}
+
+impl DirServiceMedia {
+    /// Creates the root directory if needed and returns the media.
+    /// Mutual exclusion is per shard (each shard directory's OS lock),
+    /// acquired as the shards open.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(DirServiceMedia { root: root.as_ref().to_path_buf() })
+    }
+
+    /// The service root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl ServiceMedia for DirServiceMedia {
+    type Store = DirMedia;
+
+    fn read_meta(&mut self) -> Result<Option<String>> {
+        match fs::read_to_string(self.root.join(SERVICE)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn commit_meta(&mut self, text: &str) -> Result<()> {
+        commit_file_atomic(&self.root, SERVICE, text)
+    }
+
+    fn open_shard(&mut self, index: usize) -> Result<DirMedia> {
+        DirMedia::open(self.root.join(shard_name(index)))
+    }
+}
+
+/// The crash-simulation twin: every shard is a [`SimMedia`] namespace
+/// (`shard-000/`, …) of **one** [`SimEnv`] — one machine, one I/O
+/// clock, so a single [`dxh_extmem::FaultPlan`] crash index takes the
+/// whole service down mid-group-commit. The seam the service torture
+/// harness sweeps.
+pub struct SimServiceMedia {
+    env: SimEnv,
+}
+
+impl SimServiceMedia {
+    /// A service media on `env`. Nothing is locked yet; each shard
+    /// acquires its own named lock as it opens.
+    pub fn new(env: &SimEnv) -> Self {
+        SimServiceMedia { env: env.clone() }
+    }
+}
+
+impl ServiceMedia for SimServiceMedia {
+    type Store = SimMedia;
+
+    fn read_meta(&mut self) -> Result<Option<String>> {
+        match self.env.meta_read(SERVICE)? {
+            Some(bytes) => String::from_utf8(bytes)
+                .map(Some)
+                .map_err(|_| ExtMemError::Corrupt("service manifest is not UTF-8".into())),
+            None => Ok(None),
+        }
+    }
+
+    fn commit_meta(&mut self, text: &str) -> Result<()> {
+        self.env.meta_write(SERVICE, text.as_bytes())
+    }
+
+    fn open_shard(&mut self, index: usize) -> Result<SimMedia> {
+        SimMedia::open_at(&self.env, &format!("{}/", shard_name(index)))
+    }
+}
+
+/// A thread-safe, persistent, sharded key-value store with group-commit
+/// batching: `N` independent [`crate::KvStore`] shards behind one
+/// handle, concurrent writers sharing manifest fsyncs (see the module
+/// docs for the protocol).
+///
+/// Share it across threads with an [`Arc`] (or `std::thread::scope`);
+/// every method takes `&self`.
+///
+/// ```
+/// use dxh_core::{CoreConfig, ShardedKvStore, SimServiceMedia};
+/// use dxh_extmem::SimEnv;
+///
+/// let env = SimEnv::new();
+/// let cfg = CoreConfig::lemma5(8, 128, 2)?;
+/// let svc = ShardedKvStore::open_on(SimServiceMedia::new(&env), 4, cfg.clone(), 42)?;
+/// svc.put(7, 700)?; // parked until the owning shard's batch is durable
+/// svc.put(8, 800)?;
+/// assert_eq!(svc.get(7)?, Some(700));
+/// assert!(svc.delete(7)?);
+/// assert_eq!(svc.get(7)?, None);
+/// drop(svc);
+/// // Acknowledged writes are durable: a reopen sees them.
+/// let svc = ShardedKvStore::open_on(SimServiceMedia::new(&env), 4, cfg, 42)?;
+/// assert_eq!(svc.get(8)?, Some(800));
+/// # Ok::<(), dxh_extmem::ExtMemError>(())
+/// ```
+pub struct ShardedKvStore<M: StoreMedia = DirMedia> {
+    shards: Vec<Shard<M>>,
+    router: IdealFn,
+}
+
+impl ShardedKvStore<DirMedia> {
+    /// Opens the service at `root` (a directory holding one
+    /// subdirectory per shard), creating it when no service manifest
+    /// exists. On reopen the **persisted** shard count and router seed
+    /// win — they are baked into the key partition — and a caller
+    /// asking for a different `shards` is rejected rather than silently
+    /// re-routed.
+    ///
+    /// ```no_run
+    /// use dxh_core::{CoreConfig, ShardedKvStore};
+    ///
+    /// let cfg = CoreConfig::lemma5(64, 4096, 2)?;
+    /// let svc = ShardedKvStore::open("/var/lib/my-service", 8, cfg, 42)?;
+    /// std::thread::scope(|s| {
+    ///     for t in 0..8u64 {
+    ///         let svc = &svc;
+    ///         s.spawn(move || {
+    ///             for i in 0..1000 {
+    ///                 // Concurrent writers share group commits.
+    ///                 svc.put(t * 1_000_000 + i, i).unwrap();
+    ///             }
+    ///         });
+    ///     }
+    /// });
+    /// svc.sync_all()?;
+    /// # Ok::<(), dxh_extmem::ExtMemError>(())
+    /// ```
+    pub fn open(root: impl AsRef<Path>, shards: usize, cfg: CoreConfig, seed: u64) -> Result<Self> {
+        Self::open_on(DirServiceMedia::open(root)?, shards, cfg, seed)
+    }
+}
+
+impl<M: StoreMedia> ShardedKvStore<M> {
+    /// Opens the service on any [`ServiceMedia`] — the backend-generic
+    /// twin of [`ShardedKvStore::open`] (the torture harness passes
+    /// [`SimServiceMedia`]). Each shard's store opens (or is created)
+    /// with an equal share of the deployment: the same `cfg` per shard
+    /// and a per-shard hash seed derived from `seed`.
+    pub fn open_on<S: ServiceMedia<Store = M>>(
+        mut media: S,
+        shards: usize,
+        cfg: CoreConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        if shards == 0 {
+            return Err(ExtMemError::BadConfig("need at least one shard".into()));
+        }
+        if shards > 1024 {
+            return Err(ExtMemError::BadConfig(format!(
+                "shard count {shards} is implausible (max 1024)"
+            )));
+        }
+        let (seed, fresh) = match media.read_meta()? {
+            Some(text) => {
+                let (p_shards, p_seed) = parse_service_meta(&text)?;
+                if p_shards != shards {
+                    return Err(ExtMemError::BadConfig(format!(
+                        "service was created with {p_shards} shards, caller asked for \
+                         {shards} — the key partition is baked into the layout"
+                    )));
+                }
+                // Persisted routing seed wins, like KvStore's hash seed.
+                (p_seed, false)
+            }
+            None => (seed, true),
+        };
+        let mut v = Vec::with_capacity(shards);
+        for i in 0..shards {
+            // Per-shard hash seeds are derived (not shared): shard
+            // tables must hash independently of each other and of the
+            // router. On reopen each store's own persisted seed wins.
+            let shard_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let store = KvStore::open_on(media.open_shard(i)?, cfg.clone(), shard_seed)?;
+            v.push(Shard {
+                buf: Mutex::new(BufState::default()),
+                cv: Condvar::new(),
+                store: Mutex::new(store),
+            });
+        }
+        if fresh {
+            // Committed only after every shard bootstrapped: a failed
+            // first open (one shard's disk full, say) must not bake a
+            // shard count into the root that never produced a working
+            // service. A crash in between is recoverable — the next
+            // open re-runs this create path, and each shard store
+            // reopens from its own already-committed manifest.
+            media.commit_meta(&format!("{SERVICE_MAGIC}\nshards {shards}\nseed {seed}\n"))?;
+        }
+        Ok(ShardedKvStore { shards: v, router: shard_router(seed) })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `key` (diagnostics; the same routing every
+    /// operation uses).
+    pub fn shard_of(&self, key: Key) -> usize {
+        shard_of_key(&self.router, self.shards.len(), key)
+    }
+
+    /// Inserts (or upserts) `key` with `value`, parking until the owning
+    /// shard's group commit makes it durable — when this returns `Ok`,
+    /// the write survives any crash.
+    ///
+    /// ```
+    /// use dxh_core::{CoreConfig, ShardedKvStore, SimServiceMedia};
+    /// use dxh_extmem::SimEnv;
+    ///
+    /// let env = SimEnv::new();
+    /// let cfg = CoreConfig::lemma5(8, 128, 2)?;
+    /// let svc = ShardedKvStore::open_on(SimServiceMedia::new(&env), 2, cfg, 7)?;
+    /// svc.put(1, 10)?;
+    /// svc.put(1, 11)?; // upsert: newest wins
+    /// assert_eq!(svc.get(1)?, Some(11));
+    /// # Ok::<(), dxh_extmem::ExtMemError>(())
+    /// ```
+    pub fn put(&self, key: Key, value: Value) -> Result<()> {
+        self.submit(&[WriteOp::Put(key, value)]).map(|_| ())
+    }
+
+    /// Deletes `key`, parking until the deletion is durable; returns
+    /// whether the key was present when the batch applied it.
+    pub fn delete(&self, key: Key) -> Result<bool> {
+        self.submit(&[WriteOp::Delete(key)]).map(|r| r[0])
+    }
+
+    /// Submits a slice of writes in one call — the pipelined form of
+    /// [`ShardedKvStore::put`] / [`ShardedKvStore::delete`]. The ops are
+    /// routed to their shards, enqueued together, and this call parks
+    /// once per involved shard instead of once per op, so a caller with
+    /// its own op stream feeds group commits much larger than the writer
+    /// count. Returns delete's was-present answer per op (`true` for
+    /// puts), in input order.
+    ///
+    /// Ops on the *same shard* commit atomically together (they are
+    /// enqueued under one buffer-lock acquisition, so a concurrent
+    /// committer always drains them as one contiguous slice — one
+    /// batch); ops on different shards commit independently.
+    pub fn submit(&self, ops: &[WriteOp]) -> Result<Vec<bool>> {
+        for op in ops {
+            op.validate()?;
+        }
+        // Group by shard first (preserving each shard's op order and the
+        // input positions for the answers): the whole per-shard slice
+        // must be enqueued under ONE lock acquisition, or a committer
+        // racing between two enqueues could split it across batches and
+        // break the same-shard atomicity documented above.
+        let mut by_shard: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut slot_of: HashMap<usize, usize> = HashMap::new();
+        for (pos, op) in ops.iter().enumerate() {
+            let si = self.shard_of(op.key());
+            let slot = *slot_of.entry(si).or_insert_with(|| {
+                by_shard.push((si, Vec::new()));
+                by_shard.len() - 1
+            });
+            by_shard[slot].1.push(pos);
+        }
+        // Enqueue everything, then drive: ops already queued when a
+        // later shard's enqueue fails (wedged) still have to be driven
+        // to completion — the error answer must not abandon work other
+        // shards already accepted.
+        type Placed<'a> = (usize, &'a [usize], Vec<Arc<OpCell>>);
+        let mut placed: Vec<Placed<'_>> = Vec::new();
+        let mut first_err: Option<ExtMemError> = None;
+        for (si, positions) in &by_shard {
+            let shard_ops: Vec<WriteOp> = positions.iter().map(|&p| ops[p]).collect();
+            match self.enqueue_batch(*si, &shard_ops) {
+                Ok(cells) => placed.push((*si, positions, cells)),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut results = vec![false; ops.len()];
+        for (si, positions, cells) in &placed {
+            match self.drive(*si, cells) {
+                Ok(answers) => {
+                    for (&pos, ans) in positions.iter().zip(answers) {
+                        results[pos] = ans;
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(results),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Looks up `key`: first read-your-writes against the owning shard's
+    /// pending group-commit buffer (a hit answers without touching the
+    /// store at all), then through the shard's store. A buffered answer
+    /// reflects a write that is *accepted but not yet durable* — its
+    /// writer is still parked; see `docs/GUARANTEES.md`.
+    pub fn get(&self, key: Key) -> Result<Option<Value>> {
+        let shard = &self.shards[self.shard_of(key)];
+        {
+            let buf = lock(&shard.buf);
+            if let Some(why) = &buf.wedged {
+                return Err(wedged_err(why));
+            }
+            if let Some(v) = buf.overlay_get(key) {
+                return Ok(v);
+            }
+        }
+        // The buffer lock is dropped before the store lock is taken
+        // (readers must never hold both — the committer acquires them in
+        // the other order); the race this opens is benign, since a key
+        // that left the overlay is answerable by the store.
+        lock(&shard.store).lookup(key)
+    }
+
+    /// Syncs every shard's store in turn — a durability fence. Because
+    /// writers park until their batch is durable, an idle service has
+    /// nothing to flush and this is `N` no-ops (the empty-dirty-set
+    /// short-circuit in [`crate::KvStore::sync`]); it exists for
+    /// belt-and-suspenders shutdown and as a barrier after lower-level
+    /// access through [`ShardedKvStore::with_shard`].
+    ///
+    /// ```
+    /// use dxh_core::{CoreConfig, ShardedKvStore, SimServiceMedia};
+    /// use dxh_extmem::SimEnv;
+    ///
+    /// let env = SimEnv::new();
+    /// let cfg = CoreConfig::lemma5(8, 128, 2)?;
+    /// let svc = ShardedKvStore::open_on(SimServiceMedia::new(&env), 2, cfg, 9)?;
+    /// svc.put(3, 30)?;
+    /// svc.sync_all()?; // every acknowledged write was already durable
+    /// # Ok::<(), dxh_extmem::ExtMemError>(())
+    /// ```
+    pub fn sync_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            if let Some(why) = &lock(&shard.buf).wedged {
+                return Err(wedged_err(why));
+            }
+            lock(&shard.store).sync()?;
+        }
+        Ok(())
+    }
+
+    /// Total items across shards (physical counts, like
+    /// [`crate::KvStore`]'s `len`: shadowed copies and unpurged markers
+    /// included until merges drop them).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(&s.store).len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| lock(&s.store).is_empty())
+    }
+
+    /// Aggregate group-commit counters across shards.
+    pub fn stats(&self) -> ServiceStats {
+        let mut out = ServiceStats::default();
+        for shard in &self.shards {
+            let buf = lock(&shard.buf);
+            out.committed_ops += buf.committed_ops;
+            out.committed_batches += buf.committed_batches;
+            out.largest_batch = out.largest_batch.max(buf.largest_batch);
+            out.wedged_shards += usize::from(buf.wedged.is_some());
+        }
+        out
+    }
+
+    /// Runs `f` against shard `index`'s store under its lock —
+    /// diagnostics and low-level access (I/O counters, compaction).
+    /// Mutations made here bypass the group-commit buffer; follow with
+    /// [`ShardedKvStore::sync_all`] if durability matters.
+    pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut KvStore<M>) -> R) -> R {
+        f(&mut lock(&self.shards[index].store))
+    }
+
+    /// Turns batch recording on or off (off by default; turning it on
+    /// clears any previous history). While on, every shard records the
+    /// composition of each batch it commits — the torture harness's
+    /// ground truth for the batch-atomicity check.
+    pub fn set_batch_recording(&self, on: bool) {
+        for shard in &self.shards {
+            let mut buf = lock(&shard.buf);
+            buf.recording = on;
+            buf.history.clear();
+            buf.inflight_record = None;
+        }
+    }
+
+    /// The recorded history per shard (empty unless
+    /// [`ShardedKvStore::set_batch_recording`] is on).
+    pub fn batch_history(&self) -> Vec<ShardBatchHistory> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let buf = lock(&s.buf);
+                ShardBatchHistory {
+                    committed: buf.history.clone(),
+                    inflight: buf.inflight_record.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Queues `ops` on shard `si` under **one** buffer-lock acquisition
+    /// — the slice lands contiguously in the queue, and since a
+    /// committer always drains the whole queue, it can never be split
+    /// across batches. Returns the cells the outcomes will land in.
+    /// Fails fast (enqueuing nothing) on a wedged shard.
+    fn enqueue_batch(&self, si: usize, ops: &[WriteOp]) -> Result<Vec<Arc<OpCell>>> {
+        let shard = &self.shards[si];
+        let mut buf = lock(&shard.buf);
+        if let Some(why) = &buf.wedged {
+            return Err(wedged_err(why));
+        }
+        let mut cells = Vec::with_capacity(ops.len());
+        for op in ops {
+            let cell = Arc::new(OpCell::default());
+            let (k, effect) = op.effect();
+            buf.pending.push(QueuedOp { op: *op, cell: cell.clone() });
+            buf.pending_overlay.insert(k, effect);
+            cells.push(cell);
+        }
+        Ok(cells)
+    }
+
+    /// Parks until every cell in `cells` is filled, volunteering as the
+    /// shard's committer whenever there is a batch to commit and no
+    /// committer running. Returns the per-op answers, or the first error
+    /// — only after *all* cells resolved (a batch failure fills every
+    /// cell of the batch and of the queue behind it).
+    fn drive(&self, si: usize, cells: &[Arc<OpCell>]) -> Result<Vec<bool>> {
+        let shard = &self.shards[si];
+        let mut buf = lock(&shard.buf);
+        loop {
+            // Cells are filled under the buffer lock before the
+            // broadcast, so this check is race-free here.
+            if cells.iter().all(|c| lock(&c.0).is_some()) {
+                drop(buf);
+                let mut out = Vec::with_capacity(cells.len());
+                let mut err = None;
+                for c in cells {
+                    match lock(&c.0).take().expect("checked filled above") {
+                        Ok(b) => out.push(b),
+                        Err(why) => {
+                            out.push(false);
+                            if err.is_none() {
+                                err = Some(wedged_err(&why));
+                            }
+                        }
+                    }
+                }
+                return match err {
+                    None => Ok(out),
+                    Some(e) => Err(e),
+                };
+            }
+            if !buf.committing && !buf.pending.is_empty() {
+                Self::commit_batch(shard, buf);
+                buf = lock(&shard.buf);
+                continue;
+            }
+            buf = wait(&shard.cv, buf);
+        }
+    }
+
+    /// The group commit: drain the queue, apply every op to the shard's
+    /// table, pay **one** `sync`, and wake the batch. Called with the
+    /// buffer lock held; consumes it (the guard is dropped across the
+    /// store work so enqueues and overlay reads proceed meanwhile).
+    fn commit_batch(shard: &Shard<M>, mut buf: MutexGuard<'_, BufState>) {
+        buf.committing = true;
+        let batch: Vec<QueuedOp> = std::mem::take(&mut buf.pending);
+        debug_assert!(buf.inflight_overlay.is_empty(), "one committer at a time");
+        buf.inflight_overlay = std::mem::take(&mut buf.pending_overlay);
+        if buf.recording {
+            buf.inflight_record =
+                Some(BatchRecord { ops: batch.iter().map(|q| q.op.effect()).collect() });
+        }
+        drop(buf);
+
+        let mut answers: Vec<bool> = Vec::with_capacity(batch.len());
+        let mut failure: Option<String> = None;
+        {
+            let mut store = lock(&shard.store);
+            for q in &batch {
+                let applied = match q.op {
+                    WriteOp::Put(k, v) => store.insert(k, v).map(|()| true),
+                    WriteOp::Delete(k) => store.delete(k),
+                };
+                match applied {
+                    Ok(b) => answers.push(b),
+                    Err(e) => {
+                        failure = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            if failure.is_none() {
+                // The one sync the whole batch shares: H0 flush, data
+                // fsync, manifest rename — the batch's commit point.
+                if let Err(e) = store.sync() {
+                    failure = Some(e.to_string());
+                }
+            }
+            if failure.is_some() {
+                // The table holds a partial (or unsynced whole) batch
+                // that was reported failed; it must never reach a
+                // manifest — not even through the drop-time sync.
+                store.poison();
+            }
+        }
+
+        let mut buf = lock(&shard.buf);
+        buf.inflight_overlay.clear();
+        buf.committing = false;
+        match failure {
+            None => {
+                buf.committed_batches += 1;
+                buf.committed_ops += batch.len() as u64;
+                buf.largest_batch = buf.largest_batch.max(batch.len() as u64);
+                if let Some(rec) = buf.inflight_record.take() {
+                    buf.history.push(rec);
+                }
+                for (q, ans) in batch.iter().zip(answers) {
+                    *lock(&q.cell.0) = Some(Ok(ans));
+                }
+            }
+            Some(why) => {
+                // Wedge the shard: the batch failed, and everything
+                // queued behind it can never commit either (the store
+                // handle is poisoned). `inflight_record` is deliberately
+                // left in place — it is the harness's all-in-or-all-out
+                // candidate.
+                for q in &batch {
+                    *lock(&q.cell.0) = Some(Err(why.clone()));
+                }
+                let stranded: Vec<QueuedOp> = std::mem::take(&mut buf.pending);
+                for q in &stranded {
+                    *lock(&q.cell.0) = Some(Err(why.clone()));
+                }
+                buf.pending_overlay.clear();
+                buf.wedged = Some(why);
+            }
+        }
+        drop(buf);
+        shard.cv.notify_all();
+    }
+}
+
+/// Parses the service manifest: `(shards, seed)`.
+fn parse_service_meta(text: &str) -> Result<(usize, u64)> {
+    let corrupt = |why: &str| ExtMemError::Corrupt(format!("service manifest: {why}"));
+    let mut lines = text.lines();
+    if lines.next() != Some(SERVICE_MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    let mut shards = None;
+    let mut seed = None;
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let (Some(key), Some(v)) = (parts.next(), parts.next()) else { continue };
+        match key {
+            "shards" => shards = v.parse().ok(),
+            "seed" => seed = v.parse().ok(),
+            _ => {} // forward-compatible
+        }
+    }
+    match (shards, seed) {
+        (Some(s), Some(x)) if s > 0 => Ok((s, x)),
+        _ => Err(corrupt("missing shards/seed")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxh_extmem::{FaultPlan, SimEnv};
+
+    fn cfg() -> CoreConfig {
+        CoreConfig::lemma5(8, 128, 2).unwrap()
+    }
+
+    fn sim_service(env: &SimEnv, shards: usize, seed: u64) -> ShardedKvStore<SimMedia> {
+        ShardedKvStore::open_on(SimServiceMedia::new(env), shards, cfg(), seed).unwrap()
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedKvStore<DirMedia>>();
+        assert_send_sync::<ShardedKvStore<SimMedia>>();
+    }
+
+    #[test]
+    fn single_threaded_round_trip_and_reopen() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 4, 11);
+        for k in 0..600u64 {
+            svc.put(k, k * 3).unwrap();
+        }
+        for k in (0..600u64).step_by(3) {
+            assert!(svc.delete(k).unwrap(), "key {k}");
+        }
+        assert!(!svc.delete(999_999).unwrap(), "absent key is a miss");
+        for k in 0..600u64 {
+            let expect = (k % 3 != 0).then_some(k * 3);
+            assert_eq!(svc.get(k).unwrap(), expect, "key {k}");
+        }
+        drop(svc);
+        let svc = sim_service(&env, 4, 11);
+        for k in 0..600u64 {
+            let expect = (k % 3 != 0).then_some(k * 3);
+            assert_eq!(svc.get(k).unwrap(), expect, "key {k} after reopen");
+        }
+    }
+
+    #[test]
+    fn submit_pipelines_many_ops_in_one_park() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 2, 12);
+        let ops: Vec<WriteOp> = (0..200u64).map(|k| WriteOp::Put(k, k + 1)).collect();
+        let answers = svc.submit(&ops).unwrap();
+        assert!(answers.iter().all(|&a| a));
+        let stats = svc.stats();
+        assert_eq!(stats.committed_ops, 200);
+        // One park per involved shard: at most 2 batches (typically 2 —
+        // one per shard), never 200.
+        assert!(stats.committed_batches <= 2, "batches: {}", stats.committed_batches);
+        assert!(stats.largest_batch >= 50, "batch size: {}", stats.largest_batch);
+        assert!(stats.syncs_per_op() < 0.05, "syncs/op: {}", stats.syncs_per_op());
+        let dels: Vec<WriteOp> = (0..100u64).map(WriteOp::Delete).collect();
+        let answers = svc.submit(&dels).unwrap();
+        assert!(answers.iter().all(|&a| a), "all targeted keys were live");
+        for k in 0..200u64 {
+            assert_eq!(svc.get(k).unwrap(), (k >= 100).then_some(k + 1));
+        }
+    }
+
+    #[test]
+    fn read_your_writes_hits_the_pending_overlay() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 1, 13);
+        svc.put(1, 10).unwrap();
+        // Enqueue without driving: the ops are pending, no commit ran.
+        let ops_before = env.ops();
+        let _cells = svc.enqueue_batch(0, &[WriteOp::Put(2, 20), WriteOp::Delete(1)]).unwrap();
+        assert_eq!(svc.get(2).unwrap(), Some(20), "pending put visible");
+        assert_eq!(svc.get(1).unwrap(), None, "pending delete visible");
+        assert_eq!(env.ops(), ops_before, "overlay answers cost zero I/O");
+        // A later writer's drive commits the stragglers too.
+        svc.put(3, 30).unwrap();
+        assert_eq!(svc.get(2).unwrap(), Some(20));
+        assert_eq!(svc.get(1).unwrap(), None);
+        assert_eq!(svc.stats().largest_batch, 3, "one batch carried all three");
+    }
+
+    #[test]
+    fn reserved_sentinels_rejected_before_enqueue() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 2, 14);
+        assert!(svc.put(u64::MAX, 1).is_err());
+        assert!(svc.put(1, u64::MAX).is_err());
+        assert!(svc.delete(u64::MAX).is_err());
+        let stats = svc.stats();
+        assert_eq!(stats.committed_ops, 0, "nothing was enqueued");
+        assert_eq!(stats.wedged_shards, 0, "validation errors never wedge");
+    }
+
+    #[test]
+    fn failed_group_commit_wedges_only_that_shard() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 2, 15);
+        // Find keys for both shards.
+        let k0 = (0..).find(|&k| svc.shard_of(k) == 0).unwrap();
+        let k1 = (0..).find(|&k| svc.shard_of(k) == 1).unwrap();
+        svc.put(k0, 1).unwrap();
+        svc.put(k1, 1).unwrap();
+        // One transient fault at the next I/O: the commit for k0's
+        // second put fails mid-batch and wedges shard 0.
+        env.set_plan(FaultPlan { fail_at: vec![env.ops()], ..Default::default() });
+        let err = svc.put(k0, 2).unwrap_err();
+        assert!(err.to_string().contains("wedged"), "got: {err}");
+        // The fault was one-shot — the device healed — but the shard
+        // must stay wedged: its table may hold an uncommitted batch.
+        assert!(svc.put(k0, 3).is_err(), "wedged shard rejects writes");
+        assert!(svc.get(k0).is_err(), "wedged shard rejects reads");
+        assert_eq!(svc.stats().wedged_shards, 1);
+        // The sibling shard is untouched.
+        svc.put(k1, 2).unwrap();
+        assert_eq!(svc.get(k1).unwrap(), Some(2));
+        drop(svc); // the poisoned shard's drop must not commit anything
+        let svc = sim_service(&env, 2, 15);
+        assert_eq!(svc.get(k0).unwrap(), Some(1), "shard 0 recovered to its last batch");
+        assert_eq!(svc.get(k1).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn shard_count_mismatch_rejected_on_reopen() {
+        let env = SimEnv::new();
+        drop(sim_service(&env, 4, 16));
+        let err = match ShardedKvStore::open_on(SimServiceMedia::new(&env), 3, cfg(), 16) {
+            Err(e) => e,
+            Ok(_) => panic!("shard-count mismatch must be rejected"),
+        };
+        assert!(err.to_string().contains("4 shards"), "got: {err}");
+        // The persisted routing seed wins over the caller's.
+        let svc = ShardedKvStore::open_on(SimServiceMedia::new(&env), 4, cfg(), 999).unwrap();
+        svc.put(5, 50).unwrap();
+        assert_eq!(svc.get(5).unwrap(), Some(50));
+    }
+
+    #[test]
+    fn zero_and_implausible_shard_counts_rejected() {
+        let env = SimEnv::new();
+        assert!(ShardedKvStore::open_on(SimServiceMedia::new(&env), 0, cfg(), 1).is_err());
+        assert!(ShardedKvStore::open_on(SimServiceMedia::new(&env), 4096, cfg(), 1).is_err());
+    }
+
+    #[test]
+    fn double_open_fails_fast_per_shard_lock() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 2, 17);
+        let err = match ShardedKvStore::open_on(SimServiceMedia::new(&env), 2, cfg(), 17) {
+            Err(e) => e,
+            Ok(_) => panic!("second live service handle must fail"),
+        };
+        assert!(err.to_string().contains("locked"), "got: {err}");
+        drop(svc);
+        drop(sim_service(&env, 2, 17)); // released with the handle
+    }
+
+    #[test]
+    fn batch_recording_captures_composition() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 1, 18);
+        svc.set_batch_recording(true);
+        svc.put(1, 10).unwrap();
+        svc.submit(&[WriteOp::Put(2, 20), WriteOp::Delete(1)]).unwrap();
+        let history = svc.batch_history();
+        assert_eq!(history.len(), 1);
+        let h = &history[0];
+        assert_eq!(h.committed.len(), 2, "two group commits ran");
+        assert_eq!(h.committed[0].ops, vec![(1, Some(10))]);
+        assert_eq!(h.committed[1].ops, vec![(2, Some(20)), (1, None)]);
+        assert!(h.inflight.is_none(), "no commit was interrupted");
+        svc.set_batch_recording(false);
+        svc.put(3, 30).unwrap();
+        assert!(svc.batch_history()[0].committed.is_empty(), "toggling clears history");
+    }
+
+    #[test]
+    fn service_meta_parses_and_rejects() {
+        assert_eq!(parse_service_meta("dxh-service v1\nshards 8\nseed 42\n").unwrap(), (8, 42));
+        assert!(parse_service_meta("nope\n").is_err());
+        assert!(parse_service_meta("dxh-service v1\nshards 0\nseed 1\n").is_err());
+        assert!(parse_service_meta("dxh-service v1\nshards 2\n").is_err());
+    }
+}

@@ -21,6 +21,22 @@ use dxh_hashfn::{prefix_bucket, HashFn, IdealFn};
 use dxh_tables::ExternalDictionary;
 use parking_lot::Mutex;
 
+/// The routing hash shared by [`ShardedTable`] and
+/// [`crate::ShardedKvStore`]: derived from the deployment seed with a
+/// fixed tweak so it stays independent of every shard-internal hash
+/// (which are derived from the seed *without* the tweak).
+pub(crate) fn shard_router(seed: u64) -> IdealFn {
+    IdealFn::from_seed(seed ^ 0x005A_ADED)
+}
+
+/// Which of `shards` shards owns `key` under `router` — the same
+/// prefix-bucket reduction every table uses, so the partition is uniform
+/// whenever the router hash is.
+#[inline]
+pub(crate) fn shard_of_key(router: &IdealFn, shards: usize, key: Key) -> usize {
+    prefix_bucket(router.hash64(key), shards as u64) as usize
+}
+
 /// A concurrent dictionary made of `S` independently locked shards.
 ///
 /// ```
@@ -54,7 +70,7 @@ impl<T: ExternalDictionary + Send> ShardedTable<T> {
         for i in 0..shards {
             v.push(Mutex::new(build(i)?));
         }
-        Ok(ShardedTable { shards: v, router: IdealFn::from_seed(seed ^ 0x005A_ADED) })
+        Ok(ShardedTable { shards: v, router: shard_router(seed) })
     }
 
     /// Builds `shards` **file-backed** tables, one [`FileDisk`] per shard
@@ -95,7 +111,7 @@ impl<T: ExternalDictionary + Send> ShardedTable<T> {
 
     #[inline]
     fn shard_of(&self, key: Key) -> usize {
-        prefix_bucket(self.router.hash64(key), self.shards.len() as u64) as usize
+        shard_of_key(&self.router, self.shards.len(), key)
     }
 
     /// Inserts through the owning shard's lock.

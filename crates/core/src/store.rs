@@ -71,6 +71,7 @@ use std::path::{Path, PathBuf};
 
 use dxh_extmem::{
     BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Key, PersistentBackend, Result, Value,
+    KEY_TOMBSTONE, VALUE_TOMBSTONE,
 };
 use dxh_hashfn::IdealFn;
 use dxh_tables::ExternalDictionary;
@@ -497,6 +498,17 @@ impl<M: StoreMedia> KvStore<M> {
     pub fn table(&self) -> &LogMethodTable<IdealFn, M::Backend> {
         &self.table
     }
+
+    /// Poisons the handle: every further method errors, and drop must
+    /// not sync. The group-commit service uses this when a batch fails
+    /// partway through being applied — the in-memory table then holds a
+    /// partial batch that must never reach a manifest (a later sync, or
+    /// the drop's best-effort sync, would commit a durable half-batch
+    /// and break batch atomicity). The last committed manifest stays
+    /// authoritative; reopening the media recovers to it.
+    pub(crate) fn poison(&mut self) {
+        self.poisoned = true;
+    }
 }
 
 /// What one [`KvStore::compact`] pass accomplished.
@@ -600,7 +612,20 @@ impl<M: StoreMedia> Drop for KvStore<M> {
 }
 
 impl<M: StoreMedia> ExternalDictionary for KvStore<M> {
+    /// Inserts `key`. The reserved-sentinel checks run **before** the
+    /// dirty transition: a rejected insert mutates nothing, so it must
+    /// not dirty the store — a handle whose every mutation was rejected
+    /// stays clean, and its next `sync` (or drop) is a no-op instead of
+    /// a manifest rewrite plus two directory fsyncs.
     fn insert(&mut self, key: Key, value: Value) -> Result<()> {
+        if key == KEY_TOMBSTONE {
+            return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
+        }
+        if value == VALUE_TOMBSTONE {
+            return Err(ExtMemError::BadConfig(
+                "value u64::MAX is reserved as the deletion marker".into(),
+            ));
+        }
         self.mark_dirty()?;
         self.table.insert(key, value)
     }
@@ -917,6 +942,34 @@ mod tests {
         drop(s);
         // The recovered handle was never mutated: manifest untouched.
         assert_eq!(fs::read(dir.join(MANIFEST)).unwrap(), manifest);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejected_insert_leaves_the_store_clean_and_sync_a_noop() {
+        // Regression: `insert` used to run the dirty transition before
+        // validating the reserved sentinels, so a rejected insert
+        // unlinked the CLEAN marker and made the next sync rewrite the
+        // manifest — pure wasted fsyncs, one per batch in the
+        // group-commit path. A mutation that changes nothing must leave
+        // the store clean.
+        let dir = tmp_dir("clean-reject");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 14).unwrap();
+        s.insert(1, 1).unwrap();
+        s.sync().unwrap();
+        let manifest = fs::read(dir.join(MANIFEST)).unwrap();
+        assert!(s.insert(u64::MAX, 5).is_err(), "reserved key rejected");
+        assert!(s.insert(5, u64::MAX).is_err(), "reserved value rejected");
+        assert!(dir.join(CLEAN).exists(), "rejected inserts never dirty the store");
+        s.sync().unwrap();
+        assert_eq!(
+            fs::read(dir.join(MANIFEST)).unwrap(),
+            manifest,
+            "sync after rejected mutations must not rewrite the manifest"
+        );
+        drop(s);
+        assert_eq!(fs::read(dir.join(MANIFEST)).unwrap(), manifest, "drop stays a no-op too");
         let _ = fs::remove_dir_all(&dir);
     }
 

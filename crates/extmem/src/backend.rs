@@ -31,8 +31,9 @@ pub trait StorageBackend {
     /// instead of keeping a per-bucket pointer table. A contiguous run of
     /// freed ids may be recycled (region frees and crash GC return whole
     /// ranges, so runs are the common case); both built-in backends use
-    /// the identical lowest-first-fit policy ([`FreeRuns`]) so the
-    /// same workload produces the same ids on every backend.
+    /// the identical lowest-first-fit policy (the internal `FreeRuns`
+    /// interval set) so the same workload produces the same ids on
+    /// every backend.
     fn allocate_contiguous(&mut self, n: usize) -> Result<BlockId>;
 
     /// Returns block `id` to the allocator. Reading a freed id is an error

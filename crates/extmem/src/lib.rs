@@ -39,7 +39,7 @@
 //!   [`Disk`] to model generic page caching; its frames are charged against
 //!   the same budget by the structures that opt into it.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod backend;

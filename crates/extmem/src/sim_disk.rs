@@ -181,7 +181,10 @@ struct SimEnvState {
     trace: Vec<IoEvent>,
     files: BTreeMap<String, SimFileState>,
     meta: BTreeMap<String, Vec<u8>>,
-    locked: bool,
+    /// Held store locks by name (`""` is the machine's default store; a
+    /// sharded service locks one name per shard), each mapped to the
+    /// epoch of its current acquisition.
+    locks: BTreeMap<String, u64>,
     /// Monotone acquisition counter: each successful [`SimEnv::lock`]
     /// stamps the owner with a fresh epoch, so a stale handle released
     /// after a power cycle cannot free a newer owner's lock.
@@ -212,7 +215,7 @@ impl SimEnv {
             trace: Vec::new(),
             files: BTreeMap::new(),
             meta: BTreeMap::new(),
-            locked: false,
+            locks: BTreeMap::new(),
             lock_epoch: 0,
             power_cycles: 0,
         })))
@@ -301,7 +304,7 @@ impl SimEnv {
             }
         }
         st.crashed = false;
-        st.locked = false;
+        st.locks.clear();
         st.power_cycles += 1;
         if st.tracing {
             st.trace
@@ -309,40 +312,52 @@ impl SimEnv {
         }
     }
 
-    /// Acquires the machine's exclusive store lock (one I/O op) and
+    /// Acquires the machine's default store lock (one I/O op) and
     /// returns this acquisition's epoch. Errors while another live
     /// handle holds it — the simulated twin of the directory `LOCK`'s
     /// fail-fast behavior. Release with [`SimEnv::unlock`], quoting the
     /// epoch.
     pub fn lock(&self) -> Result<u64> {
+        self.lock_named("")
+    }
+
+    /// [`SimEnv::lock`] for the store named `name`: one machine hosts
+    /// many independent stores (a sharded service locks one name per
+    /// shard), each with its own fail-fast exclusive lock. Release with
+    /// [`SimEnv::unlock_named`], quoting the name and epoch.
+    pub fn lock_named(&self, name: &str) -> Result<u64> {
         self.guarded(
-            || IoEvent::Meta { label: "lock".into(), fingerprint: 0 },
+            || IoEvent::Meta { label: format!("lock {name}"), fingerprint: 0 },
             |st| {
-                if st.locked {
-                    return Err(ExtMemError::BadConfig(
-                        "sim store is locked by a live handle (drop it, or power-cycle after \
-                     a crash)"
-                            .into(),
-                    ));
+                if st.locks.contains_key(name) {
+                    return Err(ExtMemError::BadConfig(format!(
+                        "sim store {name:?} is locked by a live handle (drop it, or \
+                         power-cycle after a crash)"
+                    )));
                 }
-                st.locked = true;
                 st.lock_epoch += 1;
+                st.locks.insert(name.to_string(), st.lock_epoch);
                 Ok(st.lock_epoch)
             },
         )
     }
 
-    /// Releases the store lock **if** `epoch` still names the current
-    /// acquisition. Infallible and un-clocked: the kernel releases a
-    /// dead process's lock without that process doing I/O. The epoch
-    /// check makes the release owner-scoped, like an OS lock dying with
-    /// its own descriptor: a crashed handle dropped *after* a power
-    /// cycle (which already released the lock) must not free a newer
-    /// owner's acquisition.
+    /// Releases the default store lock **if** `epoch` still names the
+    /// current acquisition. Infallible and un-clocked: the kernel
+    /// releases a dead process's lock without that process doing I/O.
+    /// The epoch check makes the release owner-scoped, like an OS lock
+    /// dying with its own descriptor: a crashed handle dropped *after* a
+    /// power cycle (which already released the lock) must not free a
+    /// newer owner's acquisition.
     pub fn unlock(&self, epoch: u64) {
+        self.unlock_named("", epoch);
+    }
+
+    /// [`SimEnv::unlock`] for the store named `name`.
+    pub fn unlock_named(&self, name: &str, epoch: u64) {
         let mut st = self.state();
-        if st.locked && st.lock_epoch == epoch {
-            st.locked = false;
+        if st.locks.get(name) == Some(&epoch) {
+            st.locks.remove(name);
         }
     }
 

@@ -206,6 +206,112 @@ impl Workload for ChurnMix {
     }
 }
 
+/// The concurrent twin of [`ChurnMix`]: one churn trace **per writer
+/// thread**, with per-thread key namespaces that are disjoint *by
+/// construction* (thread id in the key's top tag bits, below the sign
+/// bit), not merely by seed luck. Disjointness is what makes the
+/// concurrent run checkable: each thread can verify its own operations
+/// against a private shadow model with no cross-thread ordering to
+/// reason about, while the service under test still sees the threads
+/// interleave on shared shards.
+///
+/// [`Workload::generate`] returns the round-robin interleaving of all
+/// thread traces — the deterministic serialization a single-threaded
+/// twin can replay for an equivalence check.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrentChurn {
+    /// Number of writer threads (≤ 256: the namespace tag is 8 bits).
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Fraction of each thread's operations that are insertions.
+    pub insert_ratio: f64,
+    /// Fraction that are deletions; `insert_ratio + delete_ratio ≤ 1`.
+    pub delete_ratio: f64,
+}
+
+/// Bit position of the 8-bit thread tag inside a [`ConcurrentChurn`]
+/// key: bits 55–62, leaving bit 63 clear (keys stay 63-bit, like every
+/// generator's) and 55 bits of per-thread entropy.
+const THREAD_TAG_SHIFT: u32 = 55;
+
+impl ConcurrentChurn {
+    /// Validates the shape ([`ChurnMix::new`] rules plus the thread
+    /// bounds).
+    pub fn new(
+        threads: usize,
+        ops_per_thread: usize,
+        insert_ratio: f64,
+        delete_ratio: f64,
+    ) -> Result<Self, WorkloadError> {
+        if threads == 0 || threads > 256 {
+            return Err(WorkloadError::BadRatio { param: "threads", value: threads as f64 });
+        }
+        // Reuse ChurnMix's ratio validation verbatim.
+        ChurnMix::new(ops_per_thread, insert_ratio, delete_ratio)?;
+        Ok(ConcurrentChurn { threads, ops_per_thread, insert_ratio, delete_ratio })
+    }
+
+    /// Thread `t`'s trace: churn-mix semantics (fresh-key inserts,
+    /// live-key deletes, ever-inserted lookups) inside thread `t`'s
+    /// private key namespace. Deterministic in `(self, t, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t >= self.threads`.
+    pub fn thread_trace(&self, t: usize, seed: u64) -> Trace {
+        assert!(t < self.threads, "thread {t} out of range ({} threads)", self.threads);
+        let tag = (t as u64) << THREAD_TAG_SHIFT;
+        let mut rng = SplitMix64::new(seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let mut used = HashSet::new();
+        let mut inserted: Vec<Key> = Vec::new();
+        let mut live: Vec<Key> = Vec::new();
+        let mut ops = Vec::with_capacity(self.ops_per_thread);
+        for _ in 0..self.ops_per_thread {
+            let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if coin < self.insert_ratio + self.delete_ratio && coin >= self.insert_ratio {
+                if let Some(idx) = (!live.is_empty()).then(|| rng.below(live.len() as u64)) {
+                    ops.push(Op::Delete(live.swap_remove(idx as usize)));
+                    continue;
+                }
+            } else if coin >= self.insert_ratio + self.delete_ratio && !inserted.is_empty() {
+                let k = inserted[rng.below(inserted.len() as u64) as usize];
+                ops.push(Op::Lookup(k));
+                continue;
+            }
+            // Insert — also the fallback when a delete or lookup has no
+            // eligible target yet. Fresh within the thread's namespace.
+            let k = loop {
+                let k = tag | (rng.next_u64() >> (64 - THREAD_TAG_SHIFT));
+                if used.insert(k) {
+                    break k;
+                }
+            };
+            inserted.push(k);
+            live.push(k);
+            ops.push(Op::Insert(k, k));
+        }
+        Trace { ops }
+    }
+}
+
+impl Workload for ConcurrentChurn {
+    fn generate(&self, seed: u64) -> Trace {
+        let threads: Vec<Trace> = (0..self.threads).map(|t| self.thread_trace(t, seed)).collect();
+        let mut ops = Vec::with_capacity(self.threads * self.ops_per_thread);
+        for i in 0..self.ops_per_thread {
+            for t in &threads {
+                ops.push(t.ops[i]);
+            }
+        }
+        Trace { ops }
+    }
+
+    fn name(&self) -> &'static str {
+        "concurrent-churn"
+    }
+}
+
 /// The introduction's motivating scenario: *archival data management* —
 /// long runs of insertions (log records arriving) punctuated by rare
 /// point lookups, skewed toward recently archived records.
@@ -382,6 +488,56 @@ mod tests {
         assert!(dels > 1000, "deletes materialize: {dels}");
         assert!((ins as f64 / 10_000.0 - 0.5).abs() < 0.05, "insert ratio ≈ 0.5: {ins}");
         assert!(looks > 1000, "lookups materialize: {looks}");
+    }
+
+    #[test]
+    fn concurrent_churn_namespaces_are_disjoint_and_reproducible() {
+        let w = ConcurrentChurn::new(8, 500, 0.5, 0.2).unwrap();
+        let mut namespaces: Vec<HashSet<u64>> = Vec::new();
+        for t in 0..8 {
+            let a = w.thread_trace(t, 9);
+            assert_eq!(a, w.thread_trace(t, 9), "same seed, same trace");
+            assert_ne!(a, w.thread_trace(t, 10), "different seed, different trace");
+            // Churn-mix invariants hold per thread.
+            let mut live = HashSet::new();
+            let mut ever = HashSet::new();
+            for op in &a.ops {
+                match op {
+                    Op::Insert(k, _) => {
+                        assert!(*k < 1 << 63, "keys stay 63-bit");
+                        assert!(ever.insert(*k), "fresh keys only");
+                        live.insert(*k);
+                    }
+                    Op::Delete(k) => assert!(live.remove(k), "deletes target a live key"),
+                    Op::Lookup(k) => assert!(ever.contains(k), "lookups target inserted keys"),
+                }
+            }
+            namespaces.push(ever);
+        }
+        for (i, a) in namespaces.iter().enumerate() {
+            for b in namespaces.iter().skip(i + 1) {
+                assert!(a.is_disjoint(b), "thread namespaces overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_churn_generate_interleaves_all_threads() {
+        let w = ConcurrentChurn::new(4, 100, 0.6, 0.1).unwrap();
+        let t = w.generate(3);
+        assert_eq!(t.len(), 400);
+        // Round-robin: the first `threads` ops are each thread's op 0.
+        for (i, tt) in (0..4).map(|i| (i, w.thread_trace(i, 3))).collect::<Vec<_>>() {
+            assert_eq!(t.ops[i], tt.ops[0]);
+        }
+    }
+
+    #[test]
+    fn concurrent_churn_validates_its_shape() {
+        assert!(ConcurrentChurn::new(0, 10, 0.5, 0.1).is_err(), "zero threads");
+        assert!(ConcurrentChurn::new(257, 10, 0.5, 0.1).is_err(), "tag bits overflow");
+        assert!(ConcurrentChurn::new(2, 10, 1.5, 0.0).is_err(), "bad ratio");
+        assert!(ConcurrentChurn::new(2, 10, 0.5, 0.1).is_ok());
     }
 
     #[test]

@@ -18,20 +18,29 @@
 //!   a chosen (or exhaustively swept) I/O index, reopen, and check the
 //!   recovered state against a shadow model — all deterministic in one
 //!   seed.
+//! * [`service`] — the concurrent twin: drive a sharded group-commit
+//!   service ([`dxh_core::ShardedKvStore`]) from real writer threads on
+//!   one simulated machine, crash it mid group commit, and check that
+//!   every shard recovers to a batch boundary (all-in or all-out).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod generator;
 pub mod runner;
+pub mod service;
 pub mod torture;
 pub mod trace;
 pub mod zipf;
 
 pub use generator::{
-    ArchivalStream, ChurnMix, InsertLookupMix, UniformInserts, Workload, WorkloadError, ZipfQueries,
+    ArchivalStream, ChurnMix, ConcurrentChurn, InsertLookupMix, UniformInserts, Workload,
+    WorkloadError, ZipfQueries,
 };
 pub use runner::{measure_tq, measure_tq_unsuccessful, parallel_trials, run_trace, RunReport};
+pub use service::{
+    service_torture_run, sweep_service_crashes, ServiceTortureReport, ServiceTortureSpec,
+};
 pub use torture::{sweep_crash_indices, torture_run, PhaseMarkers, TortureReport, TortureSpec};
 pub use trace::{Op, Trace};
 pub use zipf::ZipfSampler;

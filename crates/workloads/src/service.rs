@@ -1,0 +1,466 @@
+//! Concurrent-service torture: crash a [`ShardedKvStore`] **mid
+//! group commit** and check that every shard recovers to a batch
+//! boundary — each committed batch wholly present, the in-flight batch
+//! wholly present or wholly absent, nothing in between.
+//!
+//! One [`service_torture_run`] is a full lifecycle on a fresh
+//! [`SimEnv`] hosting every shard of the service under one I/O clock:
+//!
+//! 1. open the service with batch recording on, then drive it from
+//!    `threads` real writer threads, each replaying its own
+//!    [`ConcurrentChurn`] trace (disjoint key namespaces) through
+//!    pipelined [`ShardedKvStore::submit`] chunks and checking its
+//!    lookups against a private shadow model;
+//! 2. if the plan's crash index fires, every thread's next operation
+//!    errors and the affected shard wedges mid-commit;
+//! 3. read back the service's recorded batch history — the ground
+//!    truth: per shard, the batches whose group commit acknowledged,
+//!    plus the one that was in flight at the crash (if any);
+//! 4. power-cycle, reopen, and assert per shard that the recovered
+//!    state equals the fold of the committed batches, or that fold plus
+//!    the whole in-flight batch — the all-in-or-all-out boundary — and
+//!    that the recovered service still accepts work.
+//!
+//! Thread interleavings are scheduled by the OS, so unlike the
+//! single-store harness ([`crate::torture`]) a crash index does not
+//! replay byte-identically; the invariants checked are
+//! interleaving-independent, which is exactly what makes them safe to
+//! sweep under nondeterministic scheduling.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use dxh_core::{CoreConfig, ShardedKvStore, SimMedia, SimServiceMedia, WriteOp};
+use dxh_extmem::{FaultPlan, Key, SimEnv, Value};
+
+use crate::generator::ConcurrentChurn;
+use crate::trace::Op;
+
+/// How many write ops each thread pipelines into one
+/// [`ShardedKvStore::submit`] call: small enough that a crash window
+/// cuts through many batches, large enough that group commits batch.
+const CHUNK: usize = 4;
+
+/// One service-torture scenario; everything downstream derives from
+/// `seed` except the thread interleaving (see the module docs).
+#[derive(Clone, Debug)]
+pub struct ServiceTortureSpec {
+    /// Per-shard store configuration (small, so windows stay sweepable).
+    pub cfg: CoreConfig,
+    /// Shard count of the service.
+    pub shards: usize,
+    /// Writer threads driving it.
+    pub threads: usize,
+    /// Ops each thread replays (its [`ConcurrentChurn`] trace length).
+    pub ops_per_thread: usize,
+    /// Master seed: workload, store hashing, crash lottery.
+    pub seed: u64,
+}
+
+impl ServiceTortureSpec {
+    /// The small scenario the test suite sweeps: 2 shards, 4 writers,
+    /// lifecycles of a few thousand I/Os.
+    pub fn small(seed: u64) -> Self {
+        ServiceTortureSpec {
+            cfg: CoreConfig::lemma5(4, 96, 2).expect("valid config"),
+            shards: 2,
+            threads: 4,
+            ops_per_thread: 48,
+            seed,
+        }
+    }
+
+    fn workload(&self) -> ConcurrentChurn {
+        ConcurrentChurn::new(self.threads, self.ops_per_thread, 0.55, 0.2)
+            .expect("valid churn shape")
+    }
+}
+
+/// What one [`service_torture_run`] observed.
+#[derive(Clone, Debug)]
+pub struct ServiceTortureReport {
+    /// The crash index the run was configured with.
+    pub crash_at: Option<u64>,
+    /// Whether the crash point fired before the workload finished.
+    pub crashed: bool,
+    /// Invariant violations (empty = the run passed).
+    pub violations: Vec<String>,
+    /// The seed the run derives from.
+    pub seed: u64,
+    /// I/O-clock position when the workload (and shutdown) finished —
+    /// the sweepable window of a crash-free run.
+    pub total_ops: u64,
+    /// Group commits the service acknowledged before the crash.
+    pub committed_batches: u64,
+}
+
+/// Applies a recorded batch effect list to a model.
+fn fold_into(model: &mut HashMap<Key, Value>, ops: &[(Key, Option<Value>)]) {
+    for &(k, effect) in ops {
+        match effect {
+            Some(v) => {
+                model.insert(k, v);
+            }
+            None => {
+                model.remove(&k);
+            }
+        }
+    }
+}
+
+/// Probes `svc` for every key of `model`'s universe and reports the
+/// first few mismatches (`keys` is the probe set — every key the shard's
+/// history ever touched, so deleted keys are checked absent too).
+fn diff_shard(
+    svc: &ShardedKvStore<SimMedia>,
+    model: &HashMap<Key, Value>,
+    keys: &[Key],
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for &k in keys {
+        match svc.get(k) {
+            Ok(got) => {
+                let want = model.get(&k).copied();
+                if got != want {
+                    out.push(format!("key {k}: service answers {got:?}, model says {want:?}"));
+                    if out.len() >= 5 {
+                        break;
+                    }
+                }
+            }
+            Err(e) => {
+                out.push(format!("key {k}: lookup errored after recovery: {e}"));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs one concurrent lifecycle with an optional crash index. Never
+/// panics: every invariant violation lands in the report.
+pub fn service_torture_run(
+    spec: &ServiceTortureSpec,
+    crash_at: Option<u64>,
+) -> ServiceTortureReport {
+    let env = SimEnv::new();
+    env.set_tracing(false);
+    if let Some(k) = crash_at {
+        env.set_plan(FaultPlan::crash(k, spec.seed ^ k.rotate_left(17)));
+    }
+    let workload = spec.workload();
+    let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let mut crashed = false;
+    let mut committed_batches = 0;
+    let mut history = Vec::new();
+
+    match ShardedKvStore::open_on(
+        SimServiceMedia::new(&env),
+        spec.shards,
+        spec.cfg.clone(),
+        spec.seed,
+    ) {
+        Ok(svc) => {
+            svc.set_batch_recording(true);
+            std::thread::scope(|scope| {
+                for t in 0..spec.threads {
+                    let svc = &svc;
+                    let env = &env;
+                    let violations = &violations;
+                    let trace = workload.thread_trace(t, spec.seed);
+                    scope.spawn(move || {
+                        // This thread's namespace is private, so its own
+                        // shadow model is exact for its lookups.
+                        let mut model: HashMap<Key, Value> = HashMap::new();
+                        let mut chunk: Vec<WriteOp> = Vec::with_capacity(CHUNK);
+                        let flush =
+                            |chunk: &mut Vec<WriteOp>, model: &mut HashMap<Key, Value>| -> bool {
+                                if chunk.is_empty() {
+                                    return true;
+                                }
+                                match svc.submit(chunk) {
+                                    Ok(_) => {
+                                        for op in chunk.iter() {
+                                            match *op {
+                                                WriteOp::Put(k, v) => {
+                                                    model.insert(k, v);
+                                                }
+                                                WriteOp::Delete(k) => {
+                                                    model.remove(&k);
+                                                }
+                                            }
+                                        }
+                                        chunk.clear();
+                                        true
+                                    }
+                                    Err(e) => {
+                                        if !env.crashed() {
+                                            violations.lock().unwrap().push(format!(
+                                                "thread {t}: submit failed without a crash: {e}"
+                                            ));
+                                        }
+                                        false
+                                    }
+                                }
+                            };
+                        for op in &trace.ops {
+                            let ok = match *op {
+                                Op::Insert(k, v) => {
+                                    chunk.push(WriteOp::Put(k, v));
+                                    chunk.len() < CHUNK || flush(&mut chunk, &mut model)
+                                }
+                                Op::Delete(k) => {
+                                    chunk.push(WriteOp::Delete(k));
+                                    chunk.len() < CHUNK || flush(&mut chunk, &mut model)
+                                }
+                                Op::Lookup(k) => {
+                                    // Reads must see this thread's own
+                                    // acknowledged writes; flush first so
+                                    // the model is comparable.
+                                    flush(&mut chunk, &mut model)
+                                        && match svc.get(k) {
+                                            Ok(got) => {
+                                                let want = model.get(&k).copied();
+                                                if got != want {
+                                                    violations.lock().unwrap().push(format!(
+                                                        "thread {t}: lookup({k}) answered \
+                                                         {got:?}, model says {want:?}"
+                                                    ));
+                                                }
+                                                true
+                                            }
+                                            Err(e) => {
+                                                if !env.crashed() {
+                                                    violations.lock().unwrap().push(format!(
+                                                        "thread {t}: lookup failed without \
+                                                         a crash: {e}"
+                                                    ));
+                                                }
+                                                false
+                                            }
+                                        }
+                                }
+                            };
+                            if !ok {
+                                return; // crashed (or recorded a violation)
+                            }
+                        }
+                        flush(&mut chunk, &mut model);
+                    });
+                }
+            });
+            let stats = svc.stats();
+            committed_batches = stats.committed_batches;
+            crashed = env.crashed();
+            if !crashed && stats.wedged_shards > 0 {
+                violations
+                    .lock()
+                    .unwrap()
+                    .push(format!("{} shards wedged without a crash", stats.wedged_shards));
+            }
+            history = svc.batch_history();
+            drop(svc); // wedged shards must not commit; clean ones no-op
+        }
+        Err(e) => {
+            if env.crashed() {
+                crashed = true;
+            } else {
+                violations
+                    .lock()
+                    .unwrap()
+                    .push(format!("opening the service failed without a crash: {e}"));
+            }
+        }
+    }
+    crashed = crashed || env.crashed();
+    let mut violations = violations.into_inner().unwrap();
+
+    // --- Recovery: power-cycle and reopen, faults cleared. ---
+    env.power_cycle();
+    let total_ops = env.ops();
+    let report = |violations: Vec<String>| ServiceTortureReport {
+        crash_at,
+        crashed,
+        violations,
+        seed: spec.seed,
+        total_ops,
+        committed_batches,
+    };
+    let svc = match ShardedKvStore::open_on(
+        SimServiceMedia::new(&env),
+        spec.shards,
+        spec.cfg.clone(),
+        spec.seed,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("reopen after the crash failed: {e}"));
+            return report(violations);
+        }
+    };
+
+    // Batch-boundary check, shard by shard: the recovered state must be
+    // the fold of that shard's committed batches — optionally plus the
+    // whole in-flight batch (all-in), never part of it.
+    for (si, h) in history.iter().enumerate() {
+        let mut committed: HashMap<Key, Value> = HashMap::new();
+        let mut keys: Vec<Key> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for batch in &h.committed {
+            fold_into(&mut committed, &batch.ops);
+            keys.extend(batch.ops.iter().map(|(k, _)| *k).filter(|k| seen.insert(*k)));
+        }
+        let mismatch_committed = diff_shard(&svc, &committed, &keys);
+        match (&mismatch_committed[..], &h.inflight) {
+            ([], _) => {
+                // All-out (or nothing was in flight): every committed
+                // batch present, the in-flight one absent — but "absent"
+                // needs its own probe when the in-flight batch touched
+                // keys no committed batch did. Those keys must answer
+                // from the committed model too (i.e. be absent).
+                if let Some(inflight) = &h.inflight {
+                    let extra: Vec<Key> =
+                        inflight.ops.iter().map(|(k, _)| *k).filter(|k| seen.insert(*k)).collect();
+                    let mut all_out = diff_shard(&svc, &committed, &extra);
+                    if !all_out.is_empty() {
+                        // Not all-out after all — it must then be all-in.
+                        let mut with_inflight = committed.clone();
+                        fold_into(&mut with_inflight, &inflight.ops);
+                        let mut all_keys = keys.clone();
+                        all_keys.extend(&extra);
+                        let all_in = diff_shard(&svc, &with_inflight, &all_keys);
+                        if !all_in.is_empty() {
+                            violations.push(format!(
+                                "shard {si}: in-flight batch is neither wholly absent \
+                                 (first mismatch: {}) nor wholly present (first mismatch: {})",
+                                all_out.remove(0),
+                                all_in[0]
+                            ));
+                        }
+                    }
+                }
+            }
+            (_, Some(inflight)) => {
+                // Committed-only fold mismatched: the only legal state is
+                // committed plus the whole in-flight batch.
+                let mut with_inflight = committed.clone();
+                fold_into(&mut with_inflight, &inflight.ops);
+                let mut all_keys = keys.clone();
+                all_keys.extend(inflight.ops.iter().map(|(k, _)| *k).filter(|k| seen.insert(*k)));
+                let all_in = diff_shard(&svc, &with_inflight, &all_keys);
+                if !all_in.is_empty() {
+                    violations.push(format!(
+                        "shard {si}: recovered state matches neither its committed batches \
+                         (first mismatch: {}) nor committed+in-flight (first mismatch: {})",
+                        mismatch_committed[0], all_in[0]
+                    ));
+                }
+            }
+            (_, None) => {
+                violations.push(format!(
+                    "shard {si}: recovered state diverged from its committed batches with \
+                     no commit in flight: {}",
+                    mismatch_committed[0]
+                ));
+            }
+        }
+    }
+
+    // The recovered service keeps accepting work across a sync and one
+    // more reopen. Sentinel keys: bit 63 set — outside every generator's
+    // namespace; the seed-derived base is masked clear of `j`'s bits so
+    // sentinels never collide with each other, whatever the seed.
+    let sentinel = |j: u64| (1u64 << 63) | ((spec.seed.rotate_left(7) >> 2) & !0xF) | j;
+    for j in 0..8u64 {
+        if let Err(e) = svc.put(sentinel(j), j) {
+            violations.push(format!("post-recovery put failed: {e}"));
+            break;
+        }
+    }
+    if let Err(e) = svc.sync_all() {
+        violations.push(format!("post-recovery sync_all failed: {e}"));
+    }
+    drop(svc);
+    match ShardedKvStore::open_on(
+        SimServiceMedia::new(&env),
+        spec.shards,
+        spec.cfg.clone(),
+        spec.seed,
+    ) {
+        Ok(svc) => {
+            for j in 0..8u64 {
+                match svc.get(sentinel(j)) {
+                    Ok(Some(v)) if v == j => {}
+                    other => violations
+                        .push(format!("sentinel {j} lost across the final reopen: {other:?}")),
+                }
+            }
+        }
+        Err(e) => violations.push(format!("final reopen failed: {e}")),
+    }
+    report(violations)
+}
+
+/// Runs a crash-free lifecycle to size the window, then crashes at
+/// `points` evenly spaced I/O indices across it, returning the reports
+/// that violated an invariant (the crash-free run's violations, if any,
+/// are returned first). This is the sweep the CI gate runs; scale
+/// `points` up for the nightly long version.
+pub fn sweep_service_crashes(spec: &ServiceTortureSpec, points: u64) -> Vec<ServiceTortureReport> {
+    let clean = service_torture_run(spec, None);
+    let total = clean.total_ops;
+    let mut failures: Vec<ServiceTortureReport> =
+        (!clean.violations.is_empty()).then_some(clean).into_iter().collect();
+    if total < 2 || points == 0 {
+        return failures;
+    }
+    let step = (total / (points + 1)).max(1);
+    let mut k = step;
+    while k < total {
+        let report = service_torture_run(spec, Some(k));
+        if !report.violations.is_empty() {
+            failures.push(report);
+        }
+        k += step;
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_free_concurrent_run_passes() {
+        let report = service_torture_run(&ServiceTortureSpec::small(21), None);
+        assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        assert!(!report.crashed);
+        assert!(report.committed_batches > 0, "group commits ran");
+        assert!(report.total_ops > 0);
+    }
+
+    #[test]
+    fn a_mid_lifecycle_crash_recovers_to_batch_boundaries() {
+        let spec = ServiceTortureSpec::small(22);
+        let clean = service_torture_run(&spec, None);
+        assert!(clean.violations.is_empty(), "clean run: {:?}", clean.violations);
+        // Aim somewhere inside the concurrent churn (not the open, not
+        // past the end).
+        let report = service_torture_run(&spec, Some(clean.total_ops / 2));
+        assert!(report.crashed, "index {} lands inside the lifecycle", clean.total_ops / 2);
+        assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn bounded_sweep_reports_no_violations() {
+        let failures = sweep_service_crashes(&ServiceTortureSpec::small(23), 6);
+        assert!(
+            failures.is_empty(),
+            "{} crash points violated batch atomicity; first: seed {} crash_at {:?}: {:?}",
+            failures.len(),
+            failures[0].seed,
+            failures[0].crash_at,
+            failures[0].violations.first()
+        );
+    }
+}

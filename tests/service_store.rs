@@ -1,0 +1,238 @@
+//! The concurrent sharded service end-to-end through the umbrella
+//! crate: real writer threads over a real directory deployment, the
+//! equivalence of the concurrent run with its single-threaded
+//! serialization, service-level crash torture on the simulated machine,
+//! and the service manifest's reopen contract.
+
+use std::collections::HashMap;
+
+use dyn_ext_hash::core::{CoreConfig, ShardedKvStore, WriteOp};
+use dyn_ext_hash::workloads::{
+    service_torture_run, sweep_service_crashes, ConcurrentChurn, Op, ServiceTortureSpec,
+};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dxh-svc-{tag}-{}", std::process::id()))
+}
+
+fn cfg() -> CoreConfig {
+    CoreConfig::lemma5(16, 256, 2).unwrap()
+}
+
+fn env_count(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Concurrent churn from real threads against a real directory, each
+/// thread checking its own disjoint namespace; then a reopen verifies
+/// the whole state durably, against models rebuilt from the traces.
+#[test]
+fn concurrent_churn_over_a_real_directory_round_trips() {
+    let dir = tmp_dir("churn");
+    let _ = std::fs::remove_dir_all(&dir);
+    let threads = 4usize;
+    let workload = ConcurrentChurn::new(threads, 800, 0.6, 0.15).unwrap();
+    let seed = 0xC0FFEE;
+    {
+        let svc = ShardedKvStore::open(&dir, 3, cfg(), seed).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let svc = &svc;
+                let trace = workload.thread_trace(t, seed);
+                scope.spawn(move || {
+                    let mut model: HashMap<u64, u64> = HashMap::new();
+                    for op in &trace.ops {
+                        match *op {
+                            Op::Insert(k, v) => {
+                                svc.put(k, v).unwrap();
+                                model.insert(k, v);
+                            }
+                            Op::Delete(k) => {
+                                let was = svc.delete(k).unwrap();
+                                assert_eq!(was, model.remove(&k).is_some(), "delete({k})");
+                            }
+                            Op::Lookup(k) => {
+                                assert_eq!(
+                                    svc.get(k).unwrap(),
+                                    model.get(&k).copied(),
+                                    "lookup({k}) in a private namespace"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.wedged_shards, 0);
+        assert!(stats.committed_ops > 0);
+    } // drop: every acknowledged write is already durable
+    let svc = ShardedKvStore::open(&dir, 3, cfg(), seed).unwrap();
+    for t in 0..threads {
+        // Rebuild each thread's model from its deterministic trace.
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in &workload.thread_trace(t, seed).ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    model.remove(&k);
+                }
+                Op::Lookup(_) => {}
+            }
+        }
+        for (k, v) in &model {
+            assert_eq!(svc.get(*k).unwrap(), Some(*v), "key {k} after reopen");
+        }
+    }
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The concurrent service answers exactly like a single-threaded
+/// [`dyn_ext_hash::core::KvStore`]-per-shard replay of the same ops —
+/// disjoint namespaces make the serialization order immaterial.
+#[test]
+fn concurrent_run_matches_its_serialized_twin() {
+    let dir_a = tmp_dir("twin-conc");
+    let dir_b = tmp_dir("twin-seq");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let workload = ConcurrentChurn::new(3, 500, 0.6, 0.2).unwrap();
+    let seed = 77;
+    use dyn_ext_hash::workloads::Workload;
+    let serialized = workload.generate(seed);
+
+    let conc = ShardedKvStore::open(&dir_a, 2, cfg(), seed).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..3 {
+            let conc = &conc;
+            let trace = workload.thread_trace(t, seed);
+            scope.spawn(move || {
+                for op in &trace.ops {
+                    match *op {
+                        Op::Insert(k, v) => {
+                            conc.put(k, v).unwrap();
+                        }
+                        Op::Delete(k) => {
+                            conc.delete(k).unwrap();
+                        }
+                        Op::Lookup(k) => {
+                            let _ = conc.get(k).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let seq = ShardedKvStore::open(&dir_b, 2, cfg(), seed).unwrap();
+    for op in &serialized.ops {
+        match *op {
+            Op::Insert(k, v) => {
+                seq.put(k, v).unwrap();
+            }
+            Op::Delete(k) => {
+                seq.delete(k).unwrap();
+            }
+            Op::Lookup(k) => {
+                let _ = seq.get(k).unwrap();
+            }
+        }
+    }
+    // Same final logical state, probed over every key either run touched.
+    for op in &serialized.ops {
+        let k = match *op {
+            Op::Insert(k, _) | Op::Delete(k) | Op::Lookup(k) => k,
+        };
+        assert_eq!(conc.get(k).unwrap(), seq.get(k).unwrap(), "key {k}");
+    }
+    drop(conc);
+    drop(seq);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Pipelined `submit` keeps per-shard atomicity: ops of one call that
+/// land on one shard commit in one batch.
+#[test]
+fn submit_batches_per_shard_and_answers_in_order() {
+    let dir = tmp_dir("submit");
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = ShardedKvStore::open(&dir, 2, cfg(), 5).unwrap();
+    let ops: Vec<WriteOp> = (0..100u64)
+        .map(|k| if k % 10 == 9 { WriteOp::Delete(k - 1) } else { WriteOp::Put(k, k * 2) })
+        .collect();
+    let answers = svc.submit(&ops).unwrap();
+    assert_eq!(answers.len(), 100);
+    assert!(answers.iter().all(|&a| a), "every delete targeted a just-put key");
+    for k in 0..100u64 {
+        let expect = match k % 10 {
+            8 => None, // deleted by the next op
+            9 => None, // never inserted (that op was the delete)
+            _ => Some(k * 2),
+        };
+        assert_eq!(svc.get(k).unwrap(), expect, "key {k}");
+    }
+    let stats = svc.stats();
+    assert!(stats.committed_batches <= 2, "one park per involved shard");
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The service-level torture acceptance gate: crash the simulated
+/// machine at points swept across the whole concurrent lifecycle and
+/// require zero per-shard batch-atomicity violations. `TORTURE_SEEDS` /
+/// `TORTURE_POINTS` scale it up for the nightly run.
+#[test]
+fn service_crash_sweep_has_zero_atomicity_violations() {
+    let seeds = env_count("TORTURE_SEEDS", 2);
+    let points = env_count("TORTURE_POINTS", 10);
+    for s in 0..seeds {
+        let spec = ServiceTortureSpec::small(0x5EAF00D ^ (s * 0x9E37_79B9));
+        let failures = sweep_service_crashes(&spec, points);
+        assert!(
+            failures.is_empty(),
+            "seed {}: {} crash points violated batch atomicity; first: crash_at {:?}: {:?}",
+            spec.seed,
+            failures.len(),
+            failures[0].crash_at,
+            failures[0].violations.first()
+        );
+    }
+}
+
+/// A crash aimed square at the middle of the lifecycle must land (the
+/// report says so) and still recover to batch boundaries.
+#[test]
+fn mid_commit_crash_recovers_to_a_batch_boundary() {
+    let spec = ServiceTortureSpec::small(0xBADC0DE);
+    let clean = service_torture_run(&spec, None);
+    assert!(clean.violations.is_empty(), "clean run: {:?}", clean.violations);
+    assert!(clean.committed_batches > 0);
+    let mid = service_torture_run(&spec, Some(clean.total_ops / 2));
+    assert!(mid.crashed, "the crash point fires inside the workload");
+    assert!(mid.violations.is_empty(), "violations: {:?}", mid.violations);
+}
+
+/// Reopening with a different shard count is refused — the partition is
+/// baked into the directory layout.
+#[test]
+fn dir_service_rejects_shard_count_change() {
+    let dir = tmp_dir("reshard");
+    let _ = std::fs::remove_dir_all(&dir);
+    drop(ShardedKvStore::open(&dir, 4, cfg(), 9).unwrap());
+    let err = match ShardedKvStore::open(&dir, 8, cfg(), 9) {
+        Err(e) => e,
+        Ok(_) => panic!("shard-count change must be rejected"),
+    };
+    assert!(err.to_string().contains("4 shards"), "got: {err}");
+    // The original count still opens, and the shard directories exist.
+    let svc = ShardedKvStore::open(&dir, 4, cfg(), 9).unwrap();
+    assert_eq!(svc.shard_count(), 4);
+    for i in 0..4 {
+        assert!(dir.join(format!("shard-{i:03}")).join("MANIFEST").exists(), "shard {i}");
+    }
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+}
