@@ -74,8 +74,8 @@ pub use log_method::LogMethodTable;
 pub use media::{DirMedia, SimMedia, StoreMedia};
 pub use mem_table::MemTable;
 pub use service::{
-    BatchRecord, DirServiceMedia, ServiceMedia, ServiceStats, ShardBatchHistory, ShardedKvStore,
-    SimServiceMedia, WriteOp,
+    BatchRecord, CommitLog, DirCommitLog, DirServiceMedia, ServiceMedia, ServiceStats,
+    ShardBatchHistory, ShardedKvStore, SimServiceMedia, WriteOp,
 };
 pub use sharded::ShardedTable;
 pub use store::{CompactionStats, KvStore};

@@ -43,13 +43,19 @@ fn is_data_file(name: &str) -> bool {
 ///   environment, never reclaimed by guesswork.
 /// * [`StoreMedia::commit_manifest`] is **atomic and durable**: after it
 ///   returns, a reopen sees the new manifest; interrupted, a reopen sees
-///   the old one — never a mix. This is the store's single commit point.
+///   the old one — never a mix. This is the store's single commit point,
+///   for both `sync` and the marker-less `harden(false)` durability
+///   points the service committers use: "make durable" is the manifest
+///   commit, never the marker.
 /// * Marker writes/removals are durable when they return. For a marker
 ///   **write** an interrupted call is recoverable either way (a lost
 ///   write merely forces recovery mode), but a marker **removal** must
 ///   reach durability before the caller's next block write does: a lost
 ///   removal would let a later reopen trust a manifest whose data the
-///   crash-interrupted writes have already diverged from.
+///   crash-interrupted writes have already diverged from. Removing an
+///   already-absent marker must be a cheap no-op (no durability work) —
+///   `harden(false)` leaves the marker absent across many rounds, and
+///   every round's first mutation re-runs the clean→dirty transition.
 /// * Data files created by [`StoreMedia::create_data`] start empty; the
 ///   returned backend follows [`PersistentBackend`]'s deferred-recycling
 ///   protocol.

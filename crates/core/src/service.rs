@@ -13,44 +13,73 @@
 //! classic group-commit move (the same batched-update regime the
 //! buffer-tree line of work targets — Iacono–Pătrașcu's "Using Hashing
 //! to Solve the Dictionary Problem", Conway et al.'s "Optimal Hashing in
-//! External Memory"):
+//! External Memory"), and **writers never pay an fsync themselves**:
 //!
 //! * the key space is hash-partitioned across `N` independent
 //!   [`crate::KvStore`] shards (each its own directory or [`SimMedia`]
 //!   namespace, each its own lock), by the same router construction
 //!   [`crate::ShardedTable`] uses — every shard sees uniformly random
 //!   keys, so each one's per-shard guarantees are the paper's;
-//! * concurrent [`ShardedKvStore::put`] / [`ShardedKvStore::delete`]
-//!   calls **enqueue and park**: one caller becomes the shard's
-//!   committer, drains everything queued, applies it to the shard's
-//!   table, and runs **one** [`crate::KvStore::sync`] that durably
-//!   commits the whole batch. `K` writers share one manifest fsync
-//!   instead of paying `K`; acknowledgements are returned only after
-//!   that sync, so every acknowledged write is durable;
-//! * reads route to the owning shard and answer **read-your-writes**
-//!   from the shard's pending write buffer before touching the store,
-//!   so a reader never waits behind a group commit for a key that is
-//!   sitting in the buffer.
+//! * each shard has a **dedicated committer thread**: concurrent
+//!   [`ShardedKvStore::put`] / [`ShardedKvStore::delete`] calls enqueue
+//!   into the shard's pending buffer and park on the shard's ack
+//!   condvar, while the committer drains and applies whole batches
+//!   continuously — batch size is set by the arrival rate, never by
+//!   which writer got unlucky enough to volunteer;
+//! * a shared **commit clock** (the `SyncCoordinator`) coalesces the
+//!   durability points of all shards into one service-wide **commit
+//!   log**: applied-but-volatile batches are reported as *dirt*, and
+//!   the coordinator runs **sync rounds** — it collects every applied
+//!   batch, appends one checksummed record per batch to the log, and
+//!   makes the whole round durable with the log's **single physical
+//!   fsync**. `N` shards share *one* sync per round instead of paying
+//!   `N` manifest commits (on a journaled filesystem even concurrent
+//!   fsyncs largely serialize at the device, so per-shard syncing would
+//!   make an `N`-shard round cost `N` times a 1-shard round and turn
+//!   partitioning into a durability regression). Per-shard manifests
+//!   are brought current by the much rarer **checkpoint rounds** — when
+//!   the log outgrows its threshold, and at shutdown — where every
+//!   store hardens with its fsync stages aligned and the now-redundant
+//!   log is emptied. Rounds are adaptive: the next one fires as soon as
+//!   the previous finishes and new dirt exists, so an idle service
+//!   schedules nothing and a loaded one commits back-to-back;
+//! * the ack path is **pipelined**: a writer's call returns when the
+//!   round that logged its batch commits — the service's durability
+//!   **epoch** advances and the coordinator fills the batch's answer
+//!   cells — not when the writer's own thread performed any sync.
+//!   Several applied batches, across all shards, ride one round.
+//!
+//! The annotated walk of one write through this machinery (enqueue →
+//! batch → apply → coalesced sync → ack epoch) is
+//! `docs/COMMIT_PATH.md`; the durability contract is
+//! `docs/GUARANTEES.md`.
 //!
 //! ## Batch atomicity
 //!
-//! Each group commit is all-in or all-out per shard: the batch's
-//! operations are applied between two manifest commits and the manifest
-//! rename is the single commit point, so a crash anywhere in the window
-//! recovers the shard to a batch boundary. If applying or syncing a
-//! batch fails, the shard **wedges**: the partially applied batch is
+//! Each group commit is all-in or all-out per shard: a batch is one
+//! checksummed commit-log record (replay takes it wholly or not at
+//! all), and at checkpoints its effects land between two manifest
+//! commits whose rename is the single commit point. Cross-shard sync
+//! coalescing never weakens this — batches sharing a round's log fsync
+//! are still framed and replayed independently, per shard, in apply
+//! order. With pipelined acks more than one batch can sit
+//! applied-but-volatile at a crash; recovery (manifest + log replay)
+//! then lands each shard on the committed fold plus a *prefix* of its
+//! in-flight batches (in application order), each wholly present or
+//! wholly absent. If applying or committing a batch fails without a
+//! crash, the affected shard **wedges**: the uncommitted batch is
 //! quarantined behind a poisoned store handle (it can never reach a
 //! manifest — not even through a drop-time sync), every parked and
 //! future caller gets an error, and reopening the service recovers the
 //! shard to its last committed batch. The crash-simulation torture
 //! harness (`dxh_workloads::service`) sweeps crash indices across the
-//! commit window and checks exactly this boundary; see
-//! `docs/GUARANTEES.md` for the normative statement.
+//! coalesced commit window and checks exactly this boundary.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 
 use dxh_extmem::{ExtMemError, Key, Result, SimEnv, Value, KEY_TOMBSTONE, VALUE_TOMBSTONE};
 use dxh_hashfn::IdealFn;
@@ -135,7 +164,7 @@ impl WriteOp {
 
 /// One committed (or in-flight) group commit, as recorded when
 /// [`ShardedKvStore::set_batch_recording`] is on — the torture harness's
-/// ground truth for the all-in-or-all-out check.
+/// ground truth for the batch-boundary check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BatchRecord {
     /// The batch's operations in application order: `(key, Some(v))` for
@@ -147,36 +176,50 @@ pub struct BatchRecord {
 /// [`ShardedKvStore::batch_history`]).
 #[derive(Clone, Debug, Default)]
 pub struct ShardBatchHistory {
-    /// Batches whose `sync` returned success — durable in order.
+    /// Batches whose durability epoch was reached — durable in order.
     pub committed: Vec<BatchRecord>,
-    /// The batch that was mid-commit when the shard wedged or crashed,
-    /// if any: recovery must find it wholly present or wholly absent.
-    pub inflight: Option<BatchRecord>,
+    /// Batches applied but not yet acknowledged when the shard wedged or
+    /// crashed, in application order — the pipelined-ack window. A crash
+    /// recovers the shard to the committed fold plus a **prefix** of
+    /// these, each batch wholly present or wholly absent (a batch that
+    /// was mid-apply is last here and never durable).
+    pub inflight: Vec<BatchRecord>,
 }
 
 /// Aggregate counters across every shard of a [`ShardedKvStore`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceStats {
-    /// Write operations acknowledged (durably committed).
+    /// Write operations acknowledged (durable at a reached epoch).
     pub committed_ops: u64,
-    /// Group commits performed — also the number of `sync`s paid for
-    /// those operations (each batch costs exactly one).
+    /// Group commits acknowledged. With the coalesced sync path this is
+    /// **not** the sync count — several batches (across shards, and
+    /// pipelined within one shard) ride one sync round.
     pub committed_batches: u64,
     /// Largest single batch any shard committed.
     pub largest_batch: u64,
     /// Shards currently wedged by a failed group commit.
     pub wedged_shards: usize,
+    /// Completed coordinated durability barriers — the service's
+    /// durability **epoch**. Every acknowledged write was durable by the
+    /// end of some round, and a round costs **one** shared commit-log
+    /// fsync whatever the shard count — `N` dirty shards ride it
+    /// together instead of paying `N` manifest commits.
+    pub sync_rounds: u64,
+    /// Per-shard manifest hardens — paid only by checkpoint rounds (log
+    /// threshold reached) and the shutdown handshake, never by the
+    /// steady-state log rounds. Near zero on a healthy short run.
+    pub shard_syncs: u64,
 }
 
 impl ServiceStats {
-    /// Manifest syncs paid per acknowledged write — the group-commit
-    /// figure of merit (`1.0` means no batching; `K` concurrent writers
-    /// sharing commits drive it toward `1/K`).
+    /// Coordinated sync rounds paid per acknowledged write — the
+    /// group-commit figure of merit (`1.0` means no batching at all;
+    /// batching plus cross-shard coalescing drive it toward `0`).
     pub fn syncs_per_op(&self) -> f64 {
         if self.committed_ops == 0 {
             0.0
         } else {
-            self.committed_batches as f64 / self.committed_ops as f64
+            self.sync_rounds as f64 / self.committed_ops as f64
         }
     }
 }
@@ -190,57 +233,891 @@ struct QueuedOp {
 /// Where a parked writer's outcome lands: `Ok(presence)` for a committed
 /// op (`presence` is delete's was-present answer, `true` for puts),
 /// `Err(why)` when the batch failed. Filled exactly once, under the
-/// shard's buffer lock, before the condvar broadcast.
+/// shard's buffer lock, before the ack condvar broadcast.
 #[derive(Default)]
 struct OpCell(Mutex<Option<std::result::Result<bool, String>>>);
 
-/// The mutable half of a shard that writers and readers touch on every
-/// call; deliberately separate from the store so enqueues and overlay
-/// reads never wait behind a running group commit.
+/// A batch the committer has applied to the shard's table whose writers
+/// are still parked: answers are known, durability is not. The next
+/// successful sync round acknowledges it — a log round records its
+/// `effects` in the commit log, a checkpoint or shutdown harden makes
+/// the shard's own manifest cover it. A wedge fails it.
+struct AppliedBatch {
+    cells: Vec<Arc<OpCell>>,
+    answers: Vec<bool>,
+    ops: u64,
+    /// The batch's `(key, effect)` pairs in application order — what a
+    /// log round frames into the commit log, and (when recording) the
+    /// history entry.
+    effects: Vec<(Key, Option<Value>)>,
+    /// Whether batch recording was on when this batch applied.
+    recorded: bool,
+}
+
+/// The mutable half of a shard that writers, readers, the committer and
+/// the coordinator touch; deliberately separate from the store so
+/// enqueues and overlay reads never wait behind an apply or a harden.
 #[derive(Default)]
 struct BufState {
     /// Ops accepted for the *next* batch.
     pending: Vec<QueuedOp>,
     /// Read-your-writes overlay of `pending` (`None` = pending delete).
     pending_overlay: HashMap<Key, Option<Value>>,
-    /// Overlay of the batch currently being committed — still visible
-    /// to readers until the store itself can answer for it.
+    /// Overlay of the batch currently being applied — visible to readers
+    /// until the store itself can answer for it.
     inflight_overlay: HashMap<Key, Option<Value>>,
-    /// Whether a committer is currently draining a batch.
-    committing: bool,
+    /// Applied batches awaiting their durability epoch (pipelined acks).
+    unacked: Vec<AppliedBatch>,
+    /// Set by the coordinator for a **checkpoint** round: this shard
+    /// owes a manifest harden, aligning its fsync stages through the
+    /// carried rendezvous. Steady-state log rounds never set this.
+    harden_request: Option<Arc<RoundSync>>,
+    /// Set by the service's drop: drain, final-sync, and exit.
+    shutdown: bool,
     /// Set when a group commit failed: the shard stops accepting work
     /// (its store handle is poisoned) until the service is reopened.
     wedged: Option<String>,
     committed_ops: u64,
     committed_batches: u64,
     largest_batch: u64,
+    /// Manifest hardens this shard performed (checkpoint and shutdown
+    /// rounds; feeds `shard_syncs`).
+    hardens: u64,
+    /// True while the committer is mid-apply (the wave-settling signal
+    /// the coordinator reads: a shard with pending work or an apply in
+    /// progress is about to produce dirt, so the round should wait for
+    /// it instead of letting its batch straggle into the next round).
+    applying: bool,
     /// Record batch compositions (torture-harness ground truth).
     recording: bool,
     history: Vec<BatchRecord>,
-    inflight_record: Option<BatchRecord>,
+    /// Record of the batch currently being applied, if recording.
+    applying_record: Option<BatchRecord>,
 }
 
 impl BufState {
     fn overlay_get(&self, key: Key) -> Option<Option<Value>> {
-        // `pending` is strictly newer than the in-flight batch.
+        // `pending` is strictly newer than the batch being applied.
         self.pending_overlay.get(&key).or_else(|| self.inflight_overlay.get(&key)).copied()
     }
 }
 
 struct Shard<M: StoreMedia> {
     buf: Mutex<BufState>,
-    cv: Condvar,
-    /// The persistent store; held only by the committer (for the length
-    /// of one batch) and by readers that miss the overlay.
+    /// Wakes the committer: new pending work, a harden request, shutdown.
+    work_cv: Condvar,
+    /// Wakes parked writers: their cells were filled.
+    ack_cv: Condvar,
+    /// The persistent store; held by the committer for the length of one
+    /// apply or harden, and by readers that miss the overlay.
     store: Mutex<KvStore<M>>,
 }
 
+/// A sync round's stage rendezvous. Hardening is fsync-bound, and on
+/// one journaled filesystem N *staggered* fsyncs serialize at one
+/// device commit each — which would make an N-shard round N times the
+/// cost of a 1-shard round and turn sharding into a regression. The
+/// participants of a round therefore align before each fsync-heavy
+/// stage (data `fdatasync`; manifest commit) and issue them
+/// simultaneously, letting the journal merge them into ~one commit per
+/// stage: the round's cost stays near a single shard's, whatever its
+/// width. Purely a performance device — correctness never depends on
+/// alignment, so stragglers are released by a timeout and a shard that
+/// skips or aborts its harden just [`RoundSync::leave`]s.
+struct RoundSync {
+    m: Mutex<RoundSyncState>,
+    cv: Condvar,
+}
+
+struct RoundSyncState {
+    /// Participants still in the round (leavers drop out of every
+    /// remaining stage).
+    members: usize,
+    /// Members arrived at the current stage gate.
+    arrived: usize,
+    /// Stage generation; bumping it releases the waiters.
+    stage: u64,
+}
+
+impl RoundSync {
+    fn new(members: usize) -> Self {
+        RoundSync {
+            m: Mutex::new(RoundSyncState { members, arrived: 0, stage: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until every current member reached this stage gate (or a
+    /// straggler timeout fires — alignment is best-effort).
+    fn align(&self) {
+        let mut st = lock(&self.m);
+        let gen = st.stage;
+        st.arrived += 1;
+        if st.arrived >= st.members {
+            st.arrived = 0;
+            st.stage = gen + 1;
+            self.cv.notify_all();
+            return;
+        }
+        while st.stage == gen {
+            let (g, timeout) = self
+                .cv
+                .wait_timeout(st, std::time::Duration::from_millis(5))
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+            if timeout.timed_out() && st.stage == gen {
+                st.arrived = 0;
+                st.stage = gen + 1;
+                self.cv.notify_all();
+                break;
+            }
+        }
+    }
+
+    /// This participant performs no further stages (its harden is a
+    /// skip, or aborted partway): stop counting it, and release the
+    /// gate if it was the last one out.
+    fn leave(&self) {
+        let mut st = lock(&self.m);
+        st.members = st.members.saturating_sub(1);
+        if st.members > 0 && st.arrived >= st.members {
+            st.arrived = 0;
+            st.stage += 1;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The shared commit clock: committers funnel their durability points
+/// through it so all dirty shards commit inside one coordinated round
+/// instead of syncing independently. State transitions:
+///
+/// * a committer that applied a batch marks its shard **dirty**;
+/// * the coordinator thread snapshots the dirty set and runs a **log
+///   round**: every applied batch goes into the shared commit log,
+///   one fsync makes them all durable, and their writers are
+///   acknowledged;
+/// * when the log outgrows its threshold a **checkpoint round** asks
+///   every shard for a manifest harden (in parallel, fsync stages
+///   aligned; `pending_done` counts the stragglers) and then empties
+///   the log;
+/// * the round completes, the epoch advances, and the next round starts
+///   as soon as there is new dirt — the commit interval adapts to load.
+struct SyncCoordinator {
+    state: Mutex<CoordState>,
+    /// Wakes the coordinator: new dirt, a done report, shutdown.
+    cv: Condvar,
+}
+
+struct CoordState {
+    /// Shards with applied-but-volatile batches awaiting a round.
+    dirty: Vec<bool>,
+    /// Participants of the active round yet to report done.
+    pending_done: usize,
+    /// Id of the round being (or last) run; strictly increasing.
+    round: u64,
+    /// Completed rounds — the service's durability epoch.
+    epoch: u64,
+    shutdown: bool,
+}
+
+impl SyncCoordinator {
+    fn new(shards: usize) -> Self {
+        SyncCoordinator {
+            state: Mutex::new(CoordState {
+                dirty: vec![false; shards],
+                pending_done: 0,
+                round: 0,
+                epoch: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// A committer applied a batch on shard `si`: schedule it into the
+    /// next round. Always notifies — an apply finishing is also the
+    /// settling signal the coordinator's wave wait sleeps on.
+    fn mark_dirty(&self, si: usize) {
+        let mut st = lock(&self.state);
+        st.dirty[si] = true;
+        self.cv.notify_all();
+    }
+
+    /// A round participant finished its harden (or is wedged and has
+    /// nothing to harden): one fewer shard holds the barrier.
+    fn report_done(&self) {
+        let mut st = lock(&self.state);
+        st.pending_done = st.pending_done.saturating_sub(1);
+        if st.pending_done == 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Commit-log bytes that trigger a checkpoint round: big enough that
+/// steady-state rounds almost never pay per-shard manifest hardens —
+/// a checkpoint costs one staged harden *per shard*, so its price
+/// scales with the shard count while log rounds stay flat — small
+/// enough to bound reopen-time replay work (4 MiB replays in well
+/// under a second even on modest disks; at 17 bytes per logged op
+/// that is ~250k ops between manifest catch-ups).
+const CHECKPOINT_LOG_BYTES: u64 = 4 * 1024 * 1024;
+
+/// The coordinator thread body: turn accumulated dirt into sync rounds
+/// until shutdown finds nothing left to flush. The coordinator is the
+/// commit log's only writer.
+fn coordinator_loop<M: StoreMedia, L: CommitLog>(
+    shards: Vec<Arc<Shard<M>>>,
+    coord: Arc<SyncCoordinator>,
+    mut log: L,
+) {
+    loop {
+        // Wait for dirt (or a clean shutdown).
+        {
+            let mut st = lock(&coord.state);
+            loop {
+                if st.dirty.iter().any(|&d| d) {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = wait(&coord.cv, st);
+            }
+        }
+        // Wave settling. A wave — every writer unblocked by the last
+        // round submitting its next pipelined chunk — does not land
+        // atomically: enqueues and applies trickle in as the scheduler
+        // runs each writer and committer. Snapshotting at the first
+        // sign of dirt would strand the stragglers into a second round,
+        // so the round fires only once *quiet* (no shard has pending
+        // work or an apply in flight) has survived a few scheduler
+        // yields: each yield hands the CPU to any just-acked writer
+        // whose enqueue is microseconds away, and fresh dirt resets the
+        // confirmation count. Patience is bounded — committers signal
+        // `coord.cv` after every apply, and a continuous enqueue stream
+        // must not starve durability — but writers park on their acks
+        // after each pipelined chunk, so quiet always arrives within a
+        // wave.
+        let mut confirmations = 0u32;
+        let mut patience = 32u32;
+        loop {
+            let quiet = shards.iter().all(|s| {
+                let buf = lock(&s.buf);
+                buf.pending.is_empty() && !buf.applying
+            });
+            if lock(&coord.state).shutdown {
+                break;
+            }
+            if quiet {
+                confirmations += 1;
+                if confirmations >= 3 {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+            confirmations = 0;
+            if patience == 0 {
+                break;
+            }
+            patience -= 1;
+            let st = lock(&coord.state);
+            let (st, _) = coord
+                .cv
+                .wait_timeout(st, std::time::Duration::from_micros(200))
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(st);
+        }
+        let participants: Vec<usize> = {
+            let mut st = lock(&coord.state);
+            let p: Vec<usize> = (0..st.dirty.len()).filter(|&i| st.dirty[i]).collect();
+            for &i in &p {
+                st.dirty[i] = false;
+            }
+            p
+        };
+        commit_round(&shards, &coord, &mut log, &participants);
+        if log.size() >= CHECKPOINT_LOG_BYTES {
+            checkpoint_round(&shards, &coord, &mut log);
+        }
+    }
+}
+
+/// One **log round** — the service's common durability point. The
+/// coordinator collects every applied-but-unacknowledged batch from the
+/// round's shards, frames one record per batch into the shared commit
+/// log, and makes them all durable with the log's single physical sync;
+/// then the epoch advances and every collected batch's writers are
+/// acknowledged. However many shards are dirty, the round pays one
+/// fsync. A log failure wedges exactly the shards whose batches were
+/// riding the round: their stores are poisoned (the applied-but-
+/// uncommitted effects must never reach a manifest), the batches go
+/// back in place as in-flight candidates, and their writers get errors.
+fn commit_round<M: StoreMedia, L: CommitLog>(
+    shards: &[Arc<Shard<M>>],
+    coord: &SyncCoordinator,
+    log: &mut L,
+    participants: &[usize],
+) {
+    let mut collected: Vec<(usize, Vec<AppliedBatch>)> = Vec::new();
+    let mut bytes = Vec::new();
+    for &si in participants {
+        let mut buf = lock(&shards[si].buf);
+        if buf.wedged.is_some() || buf.unacked.is_empty() {
+            continue;
+        }
+        let batches = std::mem::take(&mut buf.unacked);
+        drop(buf);
+        for b in &batches {
+            encode_log_record(&mut bytes, si as u32, &b.effects);
+        }
+        collected.push((si, batches));
+    }
+    if collected.is_empty() {
+        return;
+    }
+    match log.commit(&bytes) {
+        Ok(()) => {
+            for (si, batches) in &collected {
+                let shard = &shards[*si];
+                {
+                    let mut buf = lock(&shard.buf);
+                    for ab in batches {
+                        buf.committed_batches += 1;
+                        buf.committed_ops += ab.ops;
+                        buf.largest_batch = buf.largest_batch.max(ab.ops);
+                        if ab.recorded {
+                            buf.history.push(BatchRecord { ops: ab.effects.clone() });
+                        }
+                        for (cell, ans) in ab.cells.iter().zip(&ab.answers) {
+                            *lock(&cell.0) = Some(Ok(*ans));
+                        }
+                    }
+                }
+                shard.ack_cv.notify_all();
+            }
+            let mut st = lock(&coord.state);
+            st.round += 1;
+            st.epoch = st.round;
+        }
+        Err(e) => {
+            let why = e.to_string();
+            // Poison every involved store first, then put every
+            // collected batch back at the front of its shard's unacked
+            // queue (apply order preserved — newer batches may have
+            // arrived while the log write ran), and only then wedge:
+            // writers unpark strictly after the history is consistent
+            // again, so a post-error observer always sees these batches
+            // as in-flight candidates.
+            for (si, _) in &collected {
+                lock(&shards[*si].store).poison();
+            }
+            let mut involved = Vec::with_capacity(collected.len());
+            for (si, batches) in collected {
+                {
+                    let mut buf = lock(&shards[si].buf);
+                    let newer = std::mem::replace(&mut buf.unacked, batches);
+                    buf.unacked.extend(newer);
+                }
+                involved.push(si);
+            }
+            for si in involved {
+                wedge(&shards[si], why.clone(), &[]);
+            }
+        }
+    }
+}
+
+/// A **checkpoint round**: every shard hardens its own store in
+/// parallel (fsync stages aligned through the shared rendezvous — a
+/// wedged shard leaves it and reports done immediately), which also
+/// acknowledges anything applied since the last log round; once every
+/// manifest covers everything the log records, the log is durably
+/// emptied. This bounds both the log's size and reopen-time replay.
+fn checkpoint_round<M: StoreMedia>(
+    shards: &[Arc<Shard<M>>],
+    coord: &SyncCoordinator,
+    log: &mut impl CommitLog,
+) {
+    {
+        let mut st = lock(&coord.state);
+        st.pending_done = shards.len();
+    }
+    let sync = Arc::new(RoundSync::new(shards.len()));
+    for shard in shards {
+        lock(&shard.buf).harden_request = Some(sync.clone());
+        shard.work_cv.notify_all();
+    }
+    {
+        let mut st = lock(&coord.state);
+        while st.pending_done > 0 {
+            st = wait(&coord.cv, st);
+        }
+        st.round += 1;
+        st.epoch = st.round;
+    }
+    if shards.iter().any(|s| lock(&s.buf).wedged.is_some()) {
+        // A wedged shard's last committed batches may exist only as log
+        // records — keep them for reopen-time replay.
+        return;
+    }
+    // If the truncate itself fails the log just stays fat: replay is
+    // idempotent over the fresh manifests, and the next checkpoint
+    // retries.
+    let _ = log.truncate();
+}
+
+/// The per-shard committer thread body: drain-and-apply pending batches
+/// continuously, harden on the coordinator's schedule, ack at the epoch.
+fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinator>, si: usize) {
+    enum Todo {
+        Apply,
+        Harden(Arc<RoundSync>),
+        Exit,
+    }
+    loop {
+        let todo = {
+            let mut buf = lock(&shard.buf);
+            let mut spins = 4u32;
+            loop {
+                // A harden request outranks new arrivals: a hot shard
+                // must not hold the whole round's rendezvous open. (One
+                // drain still folds into the harden below.)
+                if let Some(sync) = buf.harden_request.take() {
+                    break Todo::Harden(sync);
+                }
+                if buf.wedged.is_none() && !buf.pending.is_empty() {
+                    break Todo::Apply;
+                }
+                if buf.shutdown {
+                    break Todo::Exit;
+                }
+                // A few scheduler yields before parking: writers
+                // scatter a `submit` across shards slice by slice, so
+                // the rest of a wave is usually microseconds away.
+                // Catching it awake turns several wake/apply/park
+                // cycles into one drain — a parked committer costs a
+                // futex round-trip plus two context switches per slice
+                // otherwise.
+                if spins > 0 {
+                    spins -= 1;
+                    drop(buf);
+                    std::thread::yield_now();
+                    buf = lock(&shard.buf);
+                    continue;
+                }
+                buf = wait(&shard.work_cv, buf);
+            }
+        };
+        match todo {
+            Todo::Apply => {
+                if apply_pending(&shard) {
+                    coord.mark_dirty(si);
+                }
+            }
+            Todo::Harden(sync) => {
+                // A checkpoint round: fold one last drain into this
+                // manifest harden (no dirty mark — the harden right
+                // here is its durability point), then bring the
+                // manifest current so the coordinator can truncate the
+                // log. Both no-op on a wedged shard — but done is
+                // always reported, so a poisoned shard can never hang
+                // the round.
+                apply_pending(&shard);
+                harden_shard(&shard, false, Some(&sync));
+                coord.report_done();
+            }
+            Todo::Exit => {
+                // Drain-then-sync handshake: the wait loop only chooses
+                // Exit once pending is empty and no round is owed; the
+                // final harden also writes the CLEAN marker back.
+                harden_shard(&shard, true, None);
+                return;
+            }
+        }
+    }
+}
+
+/// Drains the shard's pending queue and applies it to the table as one
+/// batch. Returns whether a batch was applied and now awaits its epoch
+/// (false: nothing pending, shard wedged, or — wedging it now — the
+/// apply failed).
+fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
+    let (batch, effects): (Vec<QueuedOp>, Vec<(Key, Option<Value>)>) = {
+        let mut buf = lock(&shard.buf);
+        if buf.wedged.is_some() || buf.pending.is_empty() {
+            return false;
+        }
+        let batch = std::mem::take(&mut buf.pending);
+        let effects: Vec<(Key, Option<Value>)> = batch.iter().map(|q| q.op.effect()).collect();
+        debug_assert!(buf.inflight_overlay.is_empty(), "one apply at a time");
+        buf.inflight_overlay = std::mem::take(&mut buf.pending_overlay);
+        buf.applying = true;
+        if buf.recording {
+            buf.applying_record = Some(BatchRecord { ops: effects.clone() });
+        }
+        (batch, effects)
+    };
+
+    let mut answers: Vec<bool> = Vec::with_capacity(batch.len());
+    let mut failure: Option<String> = None;
+    {
+        let mut store = lock(&shard.store);
+        for q in &batch {
+            let applied = match q.op {
+                WriteOp::Put(k, v) => store.insert(k, v).map(|()| true),
+                WriteOp::Delete(k) => store.delete(k),
+            };
+            match applied {
+                Ok(b) => answers.push(b),
+                Err(e) => {
+                    failure = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if failure.is_some() {
+            // The table holds a partial batch that was reported failed;
+            // it must never reach a manifest — not even through the
+            // drop-time sync.
+            store.poison();
+        }
+    }
+
+    match failure {
+        None => {
+            let mut buf = lock(&shard.buf);
+            buf.inflight_overlay.clear();
+            buf.applying = false;
+            let recorded = buf.applying_record.take().is_some();
+            let cells = batch.iter().map(|q| q.cell.clone()).collect();
+            buf.unacked.push(AppliedBatch {
+                cells,
+                answers,
+                ops: batch.len() as u64,
+                effects,
+                recorded,
+            });
+            true
+        }
+        Some(why) => {
+            wedge(shard, why, &batch);
+            false
+        }
+    }
+}
+
+/// The manifest half of a shard's durability (checkpoint and shutdown
+/// rounds; steady-state durability is the commit log's): harden the
+/// store — its own staged manifest commit — then acknowledge every
+/// applied batch still waiting on an epoch (manifest durability is
+/// durability too). A failure wedges the shard instead. No-ops on a
+/// wedged shard, which leaves the rendezvous so siblings never wait on
+/// a shard that will do no work; otherwise `sync` aligns the harden's
+/// fsync stages with the other participants so the journal can merge
+/// them (see [`RoundSync`]).
+fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<&RoundSync>) {
+    {
+        let buf = lock(&shard.buf);
+        if buf.wedged.is_some() {
+            if let Some(s) = sync {
+                s.leave();
+            }
+            return;
+        }
+    }
+    let res = {
+        let mut store = lock(&shard.store);
+        let mut stages_left = 2u32;
+        let mut gate = || {
+            if let Some(s) = sync {
+                s.align();
+            }
+            stages_left -= 1;
+        };
+        let r = (|| {
+            store.harden_flush()?;
+            gate(); // all participants issue their data fdatasync together
+            store.harden_data_sync()?;
+            gate(); // ...and their manifest commits together
+            store.harden_commit(set_marker)
+        })();
+        if r.is_err() {
+            if stages_left > 0 {
+                if let Some(s) = sync {
+                    s.leave();
+                }
+            }
+            // A failed harden may have flushed part of the batch set
+            // toward disk; poisoning forbids any later manifest from
+            // committing it.
+            store.poison();
+        }
+        r
+    };
+    match res {
+        Ok(()) => {
+            {
+                let mut buf = lock(&shard.buf);
+                buf.hardens += 1;
+                let acked = std::mem::take(&mut buf.unacked);
+                for ab in &acked {
+                    buf.committed_batches += 1;
+                    buf.committed_ops += ab.ops;
+                    buf.largest_batch = buf.largest_batch.max(ab.ops);
+                    if ab.recorded {
+                        buf.history.push(BatchRecord { ops: ab.effects.clone() });
+                    }
+                    for (cell, ans) in ab.cells.iter().zip(&ab.answers) {
+                        *lock(&cell.0) = Some(Ok(*ans));
+                    }
+                }
+            }
+            shard.ack_cv.notify_all();
+        }
+        Err(e) => wedge(shard, e.to_string(), &[]),
+    }
+}
+
+/// Wedges the shard after a failed apply or harden: every parked writer
+/// — the failed batch (`mid_apply`), the applied-but-unacknowledged
+/// batches, and everything still queued behind them — gets the error.
+/// Batch records stay in place: they are the harness's in-flight
+/// candidates. Called with no locks held.
+fn wedge<M: StoreMedia>(shard: &Shard<M>, why: String, mid_apply: &[QueuedOp]) {
+    {
+        let mut buf = lock(&shard.buf);
+        buf.inflight_overlay.clear();
+        buf.applying = false;
+        for q in mid_apply {
+            *lock(&q.cell.0) = Some(Err(why.clone()));
+        }
+        for ab in &buf.unacked {
+            for cell in &ab.cells {
+                *lock(&cell.0) = Some(Err(why.clone()));
+            }
+        }
+        let stranded: Vec<QueuedOp> = std::mem::take(&mut buf.pending);
+        for q in &stranded {
+            *lock(&q.cell.0) = Some(Err(why.clone()));
+        }
+        buf.pending_overlay.clear();
+        buf.wedged = Some(why);
+    }
+    shard.ack_cv.notify_all();
+}
+
+/// Commit-log file name inside a service root.
+const COMMITLOG: &str = "COMMITLOG";
+
+/// The service-wide **commit log** — the shared durability device that
+/// lets `N` shards pay **one** physical fsync per sync round instead of
+/// `N` manifest commits. A log round frames one checksummed record per
+/// acknowledged batch and calls [`CommitLog::commit`]; per-shard
+/// manifests only catch up at checkpoint rounds, after which the log is
+/// truncated. On reopen the surviving records are replayed — in append
+/// order, idempotently (a put is an upsert, a delete of an absent key
+/// is a miss) — over the recovered per-shard manifests, so everything
+/// acknowledged through the log survives a crash even though no
+/// manifest recorded it yet.
+pub trait CommitLog: Send {
+    /// Appends `bytes` and makes everything appended so far durable —
+    /// the round's single physical sync. All-or-nothing at round
+    /// granularity: on `Err`, this call's bytes must never become
+    /// durable later (the sim twin's whole-blob write is atomic; the
+    /// file twin truncates itself back, poisoning the log if even that
+    /// fails).
+    fn commit(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Bytes currently in the log (drives the checkpoint threshold).
+    fn size(&self) -> u64;
+
+    /// The log's surviving content, for reopen-time replay.
+    fn read_all(&mut self) -> Result<Vec<u8>>;
+
+    /// Durably empties the log (a checkpoint made it redundant).
+    fn truncate(&mut self) -> Result<()>;
+}
+
+/// FNV-1a 64 over a record payload — the log's torn-tail detector.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends one framed log record: `len u32 | fnv64 | payload`, with
+/// payload `shard u32 | nops u32 | (key u64, tag u8, value u64)*`, all
+/// little-endian. The checksum makes a torn tail (a crash mid-append on
+/// the file log) detectable, and a batch indivisible: replay takes a
+/// record wholly or not at all.
+fn encode_log_record(out: &mut Vec<u8>, shard: u32, effects: &[(Key, Option<Value>)]) {
+    let mut payload = Vec::with_capacity(8 + effects.len() * 17);
+    payload.extend_from_slice(&shard.to_le_bytes());
+    payload.extend_from_slice(&(effects.len() as u32).to_le_bytes());
+    for &(k, eff) in effects {
+        payload.extend_from_slice(&k.to_le_bytes());
+        match eff {
+            Some(v) => {
+                payload.push(1);
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            None => {
+                payload.push(0);
+                payload.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// One decoded commit-log record: the shard it belongs to and the
+/// batch's per-key effects (`None` = delete) in application order.
+type LogRecord = (u32, Vec<(Key, Option<Value>)>);
+
+/// Parses every intact record of a log image as `(shard, effects)`,
+/// stopping at the first torn or corrupt frame — everything at or
+/// behind a bad frame was never acknowledged (acks happen only after
+/// the log's sync) and is dropped wholesale.
+fn decode_log_records(bytes: &[u8]) -> Vec<LogRecord> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while let Some(header) = bytes.get(at..at + 12) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let sum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let Some(payload) = bytes.get(at + 12..at + 12 + len) else { break };
+        if len < 8 || fnv1a64(payload) != sum {
+            break;
+        }
+        let shard = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+        let nops = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+        if payload.len() != 8 + nops * 17 {
+            break;
+        }
+        let mut effects = Vec::with_capacity(nops);
+        for i in 0..nops {
+            let rec = &payload[8 + i * 17..8 + (i + 1) * 17];
+            let k = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            let v = u64::from_le_bytes(rec[9..17].try_into().unwrap());
+            effects.push((k, (rec[8] == 1).then_some(v)));
+        }
+        out.push((shard, effects));
+        at += 12 + len;
+    }
+    out
+}
+
+/// [`CommitLog`] on a real file (`COMMITLOG` in the service root):
+/// buffered appends plus one `fdatasync` per round. A failed commit
+/// truncates the file back to its pre-round length so the round's
+/// records cannot surface later; if even that fails the log is poisoned
+/// and every later round errors (wedging its shards) until the service
+/// is reopened.
+pub struct DirCommitLog {
+    file: fs::File,
+    len: u64,
+    poisoned: bool,
+}
+
+impl CommitLog for DirCommitLog {
+    fn commit(&mut self, bytes: &[u8]) -> Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        if self.poisoned {
+            return Err(ExtMemError::Io(std::io::Error::other(
+                "commit log poisoned by an earlier failed round",
+            )));
+        }
+        let r = (|| {
+            self.file.seek(SeekFrom::Start(self.len))?;
+            self.file.write_all(bytes)?;
+            self.file.sync_data()
+        })();
+        match r {
+            Ok(()) => {
+                self.len += bytes.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                if self.file.set_len(self.len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    fn size(&self) -> u64 {
+        self.len
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut out = Vec::with_capacity(self.len as usize);
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn truncate(&mut self) -> Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.len = 0;
+        Ok(())
+    }
+}
+
+/// [`CommitLog`] on a [`SimEnv`]: the whole log is one metadata blob,
+/// rewritten atomically per round — one faultable I/O op, the single
+/// shared sync the round pays on the simulated machine. A failed or
+/// crashed commit leaves the previous blob intact, so a partial round
+/// can never surface at replay (the file twin's torn tail has no sim
+/// analogue; the frame checksums cover it there).
+pub struct SimCommitLog {
+    env: SimEnv,
+    buf: Vec<u8>,
+}
+
+impl CommitLog for SimCommitLog {
+    fn commit(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut next = Vec::with_capacity(self.buf.len() + bytes.len());
+        next.extend_from_slice(&self.buf);
+        next.extend_from_slice(bytes);
+        self.env.meta_write(COMMITLOG, &next)?;
+        self.buf = next;
+        Ok(())
+    }
+
+    fn size(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        Ok(self.buf.clone())
+    }
+
+    fn truncate(&mut self) -> Result<()> {
+        self.env.meta_remove(COMMITLOG)?;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
 /// Where a [`ShardedKvStore`] keeps its shards: a service manifest (the
-/// shard count and router seed, which are baked into the data layout)
-/// plus one [`StoreMedia`] per shard.
+/// shard count and router seed, which are baked into the data layout),
+/// the shared [`CommitLog`], plus one [`StoreMedia`] per shard.
 pub trait ServiceMedia {
     /// The per-shard media this service hands to its [`crate::KvStore`]s.
     type Store: StoreMedia;
+
+    /// The service's shared commit-log device.
+    type Log: CommitLog + 'static;
 
     /// Reads the service manifest; `None` when the service has never
     /// been created.
@@ -252,6 +1129,11 @@ pub trait ServiceMedia {
     /// Opens (creating if needed) shard `index`'s media, acquiring its
     /// exclusive lock.
     fn open_shard(&mut self, index: usize) -> Result<Self::Store>;
+
+    /// Opens (creating if needed) the service's shared commit log.
+    /// Mutual exclusion rides the shard locks: the service opens every
+    /// shard before it touches the log.
+    fn open_log(&mut self) -> Result<Self::Log>;
 }
 
 /// The real thing: a root directory holding `SERVICE` plus one
@@ -278,6 +1160,7 @@ impl DirServiceMedia {
 
 impl ServiceMedia for DirServiceMedia {
     type Store = DirMedia;
+    type Log = DirCommitLog;
 
     fn read_meta(&mut self) -> Result<Option<String>> {
         match fs::read_to_string(self.root.join(SERVICE)) {
@@ -293,6 +1176,17 @@ impl ServiceMedia for DirServiceMedia {
 
     fn open_shard(&mut self, index: usize) -> Result<DirMedia> {
         DirMedia::open(self.root.join(shard_name(index)))
+    }
+
+    fn open_log(&mut self) -> Result<DirCommitLog> {
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.root.join(COMMITLOG))?;
+        let len = file.metadata()?.len();
+        Ok(DirCommitLog { file, len, poisoned: false })
     }
 }
 
@@ -315,6 +1209,7 @@ impl SimServiceMedia {
 
 impl ServiceMedia for SimServiceMedia {
     type Store = SimMedia;
+    type Log = SimCommitLog;
 
     fn read_meta(&mut self) -> Result<Option<String>> {
         match self.env.meta_read(SERVICE)? {
@@ -332,15 +1227,24 @@ impl ServiceMedia for SimServiceMedia {
     fn open_shard(&mut self, index: usize) -> Result<SimMedia> {
         SimMedia::open_at(&self.env, &format!("{}/", shard_name(index)))
     }
+
+    fn open_log(&mut self) -> Result<SimCommitLog> {
+        let buf = self.env.meta_read(COMMITLOG)?.unwrap_or_default();
+        Ok(SimCommitLog { env: self.env.clone(), buf })
+    }
 }
 
 /// A thread-safe, persistent, sharded key-value store with group-commit
 /// batching: `N` independent [`crate::KvStore`] shards behind one
-/// handle, concurrent writers sharing manifest fsyncs (see the module
-/// docs for the protocol).
+/// handle, each with a dedicated committer thread, all funneling their
+/// durability points through one shared sync coordinator (see the
+/// module docs for the protocol — writers never pay an fsync).
 ///
 /// Share it across threads with an [`Arc`] (or `std::thread::scope`);
-/// every method takes `&self`.
+/// every method takes `&self`. Dropping the handle runs the
+/// drain-then-sync shutdown handshake: every enqueued op is applied and
+/// durably committed (or failed, on a wedged shard) before the
+/// committer threads join.
 ///
 /// ```
 /// use dxh_core::{CoreConfig, ShardedKvStore, SimServiceMedia};
@@ -361,8 +1265,11 @@ impl ServiceMedia for SimServiceMedia {
 /// # Ok::<(), dxh_extmem::ExtMemError>(())
 /// ```
 pub struct ShardedKvStore<M: StoreMedia = DirMedia> {
-    shards: Vec<Shard<M>>,
+    shards: Vec<Arc<Shard<M>>>,
     router: IdealFn,
+    coord: Arc<SyncCoordinator>,
+    committers: Vec<Option<JoinHandle<()>>>,
+    coordinator: Option<JoinHandle<()>>,
 }
 
 impl ShardedKvStore<DirMedia> {
@@ -397,12 +1304,16 @@ impl ShardedKvStore<DirMedia> {
     }
 }
 
-impl<M: StoreMedia> ShardedKvStore<M> {
+impl<M: StoreMedia + Send + 'static> ShardedKvStore<M>
+where
+    M::Backend: Send,
+{
     /// Opens the service on any [`ServiceMedia`] — the backend-generic
     /// twin of [`ShardedKvStore::open`] (the torture harness passes
     /// [`SimServiceMedia`]). Each shard's store opens (or is created)
     /// with an equal share of the deployment: the same `cfg` per shard
-    /// and a per-shard hash seed derived from `seed`.
+    /// and a per-shard hash seed derived from `seed`. Spawns the `N`
+    /// committer threads and the sync coordinator; they join on drop.
     pub fn open_on<S: ServiceMedia<Store = M>>(
         mut media: S,
         shards: usize,
@@ -431,18 +1342,13 @@ impl<M: StoreMedia> ShardedKvStore<M> {
             }
             None => (seed, true),
         };
-        let mut v = Vec::with_capacity(shards);
+        let mut stores: Vec<KvStore<M>> = Vec::with_capacity(shards);
         for i in 0..shards {
             // Per-shard hash seeds are derived (not shared): shard
             // tables must hash independently of each other and of the
             // router. On reopen each store's own persisted seed wins.
             let shard_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let store = KvStore::open_on(media.open_shard(i)?, cfg.clone(), shard_seed)?;
-            v.push(Shard {
-                buf: Mutex::new(BufState::default()),
-                cv: Condvar::new(),
-                store: Mutex::new(store),
-            });
+            stores.push(KvStore::open_on(media.open_shard(i)?, cfg.clone(), shard_seed)?);
         }
         if fresh {
             // Committed only after every shard bootstrapped: a failed
@@ -453,9 +1359,53 @@ impl<M: StoreMedia> ShardedKvStore<M> {
             // reopens from its own already-committed manifest.
             media.commit_meta(&format!("{SERVICE_MAGIC}\nshards {shards}\nseed {seed}\n"))?;
         }
-        Ok(ShardedKvStore { shards: v, router: shard_router(seed) })
+        // Reopen-time recovery, phase two: each store recovered itself
+        // to its last manifest above; now the commit log's surviving
+        // records — batches acknowledged through a log round that no
+        // manifest covered yet — are replayed on top, the manifests
+        // brought current, and the log emptied.
+        let mut log = media.open_log()?;
+        replay_log(&mut log, &mut stores)?;
+        let v: Vec<Arc<Shard<M>>> = stores
+            .into_iter()
+            .map(|store| {
+                Arc::new(Shard {
+                    buf: Mutex::new(BufState::default()),
+                    work_cv: Condvar::new(),
+                    ack_cv: Condvar::new(),
+                    store: Mutex::new(store),
+                })
+            })
+            .collect();
+        // The threads come last, once every shard is known good; an
+        // error below drops the partially built service, whose Drop
+        // shuts down whatever was spawned.
+        let coord = Arc::new(SyncCoordinator::new(shards));
+        let mut svc = ShardedKvStore {
+            shards: v,
+            router: shard_router(seed),
+            coord,
+            committers: Vec::with_capacity(shards),
+            coordinator: None,
+        };
+        let handle = std::thread::Builder::new().name("dxh-sync-coord".into()).spawn({
+            let shards = svc.shards.clone();
+            let coord = svc.coord.clone();
+            move || coordinator_loop(shards, coord, log)
+        })?;
+        svc.coordinator = Some(handle);
+        for (i, shard) in svc.shards.clone().into_iter().enumerate() {
+            let coord = svc.coord.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("dxh-committer-{i:03}"))
+                .spawn(move || committer_loop(shard, coord, i))?;
+            svc.committers.push(Some(handle));
+        }
+        Ok(svc)
     }
+}
 
+impl<M: StoreMedia> ShardedKvStore<M> {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -468,8 +1418,10 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     }
 
     /// Inserts (or upserts) `key` with `value`, parking until the owning
-    /// shard's group commit makes it durable — when this returns `Ok`,
-    /// the write survives any crash.
+    /// shard's batch reaches its durability epoch — when this returns
+    /// `Ok`, the write survives any crash. The calling thread pays no
+    /// fsync: the shard's committer applies the batch and the next
+    /// coordinated sync round commits it.
     ///
     /// ```
     /// use dxh_core::{CoreConfig, ShardedKvStore, SimServiceMedia};
@@ -502,16 +1454,16 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// puts), in input order.
     ///
     /// Ops on the *same shard* commit atomically together (they are
-    /// enqueued under one buffer-lock acquisition, so a concurrent
-    /// committer always drains them as one contiguous slice — one
-    /// batch); ops on different shards commit independently.
+    /// enqueued under one buffer-lock acquisition, so the committer
+    /// always drains them as one contiguous slice — one batch); ops on
+    /// different shards commit independently.
     pub fn submit(&self, ops: &[WriteOp]) -> Result<Vec<bool>> {
         for op in ops {
             op.validate()?;
         }
         // Group by shard first (preserving each shard's op order and the
         // input positions for the answers): the whole per-shard slice
-        // must be enqueued under ONE lock acquisition, or a committer
+        // must be enqueued under ONE lock acquisition, or the committer
         // racing between two enqueues could split it across batches and
         // break the same-shard atomicity documented above.
         let mut by_shard: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -563,10 +1515,11 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     }
 
     /// Looks up `key`: first read-your-writes against the owning shard's
-    /// pending group-commit buffer (a hit answers without touching the
-    /// store at all), then through the shard's store. A buffered answer
-    /// reflects a write that is *accepted but not yet durable* — its
-    /// writer is still parked; see `docs/GUARANTEES.md`.
+    /// group-commit buffer (a hit answers without touching the store at
+    /// all), then through the shard's store. A buffered answer — or a
+    /// store answer for a batch that is applied but still waiting on its
+    /// sync round — reflects a write that is *accepted but not yet
+    /// durable*; see `docs/GUARANTEES.md`.
     pub fn get(&self, key: Key) -> Result<Option<Value>> {
         let shard = &self.shards[self.shard_of(key)];
         {
@@ -585,12 +1538,13 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         lock(&shard.store).lookup(key)
     }
 
-    /// Syncs every shard's store in turn — a durability fence. Because
-    /// writers park until their batch is durable, an idle service has
-    /// nothing to flush and this is `N` no-ops (the empty-dirty-set
-    /// short-circuit in [`crate::KvStore::sync`]); it exists for
-    /// belt-and-suspenders shutdown and as a barrier after lower-level
-    /// access through [`ShardedKvStore::with_shard`].
+    /// Syncs every shard's store in turn — a manifest-level durability
+    /// fence. Every acknowledged write is already durable through the
+    /// commit log; this additionally brings each shard's own manifest
+    /// current (applied batches live in the tables, so the stores'
+    /// staged hardens cover them), which is the barrier lower-level
+    /// access through [`ShardedKvStore::with_shard`] needs — such
+    /// mutations bypass the group-commit buffer *and* the log.
     ///
     /// ```
     /// use dxh_core::{CoreConfig, ShardedKvStore, SimServiceMedia};
@@ -625,7 +1579,8 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         self.shards.iter().all(|s| lock(&s.store).is_empty())
     }
 
-    /// Aggregate group-commit counters across shards.
+    /// Aggregate group-commit counters across shards, plus the shared
+    /// commit clock's round count.
     pub fn stats(&self) -> ServiceStats {
         let mut out = ServiceStats::default();
         for shard in &self.shards {
@@ -634,7 +1589,9 @@ impl<M: StoreMedia> ShardedKvStore<M> {
             out.committed_batches += buf.committed_batches;
             out.largest_batch = out.largest_batch.max(buf.largest_batch);
             out.wedged_shards += usize::from(buf.wedged.is_some());
+            out.shard_syncs += buf.hardens;
         }
+        out.sync_rounds = lock(&self.coord.state).epoch;
         out
     }
 
@@ -649,33 +1606,39 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// Turns batch recording on or off (off by default; turning it on
     /// clears any previous history). While on, every shard records the
     /// composition of each batch it commits — the torture harness's
-    /// ground truth for the batch-atomicity check.
+    /// ground truth for the batch-boundary check.
     pub fn set_batch_recording(&self, on: bool) {
         for shard in &self.shards {
             let mut buf = lock(&shard.buf);
             buf.recording = on;
             buf.history.clear();
-            buf.inflight_record = None;
+            buf.applying_record = None;
         }
     }
 
     /// The recorded history per shard (empty unless
-    /// [`ShardedKvStore::set_batch_recording`] is on).
+    /// [`ShardedKvStore::set_batch_recording`] is on): the committed
+    /// batches in epoch order, then every batch still in flight —
+    /// applied but unacknowledged ones first, a mid-apply one last.
     pub fn batch_history(&self) -> Vec<ShardBatchHistory> {
         self.shards
             .iter()
             .map(|s| {
                 let buf = lock(&s.buf);
-                ShardBatchHistory {
-                    committed: buf.history.clone(),
-                    inflight: buf.inflight_record.clone(),
-                }
+                let inflight = buf
+                    .unacked
+                    .iter()
+                    .filter(|ab| ab.recorded)
+                    .map(|ab| BatchRecord { ops: ab.effects.clone() })
+                    .chain(buf.applying_record.clone())
+                    .collect();
+                ShardBatchHistory { committed: buf.history.clone(), inflight }
             })
             .collect()
     }
 
     /// Queues `ops` on shard `si` under **one** buffer-lock acquisition
-    /// — the slice lands contiguously in the queue, and since a
+    /// — the slice lands contiguously in the queue, and since the
     /// committer always drains the whole queue, it can never be split
     /// across batches. Returns the cells the outcomes will land in.
     /// Fails fast (enqueuing nothing) on a wedged shard.
@@ -693,131 +1656,107 @@ impl<M: StoreMedia> ShardedKvStore<M> {
             buf.pending_overlay.insert(k, effect);
             cells.push(cell);
         }
+        drop(buf);
+        shard.work_cv.notify_all();
         Ok(cells)
     }
 
-    /// Parks until every cell in `cells` is filled, volunteering as the
-    /// shard's committer whenever there is a batch to commit and no
-    /// committer running. Returns the per-op answers, or the first error
-    /// — only after *all* cells resolved (a batch failure fills every
-    /// cell of the batch and of the queue behind it).
+    /// Parks until every cell in `cells` is filled — the committer fills
+    /// them when the batch's durability epoch is reached (or when the
+    /// shard wedges). Returns the per-op answers, or the first error —
+    /// only after *all* cells resolved.
     fn drive(&self, si: usize, cells: &[Arc<OpCell>]) -> Result<Vec<bool>> {
         let shard = &self.shards[si];
-        let mut buf = lock(&shard.buf);
-        loop {
-            // Cells are filled under the buffer lock before the
-            // broadcast, so this check is race-free here.
-            if cells.iter().all(|c| lock(&c.0).is_some()) {
-                drop(buf);
-                let mut out = Vec::with_capacity(cells.len());
-                let mut err = None;
-                for c in cells {
-                    match lock(&c.0).take().expect("checked filled above") {
-                        Ok(b) => out.push(b),
-                        Err(why) => {
-                            out.push(false);
-                            if err.is_none() {
-                                err = Some(wedged_err(&why));
-                            }
-                        }
-                    }
-                }
-                return match err {
-                    None => Ok(out),
-                    Some(e) => Err(e),
-                };
-            }
-            if !buf.committing && !buf.pending.is_empty() {
-                Self::commit_batch(shard, buf);
-                buf = lock(&shard.buf);
-                continue;
-            }
-            buf = wait(&shard.cv, buf);
-        }
-    }
-
-    /// The group commit: drain the queue, apply every op to the shard's
-    /// table, pay **one** `sync`, and wake the batch. Called with the
-    /// buffer lock held; consumes it (the guard is dropped across the
-    /// store work so enqueues and overlay reads proceed meanwhile).
-    fn commit_batch(shard: &Shard<M>, mut buf: MutexGuard<'_, BufState>) {
-        buf.committing = true;
-        let batch: Vec<QueuedOp> = std::mem::take(&mut buf.pending);
-        debug_assert!(buf.inflight_overlay.is_empty(), "one committer at a time");
-        buf.inflight_overlay = std::mem::take(&mut buf.pending_overlay);
-        if buf.recording {
-            buf.inflight_record =
-                Some(BatchRecord { ops: batch.iter().map(|q| q.op.effect()).collect() });
-        }
-        drop(buf);
-
-        let mut answers: Vec<bool> = Vec::with_capacity(batch.len());
-        let mut failure: Option<String> = None;
         {
-            let mut store = lock(&shard.store);
-            for q in &batch {
-                let applied = match q.op {
-                    WriteOp::Put(k, v) => store.insert(k, v).map(|()| true),
-                    WriteOp::Delete(k) => store.delete(k),
-                };
-                match applied {
-                    Ok(b) => answers.push(b),
-                    Err(e) => {
-                        failure = Some(e.to_string());
-                        break;
+            // Cells are filled under the buffer lock before the ack
+            // broadcast, so this check is race-free here.
+            let mut buf = lock(&shard.buf);
+            while !cells.iter().all(|c| lock(&c.0).is_some()) {
+                buf = wait(&shard.ack_cv, buf);
+            }
+        }
+        let mut out = Vec::with_capacity(cells.len());
+        let mut err = None;
+        for c in cells {
+            match lock(&c.0).take().expect("checked filled above") {
+                Ok(b) => out.push(b),
+                Err(why) => {
+                    out.push(false);
+                    if err.is_none() {
+                        err = Some(wedged_err(&why));
                     }
                 }
             }
-            if failure.is_none() {
-                // The one sync the whole batch shares: H0 flush, data
-                // fsync, manifest rename — the batch's commit point.
-                if let Err(e) = store.sync() {
-                    failure = Some(e.to_string());
-                }
-            }
-            if failure.is_some() {
-                // The table holds a partial (or unsynced whole) batch
-                // that was reported failed; it must never reach a
-                // manifest — not even through the drop-time sync.
-                store.poison();
-            }
         }
-
-        let mut buf = lock(&shard.buf);
-        buf.inflight_overlay.clear();
-        buf.committing = false;
-        match failure {
-            None => {
-                buf.committed_batches += 1;
-                buf.committed_ops += batch.len() as u64;
-                buf.largest_batch = buf.largest_batch.max(batch.len() as u64);
-                if let Some(rec) = buf.inflight_record.take() {
-                    buf.history.push(rec);
-                }
-                for (q, ans) in batch.iter().zip(answers) {
-                    *lock(&q.cell.0) = Some(Ok(ans));
-                }
-            }
-            Some(why) => {
-                // Wedge the shard: the batch failed, and everything
-                // queued behind it can never commit either (the store
-                // handle is poisoned). `inflight_record` is deliberately
-                // left in place — it is the harness's all-in-or-all-out
-                // candidate.
-                for q in &batch {
-                    *lock(&q.cell.0) = Some(Err(why.clone()));
-                }
-                let stranded: Vec<QueuedOp> = std::mem::take(&mut buf.pending);
-                for q in &stranded {
-                    *lock(&q.cell.0) = Some(Err(why.clone()));
-                }
-                buf.pending_overlay.clear();
-                buf.wedged = Some(why);
-            }
+        match err {
+            None => Ok(out),
+            Some(e) => Err(e),
         }
-        drop(buf);
-        shard.cv.notify_all();
     }
+}
+
+impl<M: StoreMedia> Drop for ShardedKvStore<M> {
+    /// The drain-then-sync shutdown handshake. First the coordinator is
+    /// retired (it finishes any active round — committers are still
+    /// alive to serve it — flushes remaining dirt, and exits; after its
+    /// join no new harden request can ever arrive). Then each committer
+    /// is told to shut down: it drains its pending queue, runs one final
+    /// `harden(true)` (restoring the `CLEAN` marker the steady-state
+    /// rounds skip), and joins. No enqueued op is lost, and a wedged
+    /// shard — whose store is poisoned and must commit nothing — skips
+    /// the final harden instead of hanging the join.
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.coord.state);
+            st.shutdown = true;
+        }
+        self.coord.cv.notify_all();
+        if let Some(h) = self.coordinator.take() {
+            let _ = h.join();
+        }
+        for shard in &self.shards {
+            lock(&shard.buf).shutdown = true;
+            shard.work_cv.notify_all();
+        }
+        for h in &mut self.committers {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Replays every surviving commit-log record over the freshly opened
+/// shard stores (reopen-time recovery, phase two), then hardens them
+/// and empties the log. Replay is idempotent — a put is an upsert and a
+/// delete of an absent key is a miss — and per-shard record order
+/// equals the original apply order, so records whose effects already
+/// reached a manifest (through a checkpoint or a shutdown harden that
+/// outran the last truncation) reapply harmlessly: the last write per
+/// key still wins.
+fn replay_log<M: StoreMedia>(log: &mut impl CommitLog, stores: &mut [KvStore<M>]) -> Result<()> {
+    let image = log.read_all()?;
+    let records = decode_log_records(&image);
+    if records.is_empty() {
+        return Ok(());
+    }
+    for (si, effects) in records {
+        let store = stores.get_mut(si as usize).ok_or_else(|| {
+            ExtMemError::Corrupt("commit log references a shard outside the service".into())
+        })?;
+        for (k, eff) in effects {
+            match eff {
+                Some(v) => store.insert(k, v)?,
+                None => {
+                    store.delete(k)?;
+                }
+            }
+        }
+    }
+    for s in stores.iter_mut() {
+        s.harden(true)?;
+    }
+    log.truncate()
 }
 
 /// Parses the service manifest: `(shards, seed)`.
@@ -848,6 +1787,7 @@ fn parse_service_meta(text: &str) -> Result<(usize, u64)> {
 mod tests {
     use super::*;
     use dxh_extmem::{FaultPlan, SimEnv};
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn cfg() -> CoreConfig {
         CoreConfig::lemma5(8, 128, 2).unwrap()
@@ -879,6 +1819,9 @@ mod tests {
             let expect = (k % 3 != 0).then_some(k * 3);
             assert_eq!(svc.get(k).unwrap(), expect, "key {k}");
         }
+        let stats = svc.stats();
+        assert!(stats.sync_rounds > 0, "acks ride completed sync rounds");
+        assert_eq!(stats.wedged_shards, 0);
         drop(svc);
         let svc = sim_service(&env, 4, 11);
         for k in 0..600u64 {
@@ -896,11 +1839,17 @@ mod tests {
         assert!(answers.iter().all(|&a| a));
         let stats = svc.stats();
         assert_eq!(stats.committed_ops, 200);
-        // One park per involved shard: at most 2 batches (typically 2 —
-        // one per shard), never 200.
+        // One batch per involved shard: at most 2 (typically 2 — one per
+        // shard), never 200.
         assert!(stats.committed_batches <= 2, "batches: {}", stats.committed_batches);
         assert!(stats.largest_batch >= 50, "batch size: {}", stats.largest_batch);
         assert!(stats.syncs_per_op() < 0.05, "syncs/op: {}", stats.syncs_per_op());
+        // The coalesced commit: both shards' batches rode at most 2 log
+        // rounds (1 when both were dirty before the first round fired),
+        // and no per-shard manifest harden was needed — a round costs
+        // one shared log sync, not one sync per shard.
+        assert!(stats.sync_rounds <= 2, "rounds: {}", stats.sync_rounds);
+        assert_eq!(stats.shard_syncs, 0, "no checkpoint round was due");
         let dels: Vec<WriteOp> = (0..100u64).map(WriteOp::Delete).collect();
         let answers = svc.submit(&dels).unwrap();
         assert!(answers.iter().all(|&a| a), "all targeted keys were live");
@@ -909,22 +1858,45 @@ mod tests {
         }
     }
 
+    /// The overlay answers for accepted-but-uncommitted writes with zero
+    /// I/O even while the committer is stalled mid-batch (here: blocked
+    /// behind `with_shard` holding the store lock).
     #[test]
     fn read_your_writes_hits_the_pending_overlay() {
         let env = SimEnv::new();
         let svc = sim_service(&env, 1, 13);
         svc.put(1, 10).unwrap();
-        // Enqueue without driving: the ops are pending, no commit ran.
-        let ops_before = env.ops();
-        let _cells = svc.enqueue_batch(0, &[WriteOp::Put(2, 20), WriteOp::Delete(1)]).unwrap();
-        assert_eq!(svc.get(2).unwrap(), Some(20), "pending put visible");
-        assert_eq!(svc.get(1).unwrap(), None, "pending delete visible");
-        assert_eq!(env.ops(), ops_before, "overlay answers cost zero I/O");
-        // A later writer's drive commits the stragglers too.
+        let locked = AtomicBool::new(false);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Stall the shard's committer: it cannot apply (or
+                // harden) anything while the store lock is held here.
+                svc.with_shard(0, |_| {
+                    locked.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            while !locked.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let ops_before = env.ops();
+            // Enqueue without driving: accepted, not yet durable.
+            let _cells = svc.enqueue_batch(0, &[WriteOp::Put(2, 20), WriteOp::Delete(1)]).unwrap();
+            assert_eq!(svc.get(2).unwrap(), Some(20), "pending put visible");
+            assert_eq!(svc.get(1).unwrap(), None, "pending delete visible");
+            assert_eq!(env.ops(), ops_before, "overlay answers cost zero I/O");
+            release.store(true, Ordering::SeqCst);
+        });
+        // The committer drains the stragglers; a driven put fences them.
         svc.put(3, 30).unwrap();
         assert_eq!(svc.get(2).unwrap(), Some(20));
         assert_eq!(svc.get(1).unwrap(), None);
-        assert_eq!(svc.stats().largest_batch, 3, "one batch carried all three");
+        let stats = svc.stats();
+        assert_eq!(stats.committed_ops, 4, "every enqueued op committed");
+        assert!(stats.largest_batch >= 2, "the enqueued pair stayed one batch");
     }
 
     #[test]
@@ -948,8 +1920,8 @@ mod tests {
         let k1 = (0..).find(|&k| svc.shard_of(k) == 1).unwrap();
         svc.put(k0, 1).unwrap();
         svc.put(k1, 1).unwrap();
-        // One transient fault at the next I/O: the commit for k0's
-        // second put fails mid-batch and wedges shard 0.
+        // One transient fault at the next I/O: committing k0's second
+        // put fails (at apply or at the round harden) and wedges shard 0.
         env.set_plan(FaultPlan { fail_at: vec![env.ops()], ..Default::default() });
         let err = svc.put(k0, 2).unwrap_err();
         assert!(err.to_string().contains("wedged"), "got: {err}");
@@ -965,6 +1937,25 @@ mod tests {
         let svc = sim_service(&env, 2, 15);
         assert_eq!(svc.get(k0).unwrap(), Some(1), "shard 0 recovered to its last batch");
         assert_eq!(svc.get(k1).unwrap(), Some(2));
+    }
+
+    /// Ops enqueued but never driven still commit durably through the
+    /// drop-time drain-then-sync handshake — no op is lost.
+    #[test]
+    fn drop_drains_and_commits_enqueued_ops() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 2, 19);
+        svc.put(100, 1).unwrap();
+        let mut cells = Vec::new();
+        for k in 0..40u64 {
+            cells.push(svc.enqueue_batch(svc.shard_of(k), &[WriteOp::Put(k, k + 7)]).unwrap());
+        }
+        drop(svc); // join: drain, apply, final harden per shard
+        let svc = sim_service(&env, 2, 19);
+        for k in 0..40u64 {
+            assert_eq!(svc.get(k).unwrap(), Some(k + 7), "key {k} survived the drop drain");
+        }
+        assert_eq!(svc.get(100).unwrap(), Some(1));
     }
 
     #[test]
@@ -1015,7 +2006,7 @@ mod tests {
         assert_eq!(h.committed.len(), 2, "two group commits ran");
         assert_eq!(h.committed[0].ops, vec![(1, Some(10))]);
         assert_eq!(h.committed[1].ops, vec![(2, Some(20)), (1, None)]);
-        assert!(h.inflight.is_none(), "no commit was interrupted");
+        assert!(h.inflight.is_empty(), "no commit was interrupted");
         svc.set_batch_recording(false);
         svc.put(3, 30).unwrap();
         assert!(svc.batch_history()[0].committed.is_empty(), "toggling clears history");

@@ -285,20 +285,76 @@ impl<M: StoreMedia> KvStore<M> {
     /// sees every item inserted so far. A no-op when nothing changed
     /// since the last sync (or since a clean reopen).
     pub fn sync(&mut self) -> Result<()> {
-        if self.poisoned {
-            return Err(ExtMemError::BadConfig(
-                "store handle poisoned by a failed compaction; drop it and reopen the \
-                 directory (the last synced state is intact)"
-                    .into(),
-            ));
-        }
+        self.harden(true)
+    }
+
+    /// The "make durable" half of a commit, split from "apply + write":
+    /// mutations applied since the last durability point become
+    /// crash-recoverable, but the `CLEAN` marker — a shutdown-quality
+    /// claim, not a durability one — is written back only when
+    /// `set_marker` is true.
+    ///
+    /// `harden(true)` is exactly [`KvStore::sync`]. `harden(false)` is
+    /// the service committers' steady-state durability point: every
+    /// batch still commits at the manifest rename, but the marker stays
+    /// absent between batches, saving the unlink + rewrite (two
+    /// directory fsyncs) that per-batch marker churn would cost. A
+    /// reopen after `harden(false)` takes the recovery path (region
+    /// walk, G3), which reconstructs exactly the hardened manifest's
+    /// state — the marker only selects *how* the live set is recomputed,
+    /// never *what* it is.
+    pub fn harden(&mut self, set_marker: bool) -> Result<()> {
+        self.harden_flush()?;
+        self.harden_data_sync()?;
+        self.harden_commit(set_marker)
+    }
+
+    /// Stage 1 of a staged harden: push `H0` to the disk levels. These
+    /// are buffered writes — no fsync is issued. No-op when clean.
+    ///
+    /// The three stages exist so a multi-store caller (the service's
+    /// sync rounds) can rendezvous sibling stores between them and issue
+    /// every store's fsync of a given kind *simultaneously* — the
+    /// journal then merges them into one device commit instead of
+    /// serializing N. Calling the stages back to back is exactly
+    /// [`KvStore::harden`]; each stage individually no-ops on a clean
+    /// store, so an interleaved caller needs no dirty-awareness.
+    pub(crate) fn harden_flush(&mut self) -> Result<()> {
+        self.check_poisoned()?;
         if !self.dirty {
             return Ok(());
         }
-        self.table.flush_memory()?;
-        self.table.disk_mut().flush()?;
+        self.table.flush_memory()
+    }
+
+    /// Stage 2: `fdatasync` the block file, making stage 1's writes (and
+    /// every block write since the last commit) durable. No-op when
+    /// clean.
+    pub(crate) fn harden_data_sync(&mut self) -> Result<()> {
+        self.check_poisoned()?;
+        if !self.dirty {
+            return Ok(());
+        }
+        self.table.disk_mut().flush()
+    }
+
+    /// Stage 3: the commit point — atomically rewrite the manifest, then
+    /// write the `CLEAN` marker back if `set_marker`.
+    pub(crate) fn harden_commit(&mut self, set_marker: bool) -> Result<()> {
+        self.check_poisoned()?;
+        if !self.dirty {
+            // Nothing to commit, but a `harden(true)` after a run of
+            // `harden(false)` rounds still owes the marker: the manifest
+            // already matches the table, so writing `CLEAN` is safe.
+            if set_marker && !self.media.clean_marker()? {
+                self.media.set_clean_marker()?;
+            }
+            return Ok(());
+        }
         self.write_manifest()?;
-        self.media.set_clean_marker()?;
+        if set_marker {
+            self.media.set_clean_marker()?;
+        }
         // The new manifest (listing quarantined slots as free) is
         // durable; they may now be recycled.
         self.table.disk_mut().backend_mut().commit_frees();

@@ -1,7 +1,7 @@
 //! Concurrent-service torture: crash a [`ShardedKvStore`] **mid
 //! group commit** and check that every shard recovers to a batch
-//! boundary — each committed batch wholly present, the in-flight batch
-//! wholly present or wholly absent, nothing in between.
+//! boundary — each acknowledged batch wholly present, every in-flight
+//! batch wholly present or wholly absent, nothing in between.
 //!
 //! One [`service_torture_run`] is a full lifecycle on a fresh
 //! [`SimEnv`] hosting every shard of the service under one I/O clock:
@@ -12,14 +12,20 @@
 //!    pipelined [`ShardedKvStore::submit`] chunks and checking its
 //!    lookups against a private shadow model;
 //! 2. if the plan's crash index fires, every thread's next operation
-//!    errors and the affected shard wedges mid-commit;
+//!    errors and the affected shard wedges mid-commit — the crash can
+//!    land anywhere in the coalesced commit window, including inside
+//!    another shard's harden of the same sync round;
 //! 3. read back the service's recorded batch history — the ground
-//!    truth: per shard, the batches whose group commit acknowledged,
-//!    plus the one that was in flight at the crash (if any);
+//!    truth: per shard, the batches whose durability epoch was reached,
+//!    plus the in-flight ones (applied but unacknowledged batches
+//!    riding the pipelined ack path, and at most one mid-apply batch
+//!    last) in application order;
 //! 4. power-cycle, reopen, and assert per shard that the recovered
-//!    state equals the fold of the committed batches, or that fold plus
-//!    the whole in-flight batch — the all-in-or-all-out boundary — and
-//!    that the recovered service still accepts work.
+//!    state equals the fold of the committed batches plus some
+//!    **prefix** of the in-flight ones — each batch all-in or all-out,
+//!    never split, even when another shard's batch shared the same
+//!    coalesced sync round — and that the recovered service still
+//!    accepts work.
 //!
 //! Thread interleavings are scheduled by the OS, so unlike the
 //! single-store harness ([`crate::torture`]) a crash index does not
@@ -66,6 +72,21 @@ impl ServiceTortureSpec {
             shards: 2,
             threads: 4,
             ops_per_thread: 48,
+            seed,
+        }
+    }
+
+    /// The wide scenario: 4 shards under 6 writers, so most sync rounds
+    /// coalesce several shards' hardens — crash indices swept across it
+    /// land inside one shard's harden while siblings share the same
+    /// round, which is exactly the window the coalesced commit path
+    /// must keep all-in-or-all-out per shard.
+    pub fn wide(seed: u64) -> Self {
+        ServiceTortureSpec {
+            cfg: CoreConfig::lemma5(4, 96, 2).expect("valid config"),
+            shards: 4,
+            threads: 6,
+            ops_per_thread: 40,
             seed,
         }
     }
@@ -300,69 +321,52 @@ pub fn service_torture_run(
     };
 
     // Batch-boundary check, shard by shard: the recovered state must be
-    // the fold of that shard's committed batches — optionally plus the
-    // whole in-flight batch (all-in), never part of it.
+    // the fold of that shard's committed batches plus some *prefix* of
+    // its in-flight batches (the pipelined-ack window, in application
+    // order) — every batch all-in or all-out, never split. The probe
+    // key universe is everything the whole history ever touched, so a
+    // shorter prefix is also checked for the *absence* of the later
+    // batches' effects.
     for (si, h) in history.iter().enumerate() {
-        let mut committed: HashMap<Key, Value> = HashMap::new();
         let mut keys: Vec<Key> = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        for batch in &h.committed {
-            fold_into(&mut committed, &batch.ops);
+        for batch in h.committed.iter().chain(&h.inflight) {
             keys.extend(batch.ops.iter().map(|(k, _)| *k).filter(|k| seen.insert(*k)));
         }
-        let mismatch_committed = diff_shard(&svc, &committed, &keys);
-        match (&mismatch_committed[..], &h.inflight) {
-            ([], _) => {
-                // All-out (or nothing was in flight): every committed
-                // batch present, the in-flight one absent — but "absent"
-                // needs its own probe when the in-flight batch touched
-                // keys no committed batch did. Those keys must answer
-                // from the committed model too (i.e. be absent).
-                if let Some(inflight) = &h.inflight {
-                    let extra: Vec<Key> =
-                        inflight.ops.iter().map(|(k, _)| *k).filter(|k| seen.insert(*k)).collect();
-                    let mut all_out = diff_shard(&svc, &committed, &extra);
-                    if !all_out.is_empty() {
-                        // Not all-out after all — it must then be all-in.
-                        let mut with_inflight = committed.clone();
-                        fold_into(&mut with_inflight, &inflight.ops);
-                        let mut all_keys = keys.clone();
-                        all_keys.extend(&extra);
-                        let all_in = diff_shard(&svc, &with_inflight, &all_keys);
-                        if !all_in.is_empty() {
-                            violations.push(format!(
-                                "shard {si}: in-flight batch is neither wholly absent \
-                                 (first mismatch: {}) nor wholly present (first mismatch: {})",
-                                all_out.remove(0),
-                                all_in[0]
-                            ));
-                        }
+        let mut model: HashMap<Key, Value> = HashMap::new();
+        for batch in &h.committed {
+            fold_into(&mut model, &batch.ops);
+        }
+        // Try prefixes shortest-first: `model` already folds committed
+        // plus inflight[..j] when prefix length j is probed, and grows
+        // one batch per iteration.
+        let mut first_mismatch: Option<String> = None;
+        let mut matched = false;
+        for j in 0..=h.inflight.len() {
+            if j > 0 {
+                fold_into(&mut model, &h.inflight[j - 1].ops);
+            }
+            let diff = diff_shard(&svc, &model, &keys);
+            match diff.into_iter().next() {
+                None => {
+                    matched = true;
+                    break;
+                }
+                Some(m) => {
+                    if first_mismatch.is_none() {
+                        first_mismatch = Some(m);
                     }
                 }
             }
-            (_, Some(inflight)) => {
-                // Committed-only fold mismatched: the only legal state is
-                // committed plus the whole in-flight batch.
-                let mut with_inflight = committed.clone();
-                fold_into(&mut with_inflight, &inflight.ops);
-                let mut all_keys = keys.clone();
-                all_keys.extend(inflight.ops.iter().map(|(k, _)| *k).filter(|k| seen.insert(*k)));
-                let all_in = diff_shard(&svc, &with_inflight, &all_keys);
-                if !all_in.is_empty() {
-                    violations.push(format!(
-                        "shard {si}: recovered state matches neither its committed batches \
-                         (first mismatch: {}) nor committed+in-flight (first mismatch: {})",
-                        mismatch_committed[0], all_in[0]
-                    ));
-                }
-            }
-            (_, None) => {
-                violations.push(format!(
-                    "shard {si}: recovered state diverged from its committed batches with \
-                     no commit in flight: {}",
-                    mismatch_committed[0]
-                ));
-            }
+        }
+        if !matched {
+            violations.push(format!(
+                "shard {si}: recovered state matches no batch boundary — neither its \
+                 committed batches nor any prefix of its {} in-flight batch(es); first \
+                 mismatch against the committed fold: {}",
+                h.inflight.len(),
+                first_mismatch.unwrap_or_else(|| "<none>".into())
+            ));
         }
     }
 
@@ -449,6 +453,16 @@ mod tests {
         let report = service_torture_run(&spec, Some(clean.total_ops / 2));
         assert!(report.crashed, "index {} lands inside the lifecycle", clean.total_ops / 2);
         assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn wide_spec_coalesces_rounds_across_shards() {
+        // The wide scenario exists to put several shards' hardens into
+        // one sync round; a clean run must actually exhibit that (more
+        // per-shard hardens than rounds) and still pass.
+        let report = service_torture_run(&ServiceTortureSpec::wide(31), None);
+        assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        assert!(report.committed_batches > 0);
     }
 
     #[test]

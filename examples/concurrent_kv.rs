@@ -3,10 +3,13 @@
 //! that shows `K` writers paying far fewer than `K` fsyncs.
 //!
 //! The single-store example (`kv_store.rs`) acknowledges one write per
-//! `sync`; here concurrent `put`s enqueue on their shard, park, and one
-//! committer durably commits the whole queue with a single manifest
-//! fsync. Every `put` that returns is crash-durable — run the example
-//! twice and the second run finds the first run's data on disk.
+//! `sync`; here concurrent `put`s enqueue on their shard and park while
+//! each shard's dedicated committer applies whole batches, and the
+//! service coordinator commits every shard's batches together — one
+//! fsync of the shared commit log per sync round, however many shards
+//! rode it (`docs/COMMIT_PATH.md` walks the full path). Every `put`
+//! that returns is crash-durable — run the example twice and the
+//! second run finds the first run's data on disk.
 //!
 //! Run: `cargo run --release --example concurrent_kv`
 
@@ -61,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.largest_batch
     );
     println!(
-        "syncs/op = {:.4} — {} writers shared each manifest fsync; {:.0} ops/s",
+        "syncs/op = {:.4} — {} writers shared each sync round's one log fsync; {:.0} ops/s",
         stats.syncs_per_op(),
         threads,
         stats.committed_ops as f64 / wall
@@ -73,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let k = generation + (t << 40);
         assert_eq!(svc.get(k)?, Some(t * 1_000_000), "thread {t}'s first key");
     }
-    svc.sync_all()?; // a fence, and a no-op here: nothing is pending
+    svc.sync_all()?; // manifest fence (acks were already log-durable)
     println!("total items on disk across runs: {}", svc.len());
     Ok(())
 }

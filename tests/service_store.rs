@@ -202,6 +202,62 @@ fn service_crash_sweep_has_zero_atomicity_violations() {
     }
 }
 
+/// The coalesced-sync window under crash: the wide scenario (4 shards,
+/// 6 writers) makes most sync rounds harden several shards back to
+/// back, so swept crash indices land inside one shard's harden while a
+/// sibling's batch shared the same round. Each shard must still recover
+/// all-in-or-all-out to a prefix of its own batches.
+#[test]
+fn coalesced_round_crash_sweep_keeps_shards_independent() {
+    let seeds = env_count("TORTURE_SEEDS", 2);
+    let points = env_count("TORTURE_POINTS", 8);
+    for s in 0..seeds {
+        let spec = ServiceTortureSpec::wide(0xC0A1E5CE ^ (s * 0x9E37_79B9));
+        let failures = sweep_service_crashes(&spec, points);
+        assert!(
+            failures.is_empty(),
+            "seed {}: {} crash points violated per-shard batch atomicity under \
+             coalesced rounds; first: crash_at {:?}: {:?}",
+            spec.seed,
+            failures.len(),
+            failures[0].crash_at,
+            failures[0].violations.first()
+        );
+    }
+}
+
+/// Dropping the service runs the drain-then-sync handshake: every op
+/// accepted before the drop is durable after it — even with writers
+/// racing the drop from other threads until the moment it happens.
+#[test]
+fn drop_handshake_loses_no_acknowledged_ops() {
+    let dir = tmp_dir("drop-drain");
+    let _ = std::fs::remove_dir_all(&dir);
+    let threads = 4usize;
+    let per_thread = 200u64;
+    {
+        let svc = ShardedKvStore::open(&dir, 3, cfg(), 31).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..threads as u64 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        svc.put(t * 1_000_000 + i, i + 1).unwrap();
+                    }
+                });
+            }
+        });
+    } // drop immediately after the last ack — no explicit sync_all
+    let svc = ShardedKvStore::open(&dir, 3, cfg(), 31).unwrap();
+    for t in 0..threads as u64 {
+        for i in 0..per_thread {
+            assert_eq!(svc.get(t * 1_000_000 + i).unwrap(), Some(i + 1), "thread {t} op {i}");
+        }
+    }
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A crash aimed square at the middle of the lifecycle must land (the
 /// report says so) and still recover to batch boundaries.
 #[test]
