@@ -78,8 +78,10 @@
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
+use std::sync::Arc;
+
+use dxh_sync::thread::JoinHandle;
+use dxh_sync::{Condvar, Mutex};
 
 use dxh_extmem::{ExtMemError, Key, Result, SimEnv, Value, KEY_TOMBSTONE, VALUE_TOMBSTONE};
 use dxh_hashfn::IdealFn;
@@ -97,18 +99,6 @@ const SERVICE_MAGIC: &str = "dxh-service v1";
 /// Directory (or simulated namespace) name of shard `i`.
 fn shard_name(i: usize) -> String {
     format!("shard-{i:03}")
-}
-
-/// Recovers a poisoned std mutex: the service never leaves shared state
-/// inconsistent across an unlock (batch state transitions happen while
-/// holding the guard), so a panicking caller poisons nothing logical —
-/// the same stance the vendored `parking_lot` takes.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
 }
 
 fn wedged_err(why: &str) -> ExtMemError {
@@ -277,6 +267,10 @@ struct BufState {
     /// Set when a group commit failed: the shard stops accepting work
     /// (its store handle is poisoned) until the service is reopened.
     wedged: Option<String>,
+    /// Set by [`CommitterPanicGuard`] when the committer thread died by
+    /// panic: the coordinator must stop expecting harden reports from
+    /// this shard (see [`checkpoint_round`]).
+    committer_dead: bool,
     committed_ops: u64,
     committed_batches: u64,
     largest_batch: u64,
@@ -350,7 +344,7 @@ impl RoundSync {
     /// Blocks until every current member reached this stage gate (or a
     /// straggler timeout fires — alignment is best-effort).
     fn align(&self) {
-        let mut st = lock(&self.m);
+        let mut st = self.m.lock();
         let gen = st.stage;
         st.arrived += 1;
         if st.arrived >= st.members {
@@ -360,10 +354,7 @@ impl RoundSync {
             return;
         }
         while st.stage == gen {
-            let (g, timeout) = self
-                .cv
-                .wait_timeout(st, std::time::Duration::from_millis(5))
-                .unwrap_or_else(PoisonError::into_inner);
+            let (g, timeout) = self.cv.wait_timeout(st, std::time::Duration::from_millis(5));
             st = g;
             if timeout.timed_out() && st.stage == gen {
                 st.arrived = 0;
@@ -378,7 +369,7 @@ impl RoundSync {
     /// skip, or aborted partway): stop counting it, and release the
     /// gate if it was the last one out.
     fn leave(&self) {
-        let mut st = lock(&self.m);
+        let mut st = self.m.lock();
         st.members = st.members.saturating_sub(1);
         if st.members > 0 && st.arrived >= st.members {
             st.arrived = 0;
@@ -412,8 +403,12 @@ struct SyncCoordinator {
 struct CoordState {
     /// Shards with applied-but-volatile batches awaiting a round.
     dirty: Vec<bool>,
-    /// Participants of the active round yet to report done.
-    pending_done: usize,
+    /// Per shard: owes the active checkpoint round a done report.
+    /// Per-shard flags rather than a counter so reports are idempotent —
+    /// both a dying committer's panic guard and the coordinator's own
+    /// dead-shard skip may report for the same shard without
+    /// double-counting.
+    pending_done: Vec<bool>,
     /// Id of the round being (or last) run; strictly increasing.
     round: u64,
     /// Completed rounds — the service's durability epoch.
@@ -426,7 +421,7 @@ impl SyncCoordinator {
         SyncCoordinator {
             state: Mutex::new(CoordState {
                 dirty: vec![false; shards],
-                pending_done: 0,
+                pending_done: vec![false; shards],
                 round: 0,
                 epoch: 0,
                 shutdown: false,
@@ -439,18 +434,22 @@ impl SyncCoordinator {
     /// next round. Always notifies — an apply finishing is also the
     /// settling signal the coordinator's wave wait sleeps on.
     fn mark_dirty(&self, si: usize) {
-        let mut st = lock(&self.state);
+        let mut st = self.state.lock();
         st.dirty[si] = true;
         self.cv.notify_all();
     }
 
-    /// A round participant finished its harden (or is wedged and has
-    /// nothing to harden): one fewer shard holds the barrier.
-    fn report_done(&self) {
-        let mut st = lock(&self.state);
-        st.pending_done = st.pending_done.saturating_sub(1);
-        if st.pending_done == 0 {
-            self.cv.notify_all();
+    /// Round participant `si` finished its harden (or is wedged, or its
+    /// committer is dead, and will do no work): one fewer shard holds
+    /// the barrier. Idempotent — a second report for the same shard in
+    /// the same round is a no-op.
+    fn report_done(&self, si: usize) {
+        let mut st = self.state.lock();
+        if st.pending_done[si] {
+            st.pending_done[si] = false;
+            if !st.pending_done.iter().any(|&p| p) {
+                self.cv.notify_all();
+            }
         }
     }
 }
@@ -475,7 +474,7 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
     loop {
         // Wait for dirt (or a clean shutdown).
         {
-            let mut st = lock(&coord.state);
+            let mut st = coord.state.lock();
             loop {
                 if st.dirty.iter().any(|&d| d) {
                     break;
@@ -483,7 +482,7 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
                 if st.shutdown {
                     return;
                 }
-                st = wait(&coord.cv, st);
+                st = coord.cv.wait(st);
             }
         }
         // Wave settling. A wave — every writer unblocked by the last
@@ -504,10 +503,10 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
         let mut patience = 32u32;
         loop {
             let quiet = shards.iter().all(|s| {
-                let buf = lock(&s.buf);
+                let buf = s.buf.lock();
                 buf.pending.is_empty() && !buf.applying
             });
-            if lock(&coord.state).shutdown {
+            if coord.state.lock().shutdown {
                 break;
             }
             if quiet {
@@ -515,7 +514,7 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
                 if confirmations >= 3 {
                     break;
                 }
-                std::thread::yield_now();
+                dxh_sync::thread::yield_now();
                 continue;
             }
             confirmations = 0;
@@ -523,15 +522,12 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
                 break;
             }
             patience -= 1;
-            let st = lock(&coord.state);
-            let (st, _) = coord
-                .cv
-                .wait_timeout(st, std::time::Duration::from_micros(200))
-                .unwrap_or_else(PoisonError::into_inner);
+            let st = coord.state.lock();
+            let (st, _) = coord.cv.wait_timeout(st, std::time::Duration::from_micros(200));
             drop(st);
         }
         let participants: Vec<usize> = {
-            let mut st = lock(&coord.state);
+            let mut st = coord.state.lock();
             let p: Vec<usize> = (0..st.dirty.len()).filter(|&i| st.dirty[i]).collect();
             for &i in &p {
                 st.dirty[i] = false;
@@ -564,7 +560,7 @@ fn commit_round<M: StoreMedia, L: CommitLog>(
     let mut collected: Vec<(usize, Vec<AppliedBatch>)> = Vec::new();
     let mut bytes = Vec::new();
     for &si in participants {
-        let mut buf = lock(&shards[si].buf);
+        let mut buf = shards[si].buf.lock();
         if buf.wedged.is_some() || buf.unacked.is_empty() {
             continue;
         }
@@ -583,7 +579,7 @@ fn commit_round<M: StoreMedia, L: CommitLog>(
             for (si, batches) in &collected {
                 let shard = &shards[*si];
                 {
-                    let mut buf = lock(&shard.buf);
+                    let mut buf = shard.buf.lock();
                     for ab in batches {
                         buf.committed_batches += 1;
                         buf.committed_ops += ab.ops;
@@ -592,13 +588,13 @@ fn commit_round<M: StoreMedia, L: CommitLog>(
                             buf.history.push(BatchRecord { ops: ab.effects.clone() });
                         }
                         for (cell, ans) in ab.cells.iter().zip(&ab.answers) {
-                            *lock(&cell.0) = Some(Ok(*ans));
+                            *cell.0.lock() = Some(Ok(*ans));
                         }
                     }
                 }
                 shard.ack_cv.notify_all();
             }
-            let mut st = lock(&coord.state);
+            let mut st = coord.state.lock();
             st.round += 1;
             st.epoch = st.round;
         }
@@ -612,12 +608,12 @@ fn commit_round<M: StoreMedia, L: CommitLog>(
             // again, so a post-error observer always sees these batches
             // as in-flight candidates.
             for (si, _) in &collected {
-                lock(&shards[*si].store).poison();
+                shards[*si].store.lock().poison();
             }
             let mut involved = Vec::with_capacity(collected.len());
             for (si, batches) in collected {
                 {
-                    let mut buf = lock(&shards[si].buf);
+                    let mut buf = shards[si].buf.lock();
                     let newer = std::mem::replace(&mut buf.unacked, batches);
                     buf.unacked.extend(newer);
                 }
@@ -642,23 +638,43 @@ fn checkpoint_round<M: StoreMedia>(
     log: &mut impl CommitLog,
 ) {
     {
-        let mut st = lock(&coord.state);
-        st.pending_done = shards.len();
+        let mut st = coord.state.lock();
+        for p in st.pending_done.iter_mut() {
+            *p = true;
+        }
     }
     let sync = Arc::new(RoundSync::new(shards.len()));
-    for shard in shards {
-        lock(&shard.buf).harden_request = Some(sync.clone());
-        shard.work_cv.notify_all();
+    for (si, shard) in shards.iter().enumerate() {
+        let dead = {
+            let mut buf = shard.buf.lock();
+            if buf.committer_dead {
+                true
+            } else {
+                buf.harden_request = Some(sync.clone());
+                false
+            }
+        };
+        if dead {
+            // No committer will ever take the request: report on the
+            // shard's behalf and drop it out of the rendezvous. (If the
+            // committer dies *after* taking a request, its panic guard
+            // does the same — reports are idempotent, so the race
+            // between this check and a concurrent death is harmless.)
+            sync.leave();
+            coord.report_done(si);
+        } else {
+            shard.work_cv.notify_all();
+        }
     }
     {
-        let mut st = lock(&coord.state);
-        while st.pending_done > 0 {
-            st = wait(&coord.cv, st);
+        let mut st = coord.state.lock();
+        while st.pending_done.iter().any(|&p| p) {
+            st = coord.cv.wait(st);
         }
         st.round += 1;
         st.epoch = st.round;
     }
-    if shards.iter().any(|s| lock(&s.buf).wedged.is_some()) {
+    if shards.iter().any(|s| s.buf.lock().wedged.is_some()) {
         // A wedged shard's last committed batches may exist only as log
         // records — keep them for reopen-time replay.
         return;
@@ -669,6 +685,46 @@ fn checkpoint_round<M: StoreMedia>(
     let _ = log.truncate();
 }
 
+/// Wedges the shard if its committer thread dies by panic. Mutex
+/// poisoning is swallowed at the `dxh_sync` seam, so without this a
+/// committer that panicked mid-protocol would silently strand every
+/// writer parked on `ack_cv` and every round waiting on its report —
+/// the lost-wakeup shape the model checker hunts. Runs during unwind,
+/// after the committer's own guards have been released (locals drop in
+/// reverse declaration order and the guard is declared first).
+struct CommitterPanicGuard<'a, M: StoreMedia> {
+    shard: &'a Shard<M>,
+    coord: &'a SyncCoordinator,
+    si: usize,
+}
+
+impl<M: StoreMedia> Drop for CommitterPanicGuard<'_, M> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let (owed_round, already_wedged) = {
+            let mut buf = self.shard.buf.lock();
+            buf.committer_dead = true;
+            (buf.harden_request.take(), buf.wedged.is_some())
+        };
+        // If a checkpoint round was waiting on this shard, release it:
+        // drop out of the fsync rendezvous and report done (idempotent,
+        // so racing the coordinator's own dead-shard skip is fine).
+        if let Some(sync) = owed_round {
+            sync.leave();
+        }
+        self.coord.report_done(self.si);
+        if already_wedged {
+            // Keep the original failure cause; just make sure nobody
+            // sleeps through the committer's death.
+            self.shard.ack_cv.notify_all();
+        } else {
+            wedge(self.shard, "committer thread panicked".to_string(), &[]);
+        }
+    }
+}
+
 /// The per-shard committer thread body: drain-and-apply pending batches
 /// continuously, harden on the coordinator's schedule, ack at the epoch.
 fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinator>, si: usize) {
@@ -677,9 +733,10 @@ fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinato
         Harden(Arc<RoundSync>),
         Exit,
     }
+    let _panic_guard = CommitterPanicGuard { shard: &shard, coord: &coord, si };
     loop {
         let todo = {
-            let mut buf = lock(&shard.buf);
+            let mut buf = shard.buf.lock();
             let mut spins = 4u32;
             loop {
                 // A harden request outranks new arrivals: a hot shard
@@ -704,11 +761,11 @@ fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinato
                 if spins > 0 {
                     spins -= 1;
                     drop(buf);
-                    std::thread::yield_now();
-                    buf = lock(&shard.buf);
+                    dxh_sync::thread::yield_now();
+                    buf = shard.buf.lock();
                     continue;
                 }
-                buf = wait(&shard.work_cv, buf);
+                buf = shard.work_cv.wait(buf);
             }
         };
         match todo {
@@ -727,7 +784,7 @@ fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinato
                 // the round.
                 apply_pending(&shard);
                 harden_shard(&shard, false, Some(&sync));
-                coord.report_done();
+                coord.report_done(si);
             }
             Todo::Exit => {
                 // Drain-then-sync handshake: the wait loop only chooses
@@ -746,7 +803,7 @@ fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinato
 /// apply failed).
 fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
     let (batch, effects): (Vec<QueuedOp>, Vec<(Key, Option<Value>)>) = {
-        let mut buf = lock(&shard.buf);
+        let mut buf = shard.buf.lock();
         if buf.wedged.is_some() || buf.pending.is_empty() {
             return false;
         }
@@ -764,7 +821,7 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
     let mut answers: Vec<bool> = Vec::with_capacity(batch.len());
     let mut failure: Option<String> = None;
     {
-        let mut store = lock(&shard.store);
+        let mut store = shard.store.lock();
         for q in &batch {
             let applied = match q.op {
                 WriteOp::Put(k, v) => store.insert(k, v).map(|()| true),
@@ -788,7 +845,7 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
 
     match failure {
         None => {
-            let mut buf = lock(&shard.buf);
+            let mut buf = shard.buf.lock();
             buf.inflight_overlay.clear();
             buf.applying = false;
             let recorded = buf.applying_record.take().is_some();
@@ -820,7 +877,7 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
 /// them (see [`RoundSync`]).
 fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<&RoundSync>) {
     {
-        let buf = lock(&shard.buf);
+        let buf = shard.buf.lock();
         if buf.wedged.is_some() {
             if let Some(s) = sync {
                 s.leave();
@@ -829,7 +886,7 @@ fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<
         }
     }
     let res = {
-        let mut store = lock(&shard.store);
+        let mut store = shard.store.lock();
         let mut stages_left = 2u32;
         let mut gate = || {
             if let Some(s) = sync {
@@ -860,7 +917,7 @@ fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<
     match res {
         Ok(()) => {
             {
-                let mut buf = lock(&shard.buf);
+                let mut buf = shard.buf.lock();
                 buf.hardens += 1;
                 let acked = std::mem::take(&mut buf.unacked);
                 for ab in &acked {
@@ -871,7 +928,7 @@ fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<
                         buf.history.push(BatchRecord { ops: ab.effects.clone() });
                     }
                     for (cell, ans) in ab.cells.iter().zip(&ab.answers) {
-                        *lock(&cell.0) = Some(Ok(*ans));
+                        *cell.0.lock() = Some(Ok(*ans));
                     }
                 }
             }
@@ -888,20 +945,20 @@ fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<
 /// candidates. Called with no locks held.
 fn wedge<M: StoreMedia>(shard: &Shard<M>, why: String, mid_apply: &[QueuedOp]) {
     {
-        let mut buf = lock(&shard.buf);
+        let mut buf = shard.buf.lock();
         buf.inflight_overlay.clear();
         buf.applying = false;
         for q in mid_apply {
-            *lock(&q.cell.0) = Some(Err(why.clone()));
+            *q.cell.0.lock() = Some(Err(why.clone()));
         }
         for ab in &buf.unacked {
             for cell in &ab.cells {
-                *lock(&cell.0) = Some(Err(why.clone()));
+                *cell.0.lock() = Some(Err(why.clone()));
             }
         }
         let stranded: Vec<QueuedOp> = std::mem::take(&mut buf.pending);
         for q in &stranded {
-            *lock(&q.cell.0) = Some(Err(why.clone()));
+            *q.cell.0.lock() = Some(Err(why.clone()));
         }
         buf.pending_overlay.clear();
         buf.wedged = Some(why);
@@ -1240,7 +1297,7 @@ impl ServiceMedia for SimServiceMedia {
 /// durability points through one shared sync coordinator (see the
 /// module docs for the protocol — writers never pay an fsync).
 ///
-/// Share it across threads with an [`Arc`] (or `std::thread::scope`);
+/// Share it across threads with an [`Arc`] (or `dxh_sync::thread::scope`);
 /// every method takes `&self`. Dropping the handle runs the
 /// drain-then-sync shutdown handshake: every enqueued op is applied and
 /// durably committed (or failed, on a wedged shard) before the
@@ -1285,7 +1342,7 @@ impl ShardedKvStore<DirMedia> {
     ///
     /// let cfg = CoreConfig::lemma5(64, 4096, 2)?;
     /// let svc = ShardedKvStore::open("/var/lib/my-service", 8, cfg, 42)?;
-    /// std::thread::scope(|s| {
+    /// dxh_sync::thread::scope(|s| {
     ///     for t in 0..8u64 {
     ///         let svc = &svc;
     ///         s.spawn(move || {
@@ -1388,7 +1445,7 @@ where
             committers: Vec::with_capacity(shards),
             coordinator: None,
         };
-        let handle = std::thread::Builder::new().name("dxh-sync-coord".into()).spawn({
+        let handle = dxh_sync::thread::Builder::new().name("dxh-sync-coord".into()).spawn({
             let shards = svc.shards.clone();
             let coord = svc.coord.clone();
             move || coordinator_loop(shards, coord, log)
@@ -1396,7 +1453,7 @@ where
         svc.coordinator = Some(handle);
         for (i, shard) in svc.shards.clone().into_iter().enumerate() {
             let coord = svc.coord.clone();
-            let handle = std::thread::Builder::new()
+            let handle = dxh_sync::thread::Builder::new()
                 .name(format!("dxh-committer-{i:03}"))
                 .spawn(move || committer_loop(shard, coord, i))?;
             svc.committers.push(Some(handle));
@@ -1523,7 +1580,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     pub fn get(&self, key: Key) -> Result<Option<Value>> {
         let shard = &self.shards[self.shard_of(key)];
         {
-            let buf = lock(&shard.buf);
+            let buf = shard.buf.lock();
             if let Some(why) = &buf.wedged {
                 return Err(wedged_err(why));
             }
@@ -1535,7 +1592,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         // (readers must never hold both — the committer acquires them in
         // the other order); the race this opens is benign, since a key
         // that left the overlay is answerable by the store.
-        lock(&shard.store).lookup(key)
+        shard.store.lock().lookup(key)
     }
 
     /// Syncs every shard's store in turn — a manifest-level durability
@@ -1559,10 +1616,10 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// ```
     pub fn sync_all(&self) -> Result<()> {
         for shard in &self.shards {
-            if let Some(why) = &lock(&shard.buf).wedged {
+            if let Some(why) = &shard.buf.lock().wedged {
                 return Err(wedged_err(why));
             }
-            lock(&shard.store).sync()?;
+            shard.store.lock().sync()?;
         }
         Ok(())
     }
@@ -1571,12 +1628,12 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// [`crate::KvStore`]'s `len`: shadowed copies and unpurged markers
     /// included until merges drop them).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock(&s.store).len()).sum()
+        self.shards.iter().map(|s| s.store.lock().len()).sum()
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| lock(&s.store).is_empty())
+        self.shards.iter().all(|s| s.store.lock().is_empty())
     }
 
     /// Aggregate group-commit counters across shards, plus the shared
@@ -1584,14 +1641,14 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     pub fn stats(&self) -> ServiceStats {
         let mut out = ServiceStats::default();
         for shard in &self.shards {
-            let buf = lock(&shard.buf);
+            let buf = shard.buf.lock();
             out.committed_ops += buf.committed_ops;
             out.committed_batches += buf.committed_batches;
             out.largest_batch = out.largest_batch.max(buf.largest_batch);
             out.wedged_shards += usize::from(buf.wedged.is_some());
             out.shard_syncs += buf.hardens;
         }
-        out.sync_rounds = lock(&self.coord.state).epoch;
+        out.sync_rounds = self.coord.state.lock().epoch;
         out
     }
 
@@ -1600,7 +1657,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// Mutations made here bypass the group-commit buffer; follow with
     /// [`ShardedKvStore::sync_all`] if durability matters.
     pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut KvStore<M>) -> R) -> R {
-        f(&mut lock(&self.shards[index].store))
+        f(&mut self.shards[index].store.lock())
     }
 
     /// Turns batch recording on or off (off by default; turning it on
@@ -1609,7 +1666,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// ground truth for the batch-boundary check.
     pub fn set_batch_recording(&self, on: bool) {
         for shard in &self.shards {
-            let mut buf = lock(&shard.buf);
+            let mut buf = shard.buf.lock();
             buf.recording = on;
             buf.history.clear();
             buf.applying_record = None;
@@ -1624,7 +1681,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         self.shards
             .iter()
             .map(|s| {
-                let buf = lock(&s.buf);
+                let buf = s.buf.lock();
                 let inflight = buf
                     .unacked
                     .iter()
@@ -1644,7 +1701,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// Fails fast (enqueuing nothing) on a wedged shard.
     fn enqueue_batch(&self, si: usize, ops: &[WriteOp]) -> Result<Vec<Arc<OpCell>>> {
         let shard = &self.shards[si];
-        let mut buf = lock(&shard.buf);
+        let mut buf = shard.buf.lock();
         if let Some(why) = &buf.wedged {
             return Err(wedged_err(why));
         }
@@ -1670,15 +1727,15 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         {
             // Cells are filled under the buffer lock before the ack
             // broadcast, so this check is race-free here.
-            let mut buf = lock(&shard.buf);
-            while !cells.iter().all(|c| lock(&c.0).is_some()) {
-                buf = wait(&shard.ack_cv, buf);
+            let mut buf = shard.buf.lock();
+            while !cells.iter().all(|c| c.0.lock().is_some()) {
+                buf = shard.ack_cv.wait(buf);
             }
         }
         let mut out = Vec::with_capacity(cells.len());
         let mut err = None;
         for c in cells {
-            match lock(&c.0).take().expect("checked filled above") {
+            match c.0.lock().take().expect("checked filled above") {
                 Ok(b) => out.push(b),
                 Err(why) => {
                     out.push(false);
@@ -1707,7 +1764,7 @@ impl<M: StoreMedia> Drop for ShardedKvStore<M> {
     /// the final harden instead of hanging the join.
     fn drop(&mut self) {
         {
-            let mut st = lock(&self.coord.state);
+            let mut st = self.coord.state.lock();
             st.shutdown = true;
         }
         self.coord.cv.notify_all();
@@ -1715,7 +1772,7 @@ impl<M: StoreMedia> Drop for ShardedKvStore<M> {
             let _ = h.join();
         }
         for shard in &self.shards {
-            lock(&shard.buf).shutdown = true;
+            shard.buf.lock().shutdown = true;
             shard.work_cv.notify_all();
         }
         for h in &mut self.committers {
@@ -1868,19 +1925,19 @@ mod tests {
         svc.put(1, 10).unwrap();
         let locked = AtomicBool::new(false);
         let release = AtomicBool::new(false);
-        std::thread::scope(|scope| {
+        dxh_sync::thread::scope(|scope| {
             scope.spawn(|| {
                 // Stall the shard's committer: it cannot apply (or
                 // harden) anything while the store lock is held here.
                 svc.with_shard(0, |_| {
                     locked.store(true, Ordering::SeqCst);
                     while !release.load(Ordering::SeqCst) {
-                        std::thread::yield_now();
+                        dxh_sync::thread::yield_now();
                     }
                 });
             });
             while !locked.load(Ordering::SeqCst) {
-                std::thread::yield_now();
+                dxh_sync::thread::yield_now();
             }
             let ops_before = env.ops();
             // Enqueue without driving: accepted, not yet durable.

@@ -8,18 +8,18 @@
 //! shard-locally — and the budget story stays honest: `m` is split
 //! evenly across shards.
 //!
-//! Locking is [`parking_lot::Mutex`] per shard; [`ShardedTable::par_load`]
-//! bulk-loads with one crossbeam scoped thread per shard (zero
-//! contention: the partition is computed first, then each thread owns
-//! its shard exclusively).
+//! Locking is one [`dxh_sync::Mutex`] per shard (the workspace's
+//! concurrency seam: std-backed normally, schedule-explored under the
+//! `model` feature); [`ShardedTable::par_load`] bulk-loads with one
+//! scoped thread per shard (zero contention: the partition is computed
+//! first, then each thread owns its shard exclusively).
 
 use std::path::Path;
 
-use crossbeam::thread as cb_thread;
 use dxh_extmem::{Disk, ExtMemError, FileDisk, IoCostModel, Key, Result, Value};
 use dxh_hashfn::{prefix_bucket, HashFn, IdealFn};
+use dxh_sync::Mutex;
 use dxh_tables::ExternalDictionary;
-use parking_lot::Mutex;
 
 /// The routing hash shared by [`ShardedTable`] and
 /// [`crate::ShardedKvStore`]: derived from the deployment seed with a
@@ -169,13 +169,13 @@ impl<T: ExternalDictionary + Send> ShardedTable<T> {
         for &(k, v) in pairs {
             batches[self.shard_of(k)].push((k, v));
         }
-        let results: Vec<Result<()>> = cb_thread::scope(|scope| {
+        let results: Vec<Result<()>> = dxh_sync::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
                 .zip(batches)
                 .map(|(shard, batch)| {
-                    scope.spawn(move |_| -> Result<()> {
+                    scope.spawn(move || -> Result<()> {
                         let mut guard = shard.lock();
                         for (k, v) in batch {
                             guard.insert(k, v)?;
@@ -185,8 +185,7 @@ impl<T: ExternalDictionary + Send> ShardedTable<T> {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard loader panicked")).collect()
-        })
-        .expect("crossbeam scope");
+        });
         for r in results {
             r?;
         }
@@ -275,11 +274,11 @@ mod tests {
         for k in 0..4000u64 {
             s.insert(k, k).unwrap();
         }
-        cb_thread::scope(|scope| {
+        dxh_sync::thread::scope(|scope| {
             // Two writers on disjoint key ranges, two readers.
             for t in 0..2u64 {
                 let s = s.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for k in 0..2000u64 {
                         s.insert(100_000 + t * 100_000 + k, k).unwrap();
                     }
@@ -287,14 +286,13 @@ mod tests {
             }
             for _ in 0..2 {
                 let s = s.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for k in 0..4000u64 {
                         assert_eq!(s.lookup(k).unwrap(), Some(k));
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(s.len(), 4000 + 2 * 2000);
     }
 

@@ -23,6 +23,9 @@
 //!   bounds, statistics.
 //! * [`workloads`] — generators, traces, sequential and parallel
 //!   runners, and the crash-recovery torture harness.
+//! * [`sync`] — the concurrency seam under the sharded service: std
+//!   primitives in release builds, a loom-style cooperative model
+//!   checker under `--features model` (see `docs/CONCURRENCY.md`).
 //!
 //! ## Quickstart
 //!
@@ -49,5 +52,6 @@ pub use dxh_core as core;
 pub use dxh_extmem as extmem;
 pub use dxh_hashfn as hashfn;
 pub use dxh_lowerbound as lowerbound;
+pub use dxh_sync as sync;
 pub use dxh_tables as tables;
 pub use dxh_workloads as workloads;

@@ -1,0 +1,677 @@
+//! `lint-locks`: static lock-discipline checker for the commit path.
+//!
+//! The model checker (`crates/sync`, `--features model`) proves the
+//! *protocols* right on bounded instances; this pass pins the *source*
+//! to the discipline those proofs assume. It scans the real guard
+//! acquisition sites in `crates/core/src/service.rs` and
+//! `crates/core/src/sharded.rs` and enforces, per function body:
+//!
+//! 1. **Lock-order hierarchy.** Acquiring a guard while another is
+//!    live is only legal for the whitelisted nestings:
+//!    `Buf → Cell` (ack cells are filled under the buffer lock — that
+//!    is what makes the writers' check-then-park race-free) and
+//!    `Store → Round` (the harden's stage gates run under the store
+//!    lock). Everything else — above all `Buf → Store` or its
+//!    inversion — is a violation.
+//!
+//! 2. **No fsync-class call under a hot guard.** `Buf`, `CoordState`,
+//!    `Cell` and `Round` guards are on the writers' latency path; a
+//!    physical sync (`log.commit`, `log.truncate()`, `store.sync()`,
+//!    `harden*`) must never run while one is live. The `Store` (and
+//!    sharded `Table`) guards *are* the store's own serialization and
+//!    legitimately span their hardens.
+//!
+//! 3. **Wait hygiene.** `Condvar::wait`/`wait_timeout` may only be
+//!    reached with the waited-on guard live — parking while holding a
+//!    second lock deadlocks whoever needs it to produce the wakeup.
+//!
+//! The checker is a line scanner, not a compiler: strings and comments
+//! are stripped, brace depth scopes named guards (`let [mut] g =
+//! recv.lock();`), `drop(g)` releases early, `g = cv.wait(g)`
+//! rebindings keep the guard live, and bare `recv.lock()` temporaries
+//! live to the end of their line. It is intraprocedural by design —
+//! cross-function interleavings are the model checker's half of the
+//! bargain. Any `.lock()` whose receiver it cannot classify is itself
+//! an error, so the catalog below can never silently rot.
+
+use std::fmt;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Which mutex a guard came from, classified by the receiver path's
+/// suffix (`shard.buf`, `coord.state`, `cell.0`, ...).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GuardClass {
+    /// `Shard::buf` — enqueue/ack buffer (`BufState`).
+    Buf,
+    /// `Shard::store` — the `KvStore` under the shard.
+    Store,
+    /// `SyncCoordinator::state` — dirty set, epoch, shutdown.
+    Coord,
+    /// `RoundSync::m` — the harden stage barrier.
+    Round,
+    /// `OpCell::0` — a writer's ack slot.
+    Cell,
+    /// `ShardedKvStore` table locks (sharded.rs): plain per-shard
+    /// stores, same standing as `Store`.
+    Table,
+}
+
+impl fmt::Display for GuardClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GuardClass::Buf => "Buf",
+            GuardClass::Store => "Store",
+            GuardClass::Coord => "CoordState",
+            GuardClass::Round => "RoundSync",
+            GuardClass::Cell => "Cell",
+            GuardClass::Table => "Table",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The only guard pairs allowed to nest (outer, inner).
+const ALLOWED_NESTINGS: &[(GuardClass, GuardClass)] =
+    &[(GuardClass::Buf, GuardClass::Cell), (GuardClass::Store, GuardClass::Round)];
+
+/// Calls that reach a physical sync (or frame one): forbidden while
+/// any hot-path guard is live.
+const FSYNC_TOKENS: &[&str] = &[
+    ".commit(",
+    ".truncate()",
+    ".sync()",
+    ".harden(",
+    ".harden_flush(",
+    ".harden_data_sync(",
+    ".harden_commit(",
+];
+
+/// Guards that must never span an fsync-class call.
+fn fsync_forbidden(class: GuardClass) -> bool {
+    matches!(class, GuardClass::Buf | GuardClass::Coord | GuardClass::Cell | GuardClass::Round)
+}
+
+fn classify(recv: &str, table_file: bool) -> Option<GuardClass> {
+    let recv = recv.trim_start_matches(['&', '*']);
+    if recv.ends_with(".0") {
+        Some(GuardClass::Cell)
+    } else if recv.ends_with("buf") {
+        Some(GuardClass::Buf)
+    } else if recv.ends_with("store") {
+        Some(GuardClass::Store)
+    } else if recv.ends_with("state") {
+        Some(GuardClass::Coord)
+    } else if recv == "m" || recv.ends_with(".m") {
+        Some(GuardClass::Round)
+    } else if table_file {
+        Some(GuardClass::Table)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug)]
+struct Violation {
+    line: usize,
+    what: String,
+}
+
+struct LiveGuard {
+    name: String,
+    class: GuardClass,
+    depth: usize,
+    line: usize,
+}
+
+/// Replaces comments, string literals and char literals with spaces so
+/// the scanner never trips over `".lock()"` in a doc sentence.
+fn clean_source(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Str,
+        RawStr(usize),
+        Chr,
+        Line,
+        Block(usize),
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => match c {
+                '/' if b.get(i + 1) == Some(&'/') => {
+                    st = St::Line;
+                    out.push(' ');
+                }
+                '/' if b.get(i + 1) == Some(&'*') => {
+                    st = St::Block(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' if b.get(i + 1) == Some(&'"') || b.get(i + 1) == Some(&'#') => {
+                    // r"..." / r#"..."# — count the hashes.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        out.push(' ');
+                        while i < j {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_char = matches!(
+                        (b.get(i + 1), b.get(i + 2)),
+                        (Some('\\'), _) | (Some(_), Some('\''))
+                    );
+                    if is_char {
+                        st = St::Chr;
+                    }
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            },
+            St::Str => {
+                if c == '\\' {
+                    i += 1;
+                    out.push(' ');
+                } else if c == '"' {
+                    st = St::Code;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            St::RawStr(h) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < h && b.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == h {
+                        st = St::Code;
+                        while i < j {
+                            out.push(' ');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            St::Chr => {
+                if c == '\\' {
+                    i += 1;
+                    out.push(' ');
+                } else if c == '\'' {
+                    st = St::Code;
+                }
+                out.push(' ');
+            }
+            St::Line => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Block(d) => {
+                if c == '*' && b.get(i + 1) == Some(&'/') {
+                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = St::Block(d + 1);
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Walks backwards from the `.` of `.lock()` and returns the receiver
+/// path expression (`shards[*si].store`, `q.cell.0`, ...).
+fn receiver_before(line: &[char], dot: usize) -> String {
+    let mut start = dot;
+    let mut par = 0i32;
+    let mut brk = 0i32;
+    while start > 0 {
+        let c = line[start - 1];
+        let plain = c.is_alphanumeric() || c == '_' || c == '.' || c == ']' || c == ')';
+        if par == 0 && brk == 0 && !plain {
+            break;
+        }
+        match c {
+            ')' => par += 1,
+            '(' => {
+                par -= 1;
+                if par < 0 {
+                    break;
+                }
+            }
+            ']' => brk += 1,
+            '[' => {
+                brk -= 1;
+                if brk < 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        start -= 1;
+    }
+    line[start..dot].iter().collect()
+}
+
+/// If the (cleaned) line is a whole-guard binding — `let [mut] NAME =
+/// <recv>.lock();` or `NAME = <recv>.lock();` — returns the bound name
+/// and the position of that `.lock()` occurrence.
+fn named_binding(line: &[char], text: &str) -> Option<(String, usize)> {
+    let trimmed = text.trim_end();
+    if !trimmed.ends_with(".lock();") {
+        return None;
+    }
+    let lock_pos = text.rfind(".lock()")?;
+    let eq = text.find('=')?;
+    if eq > lock_pos {
+        return None;
+    }
+    let lhs = text[..eq].trim();
+    let lhs = lhs.strip_prefix("let ").unwrap_or(lhs);
+    let lhs = lhs.strip_prefix("mut ").unwrap_or(lhs).trim();
+    if !lhs.is_empty() && lhs.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        let _ = line;
+        Some((lhs.to_string(), lock_pos))
+    } else {
+        None
+    }
+}
+
+/// Extracts the identifier right after `pat`'s opening paren, e.g. the
+/// `buf` of `drop(buf)` or `.wait(buf)`.
+fn ident_after(text: &str, open: usize) -> String {
+    text[open..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect()
+}
+
+fn scan_source(src: &str, table_file: bool) -> (Vec<Violation>, usize) {
+    let cleaned = clean_source(src);
+    let mut violations = Vec::new();
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0usize;
+    let mut sites = 0usize;
+
+    for (ln0, text) in cleaned.lines().enumerate() {
+        let ln = ln0 + 1;
+        let chars: Vec<char> = text.chars().collect();
+        let named = named_binding(&chars, text);
+        let mut temps: Vec<(String, GuardClass)> = Vec::new();
+
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+
+            let rest: String = chars[i..].iter().collect();
+
+            if rest.starts_with(".lock()") {
+                sites += 1;
+                let recv = receiver_before(&chars, i);
+                match classify(&recv, table_file) {
+                    None => violations.push(Violation {
+                        line: ln,
+                        what: format!(
+                            "unclassified lock receiver `{recv}` — add it to the \
+                             guard catalog in xtask/src/lint_locks.rs"
+                        ),
+                    }),
+                    Some(class) => {
+                        let rebind = named
+                            .as_ref()
+                            .is_some_and(|(n, _)| guards.iter().any(|g| g.name == *n));
+                        for (outer_name, outer) in guards
+                            .iter()
+                            .map(|g| (g.name.as_str(), g.class))
+                            .chain(temps.iter().map(|(n, c)| (n.as_str(), *c)))
+                        {
+                            if rebind && named.as_ref().is_some_and(|(n, _)| n == outer_name) {
+                                continue;
+                            }
+                            if !ALLOWED_NESTINGS.contains(&(outer, class)) {
+                                violations.push(Violation {
+                                    line: ln,
+                                    what: format!(
+                                        "{outer} guard `{outer_name}` still live while \
+                                         acquiring {class} (`{recv}`): only \
+                                         Buf→Cell and Store→RoundSync may nest"
+                                    ),
+                                });
+                            }
+                        }
+                        match &named {
+                            Some((name, pos)) if *pos == i => {
+                                guards.retain(|g| g.name != *name);
+                                guards.push(LiveGuard {
+                                    name: name.clone(),
+                                    class,
+                                    depth,
+                                    line: ln,
+                                });
+                            }
+                            _ => temps.push((recv, class)),
+                        }
+                    }
+                }
+                i += ".lock()".len();
+                continue;
+            }
+
+            if rest.starts_with("drop(") {
+                let name = ident_after(text, i + "drop(".len());
+                guards.retain(|g| g.name != name);
+                i += "drop(".len();
+                continue;
+            }
+
+            for pat in [".wait(", ".wait_timeout("] {
+                if rest.starts_with(pat) {
+                    let arg = ident_after(text, i + pat.len());
+                    for g in guards.iter().filter(|g| g.name != arg) {
+                        violations.push(Violation {
+                            line: ln,
+                            what: format!(
+                                "{} guard `{}` (acquired line {}) held across a \
+                                 condvar wait on `{arg}` — a parked thread must \
+                                 hold only the guard it waits on",
+                                g.class, g.name, g.line
+                            ),
+                        });
+                    }
+                }
+            }
+
+            for pat in FSYNC_TOKENS {
+                if rest.starts_with(pat) {
+                    for (name, class) in guards
+                        .iter()
+                        .map(|g| (g.name.as_str(), g.class))
+                        .chain(temps.iter().map(|(n, c)| (n.as_str(), *c)))
+                    {
+                        if fsync_forbidden(class) {
+                            violations.push(Violation {
+                                line: ln,
+                                what: format!(
+                                    "fsync-class call `{}...)` while {class} guard \
+                                     `{name}` is live — syncs must never run on \
+                                     the writers' lock path",
+                                    &pat[..pat.len() - 1]
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+
+            i += 1;
+        }
+    }
+    (violations, sites)
+}
+
+/// The files under discipline, relative to the repo root.
+const TARGETS: &[(&str, bool)] =
+    &[("crates/core/src/service.rs", false), ("crates/core/src/sharded.rs", true)];
+
+/// Runs the checker against `root` (defaults to the current directory).
+pub fn run(root: Option<&str>) -> ExitCode {
+    let root = Path::new(root.unwrap_or("."));
+    let mut total = 0usize;
+    let mut sites = 0usize;
+    for (rel, table_file) in TARGETS {
+        let path = root.join(rel);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint-locks: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (violations, n) = scan_source(&src, *table_file);
+        sites += n;
+        for v in &violations {
+            eprintln!("{rel}:{}: {}", v.line, v.what);
+        }
+        total += violations.len();
+    }
+    if total > 0 {
+        eprintln!("lint-locks: {total} violation(s) across {} file(s)", TARGETS.len());
+        ExitCode::FAILURE
+    } else {
+        println!("lint-locks: ok ({sites} lock sites checked, 0 violations)");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_source(src, false).0
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r#"
+            fn f(s: &S) {
+                // let g = s.buf.lock(); s.store.harden_flush();
+                let msg = "holding buf.lock() across .commit( here";
+                let why = 'x';
+            }
+        "#;
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn buf_to_cell_nesting_is_allowed() {
+        let src = "
+            fn f(s: &S) {
+                let mut buf = s.buf.lock();
+                *q.cell.0.lock() = Some(Err(why.clone()));
+            }
+        ";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn buf_store_inversion_is_caught() {
+        let src = "
+            fn f(s: &S) {
+                let mut store = s.store.lock();
+                let buf = s.buf.lock();
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("Store guard `store` still live"), "{v:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_the_guard() {
+        let src = "
+            fn f(s: &S) {
+                {
+                    let buf = s.buf.lock();
+                }
+                let mut store = s.store.lock();
+                store.harden_flush()?;
+            }
+        ";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "
+            fn f(s: &S) {
+                let buf = s.buf.lock();
+                drop(buf);
+                log.commit(&bytes)?;
+            }
+        ";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn fsync_under_buf_guard_is_caught() {
+        let src = "
+            fn f(s: &S) {
+                let mut buf = s.buf.lock();
+                log.commit(&bytes)?;
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("fsync-class call `.commit"), "{v:?}");
+    }
+
+    #[test]
+    fn fsync_under_store_guard_is_fine() {
+        let src = "
+            fn f(s: &S) {
+                let mut store = s.store.lock();
+                store.harden_flush()?;
+                store.harden_data_sync()?;
+                store.harden_commit(set_marker)?;
+            }
+        ";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn temporary_guard_spans_only_its_line() {
+        let src = "
+            fn f(s: &S) {
+                if s.buf.lock().wedged.is_some() { return; }
+                log.commit(&bytes)?;
+            }
+        ";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn fsync_on_a_temporary_buf_guard_is_caught() {
+        let src = "
+            fn f(s: &S) {
+                s.buf.lock().history.commit(x);
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn wait_with_second_guard_is_caught() {
+        let src = "
+            fn f(s: &S) {
+                let mut store = s.store.lock();
+                let mut buf = s.buf.lock();
+                buf = s.ack_cv.wait(buf);
+            }
+        ";
+        let v = scan(src);
+        // The illegal nesting AND the illegal wait both fire.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[1].what.contains("held across a condvar wait"), "{v:?}");
+    }
+
+    #[test]
+    fn wait_rebinding_keeps_the_guard_live() {
+        let src = "
+            fn f(s: &S) {
+                let mut st = s.state.lock();
+                st = s.cv.wait(st);
+                st = s.cv.wait(st);
+            }
+        ";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn reacquisition_after_drop_is_not_a_nesting() {
+        let src = "
+            fn f(s: &S) {
+                let mut buf = s.buf.lock();
+                drop(buf);
+                buf = s.buf.lock();
+            }
+        ";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn unknown_receiver_is_an_error() {
+        let src = "
+            fn f(s: &S) {
+                let g = s.mystery.lock();
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("unclassified lock receiver"), "{v:?}");
+    }
+
+    #[test]
+    fn table_locks_classify_in_sharded_files() {
+        let src = "
+            fn f(&self, key: Key) {
+                self.shards[self.shard_of(key)].lock().insert(key, value)
+            }
+        ";
+        let (v, sites) = scan_source(src, true);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(sites, 1);
+    }
+
+    #[test]
+    fn real_commit_path_passes() {
+        // The actual discipline holds on the actual sources — the same
+        // invocation CI gates on, runnable from the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+        for (rel, table_file) in TARGETS {
+            let src = std::fs::read_to_string(root.join(rel)).unwrap();
+            let (v, sites) = scan_source(&src, *table_file);
+            assert!(sites > 5, "{rel}: only {sites} lock sites found — scanner broken?");
+            assert!(v.is_empty(), "{rel}: {v:#?}");
+        }
+    }
+}

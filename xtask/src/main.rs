@@ -1,0 +1,37 @@
+//! Repo automation tasks, invoked as `cargo run -p xtask -- <cmd>`.
+//!
+//! Commands:
+//!
+//! * `lint-locks` — static lock-discipline checker for the commit path
+//!   (see `docs/CONCURRENCY.md`). Verifies, against the actual guard
+//!   acquisition sites in `crates/core/src/service.rs` and
+//!   `crates/core/src/sharded.rs`, that
+//!
+//!   1. the lock-order hierarchy is respected (buf → store never
+//!      inverted; only the whitelisted nestings appear),
+//!   2. no fsync-class call runs while a buffer/coordinator/cell/barrier
+//!      guard is live, and
+//!   3. no `Condvar::wait` happens while a *second* guard is held.
+//!
+//!   Exits non-zero with `file:line` diagnostics on violation, so CI can
+//!   gate on it.
+
+mod lint_locks;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint-locks") => lint_locks::run(args.next().as_deref()),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            eprintln!("usage: cargo run -p xtask -- lint-locks [repo-root]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint-locks [repo-root]");
+            ExitCode::FAILURE
+        }
+    }
+}
