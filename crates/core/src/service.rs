@@ -37,12 +37,17 @@
 //!   fsyncs largely serialize at the device, so per-shard syncing would
 //!   make an `N`-shard round cost `N` times a 1-shard round and turn
 //!   partitioning into a durability regression). Per-shard manifests
-//!   are brought current by the much rarer **checkpoint rounds** — when
-//!   the log outgrows its threshold, and at shutdown — where every
-//!   store hardens with its fsync stages aligned and the now-redundant
-//!   log is emptied. Rounds are adaptive: the next one fires as soon as
-//!   the previous finishes and new dirt exists, so an idle service
-//!   schedules nothing and a loaded one commits back-to-back;
+//!   are brought current by the much rarer **checkpoint rotations** —
+//!   when the log outgrows its threshold it is *sealed* aside and the
+//!   shards harden **round-robin, one per sync round**, so no single
+//!   round ever stalls behind every shard's manifest fsync; new
+//!   records meanwhile append to a fresh active segment, and once the
+//!   last shard of the rotation hardens the sealed segment (now
+//!   covered by every manifest, tracked per shard by a replay
+//!   watermark) is discarded. Shutdown still hardens everything.
+//!   Rounds are adaptive: the next one fires as soon as the previous
+//!   finishes and new dirt exists, so an idle service schedules
+//!   nothing and a loaded one commits back-to-back;
 //! * the ack path is **pipelined**: a writer's call returns when the
 //!   round that logged its batch commits — the service's durability
 //!   **epoch** advances and the coordinator fills the batch's answer
@@ -75,9 +80,10 @@
 //! harness (`dxh_workloads::service`) sweeps crash indices across the
 //! coalesced commit window and checks exactly this boundary.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dxh_sync::thread::JoinHandle;
@@ -88,7 +94,7 @@ use dxh_hashfn::IdealFn;
 use dxh_tables::ExternalDictionary;
 
 use crate::config::CoreConfig;
-use crate::media::{commit_file_atomic, DirMedia, SimMedia, StoreMedia};
+use crate::media::{best_effort, commit_file_atomic, sync_dir, DirMedia, SimMedia, StoreMedia};
 use crate::sharded::{shard_of_key, shard_router};
 use crate::store::KvStore;
 
@@ -236,6 +242,10 @@ struct AppliedBatch {
     cells: Vec<Arc<OpCell>>,
     answers: Vec<bool>,
     ops: u64,
+    /// The batch's per-shard sequence number (monotone in apply order),
+    /// framed into its commit-log record so reopen-time replay can skip
+    /// batches the shard's manifest watermark already covers.
+    seq: u64,
     /// The batch's `(key, effect)` pairs in application order — what a
     /// log round frames into the commit log, and (when recording) the
     /// history entry.
@@ -258,9 +268,18 @@ struct BufState {
     inflight_overlay: HashMap<Key, Option<Value>>,
     /// Applied batches awaiting their durability epoch (pipelined acks).
     unacked: Vec<AppliedBatch>,
-    /// Set by the coordinator for a **checkpoint** round: this shard
-    /// owes a manifest harden, aligning its fsync stages through the
-    /// carried rendezvous. Steady-state log rounds never set this.
+    /// Sequence number the next applied batch takes. Seeded at open
+    /// from the store's persisted replay watermark plus one; per-shard
+    /// and strictly monotone across a service generation.
+    next_seq: u64,
+    /// Seq of the newest batch applied to the shard's table — what a
+    /// manifest harden stamps into the store as its replay watermark
+    /// (the manifest covers everything applied before the harden).
+    last_applied_seq: u64,
+    /// Set by the coordinator when this shard's turn in a **checkpoint
+    /// rotation** (or the shutdown handshake) comes up: it owes a
+    /// manifest harden, aligning its fsync stages through the carried
+    /// rendezvous. Steady-state log rounds never set this.
     harden_request: Option<Arc<RoundSync>>,
     /// Set by the service's drop: drain, final-sync, and exit.
     shutdown: bool,
@@ -269,7 +288,7 @@ struct BufState {
     wedged: Option<String>,
     /// Set by [`CommitterPanicGuard`] when the committer thread died by
     /// panic: the coordinator must stop expecting harden reports from
-    /// this shard (see [`checkpoint_round`]).
+    /// this shard (see [`staggered_checkpoint`]).
     committer_dead: bool,
     committed_ops: u64,
     committed_batches: u64,
@@ -388,16 +407,25 @@ impl RoundSync {
 ///   round**: every applied batch goes into the shared commit log,
 ///   one fsync makes them all durable, and their writers are
 ///   acknowledged;
-/// * when the log outgrows its threshold a **checkpoint round** asks
-///   every shard for a manifest harden (in parallel, fsync stages
-///   aligned; `pending_done` counts the stragglers) and then empties
-///   the log;
+/// * when the log outgrows its threshold the coordinator **seals** it
+///   (new records append to a fresh active segment) and starts a
+///   **checkpoint rotation**: one shard per subsequent sync round
+///   hardens its manifest (`pending_done[si]` tracks the turn), so the
+///   per-shard fsync cost is spread across rounds instead of stalling
+///   one round behind all of them; when the rotation completes cleanly
+///   the sealed segment — now covered by every shard's manifest
+///   watermark — is discarded;
 /// * the round completes, the epoch advances, and the next round starts
 ///   as soon as there is new dirt — the commit interval adapts to load.
 struct SyncCoordinator {
     state: Mutex<CoordState>,
     /// Wakes the coordinator: new dirt, a done report, shutdown.
     cv: Condvar,
+    /// Commit-log bytes that trigger a checkpoint rotation; defaults to
+    /// [`CHECKPOINT_LOG_BYTES`], overridable per service handle (the
+    /// torture harness shrinks it to sweep crashes across the rotation
+    /// window).
+    ckpt_bytes: AtomicU64,
 }
 
 struct CoordState {
@@ -427,6 +455,7 @@ impl SyncCoordinator {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            ckpt_bytes: AtomicU64::new(CHECKPOINT_LOG_BYTES),
         }
     }
 
@@ -454,13 +483,13 @@ impl SyncCoordinator {
     }
 }
 
-/// Commit-log bytes that trigger a checkpoint round: big enough that
-/// steady-state rounds almost never pay per-shard manifest hardens —
-/// a checkpoint costs one staged harden *per shard*, so its price
-/// scales with the shard count while log rounds stay flat — small
-/// enough to bound reopen-time replay work (4 MiB replays in well
-/// under a second even on modest disks; at 17 bytes per logged op
-/// that is ~250k ops between manifest catch-ups).
+/// Commit-log bytes that trigger a checkpoint rotation: big enough
+/// that steady-state rounds almost never pay per-shard manifest
+/// hardens — a full rotation costs one staged harden *per shard*, so
+/// its price scales with the shard count while log rounds stay flat —
+/// small enough to bound reopen-time replay work (4 MiB replays in
+/// well under a second even on modest disks; at 25 bytes per logged op
+/// that is ~160k ops between manifest catch-ups).
 const CHECKPOINT_LOG_BYTES: u64 = 4 * 1024 * 1024;
 
 /// The coordinator thread body: turn accumulated dirt into sync rounds
@@ -471,6 +500,16 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
     coord: Arc<SyncCoordinator>,
     mut log: L,
 ) {
+    // The active checkpoint rotation: shards still owing a staggered
+    // manifest harden, in turn order. Empty between rotations.
+    let mut rotation: VecDeque<usize> = VecDeque::new();
+    // Whether every turn of the current rotation hardened cleanly (a
+    // wedged or dead shard taints it; a tainted rotation keeps the
+    // sealed segment for reopen-time replay).
+    let mut rotation_clean = true;
+    // Where the *next* rotation starts — advancing round-robin spreads
+    // the first-turn latency across shards over a service's lifetime.
+    let mut rr_next = 0usize;
     loop {
         // Wait for dirt (or a clean shutdown).
         {
@@ -535,8 +574,35 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
             p
         };
         commit_round(&shards, &coord, &mut log, &participants);
-        if log.size() >= CHECKPOINT_LOG_BYTES {
-            checkpoint_round(&shards, &coord, &mut log);
+        // Checkpoint staggering. When the log outgrows its threshold it
+        // is sealed aside (appends continue into a fresh active
+        // segment) and the shards harden one per sync round instead of
+        // all serially inside one round — the rotation spreads the
+        // per-shard manifest fsyncs across rounds, so no single round's
+        // writers wait behind every shard's harden. A failed seal just
+        // leaves the log growing; the next round retries.
+        if rotation.is_empty()
+            && !log.has_sealed()
+            && log.size() >= coord.ckpt_bytes.load(Ordering::Relaxed)
+            && log.seal().is_ok()
+        {
+            rotation.extend((0..shards.len()).map(|i| (rr_next + i) % shards.len()));
+            rr_next = (rr_next + 1) % shards.len();
+            rotation_clean = true;
+        }
+        if let Some(si) = rotation.pop_front() {
+            rotation_clean &= staggered_checkpoint(&shards, &coord, si);
+        }
+        if rotation.is_empty() && rotation_clean && log.has_sealed() {
+            // Every manifest now covers the sealed segment (each harden
+            // stamped the shard's replay watermark): discard it.
+            // Best-effort — a failed unlink only means replay does
+            // redundant, watermark-skipped work at reopen, and this
+            // retries every round until the segment really is gone. A
+            // *tainted* rotation (wedged/dead shard) never reaches
+            // here: its sealed records may exist nowhere else, so the
+            // segment is kept for reopen-time replay.
+            best_effort(log.discard_sealed());
         }
     }
 }
@@ -567,7 +633,7 @@ fn commit_round<M: StoreMedia, L: CommitLog>(
         let batches = std::mem::take(&mut buf.unacked);
         drop(buf);
         for b in &batches {
-            encode_log_record(&mut bytes, si as u32, &b.effects);
+            encode_log_record(&mut bytes, si as u32, b.seq, &b.effects);
         }
         collected.push((si, batches));
     }
@@ -626,63 +692,57 @@ fn commit_round<M: StoreMedia, L: CommitLog>(
     }
 }
 
-/// A **checkpoint round**: every shard hardens its own store in
-/// parallel (fsync stages aligned through the shared rendezvous — a
-/// wedged shard leaves it and reports done immediately), which also
-/// acknowledges anything applied since the last log round; once every
-/// manifest covers everything the log records, the log is durably
-/// emptied. This bounds both the log's size and reopen-time replay.
-fn checkpoint_round<M: StoreMedia>(
+/// One turn of a **checkpoint rotation**: shard `si` hardens its own
+/// store — bringing its manifest (and replay watermark) current, which
+/// also acknowledges anything it applied since the last log round —
+/// while every other shard keeps taking ordinary log rounds. Returns
+/// whether the turn completed cleanly (`false`: the shard is wedged or
+/// its committer is dead — the rotation is tainted and the sealed log
+/// segment must be kept, since its records may exist nowhere else).
+fn staggered_checkpoint<M: StoreMedia>(
     shards: &[Arc<Shard<M>>],
     coord: &SyncCoordinator,
-    log: &mut impl CommitLog,
-) {
+    si: usize,
+) -> bool {
     {
         let mut st = coord.state.lock();
-        for p in st.pending_done.iter_mut() {
-            *p = true;
-        }
+        st.pending_done[si] = true;
     }
-    let sync = Arc::new(RoundSync::new(shards.len()));
-    for (si, shard) in shards.iter().enumerate() {
-        let dead = {
-            let mut buf = shard.buf.lock();
-            if buf.committer_dead {
-                true
-            } else {
-                buf.harden_request = Some(sync.clone());
-                false
-            }
-        };
-        if dead {
-            // No committer will ever take the request: report on the
-            // shard's behalf and drop it out of the rendezvous. (If the
-            // committer dies *after* taking a request, its panic guard
-            // does the same — reports are idempotent, so the race
-            // between this check and a concurrent death is harmless.)
-            sync.leave();
-            coord.report_done(si);
+    // A one-member rendezvous: the harden's stage gates align with
+    // nobody and pass straight through — the staging machinery stays on
+    // one code path for solo turns and the shutdown handshake alike.
+    let sync = Arc::new(RoundSync::new(1));
+    let shard = &shards[si];
+    let dead = {
+        let mut buf = shard.buf.lock();
+        if buf.committer_dead {
+            true
         } else {
-            shard.work_cv.notify_all();
+            buf.harden_request = Some(sync.clone());
+            false
         }
+    };
+    if dead {
+        // No committer will ever take the request: report on the
+        // shard's behalf and drop it out of the rendezvous. (If the
+        // committer dies *after* taking a request, its panic guard
+        // does the same — reports are idempotent, so the race
+        // between this check and a concurrent death is harmless.)
+        sync.leave();
+        coord.report_done(si);
+    } else {
+        shard.work_cv.notify_all();
     }
     {
         let mut st = coord.state.lock();
-        while st.pending_done.iter().any(|&p| p) {
+        while st.pending_done[si] {
             st = coord.cv.wait(st);
         }
         st.round += 1;
         st.epoch = st.round;
     }
-    if shards.iter().any(|s| s.buf.lock().wedged.is_some()) {
-        // A wedged shard's last committed batches may exist only as log
-        // records — keep them for reopen-time replay.
-        return;
-    }
-    // If the truncate itself fails the log just stays fat: replay is
-    // idempotent over the fresh manifests, and the next checkpoint
-    // retries.
-    let _ = log.truncate();
+    let buf = shard.buf.lock();
+    buf.wedged.is_none() && !buf.committer_dead
 }
 
 /// Wedges the shard if its committer thread dies by panic. Mutex
@@ -775,13 +835,14 @@ fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinato
                 }
             }
             Todo::Harden(sync) => {
-                // A checkpoint round: fold one last drain into this
-                // manifest harden (no dirty mark — the harden right
-                // here is its durability point), then bring the
-                // manifest current so the coordinator can truncate the
-                // log. Both no-op on a wedged shard — but done is
+                // This shard's turn in a checkpoint rotation: fold one
+                // last drain into this manifest harden (no dirty mark —
+                // the harden right here is its durability point), then
+                // bring the manifest current so the coordinator can
+                // discard the sealed log segment once every turn is
+                // done. Both no-op on a wedged shard — but done is
                 // always reported, so a poisoned shard can never hang
-                // the round.
+                // the rotation.
                 apply_pending(&shard);
                 harden_shard(&shard, false, Some(&sync));
                 coord.report_done(si);
@@ -850,10 +911,14 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
             buf.applying = false;
             let recorded = buf.applying_record.take().is_some();
             let cells = batch.iter().map(|q| q.cell.clone()).collect();
+            let seq = buf.next_seq;
+            buf.next_seq += 1;
+            buf.last_applied_seq = seq;
             buf.unacked.push(AppliedBatch {
                 cells,
                 answers,
                 ops: batch.len() as u64,
+                seq,
                 effects,
                 recorded,
             });
@@ -876,7 +941,7 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
 /// fsync stages with the other participants so the journal can merge
 /// them (see [`RoundSync`]).
 fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<&RoundSync>) {
-    {
+    let last_seq = {
         let buf = shard.buf.lock();
         if buf.wedged.is_some() {
             if let Some(s) = sync {
@@ -884,9 +949,16 @@ fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<
             }
             return;
         }
-    }
+        buf.last_applied_seq
+    };
     let res = {
         let mut store = shard.store.lock();
+        // The manifest this harden commits covers every batch applied
+        // before it began (the committer is the shard's only applier,
+        // and it is the thread running this harden): stamp the replay
+        // watermark so reopen-time log replay skips those batches
+        // instead of reapplying stale records over the newer fold.
+        store.set_replay_watermark(last_seq);
         let mut stages_left = 2u32;
         let mut gate = || {
             if let Some(s) = sync {
@@ -966,8 +1038,14 @@ fn wedge<M: StoreMedia>(shard: &Shard<M>, why: String, mid_apply: &[QueuedOp]) {
     shard.ack_cv.notify_all();
 }
 
-/// Commit-log file name inside a service root.
+/// Commit-log file name inside a service root (the active segment).
 const COMMITLOG: &str = "COMMITLOG";
+
+/// The sealed segment: the commit log's previous contents, set aside
+/// when a checkpoint rotation starts and discarded once every shard's
+/// manifest covers it (kept across a crash or a tainted rotation, and
+/// replayed — watermark-skipped — before the active segment).
+const COMMITLOG_OLD: &str = "COMMITLOG.OLD";
 
 /// The service-wide **commit log** — the shared durability device that
 /// lets `N` shards pay **one** physical fsync per sync round instead of
@@ -991,11 +1069,31 @@ pub trait CommitLog: Send {
     /// Bytes currently in the log (drives the checkpoint threshold).
     fn size(&self) -> u64;
 
-    /// The log's surviving content, for reopen-time replay.
+    /// The log's surviving content, for reopen-time replay: the sealed
+    /// segment (if any) followed by the active one, in append order.
     fn read_all(&mut self) -> Result<Vec<u8>>;
 
-    /// Durably empties the log (a checkpoint made it redundant).
+    /// Durably empties the log — both segments (a full checkpoint made
+    /// them redundant).
     fn truncate(&mut self) -> Result<()>;
+
+    /// Atomically moves the active segment aside as the sealed segment
+    /// and starts a fresh, empty active one. Called when a staggered
+    /// checkpoint rotation begins: new rounds keep appending (to the
+    /// fresh segment) while the shards' manifests catch up on the
+    /// sealed one. Errors if a sealed segment already exists — the
+    /// caller must [`CommitLog::discard_sealed`] first. No extra data
+    /// fsync is owed before the move: every byte in the active segment
+    /// was already synced by the [`CommitLog::commit`] that wrote it.
+    fn seal(&mut self) -> Result<()>;
+
+    /// Whether a sealed segment exists (possibly left over from a
+    /// crashed or tainted rotation).
+    fn has_sealed(&self) -> bool;
+
+    /// Durably removes the sealed segment: every shard's manifest now
+    /// covers it. A no-op when none exists.
+    fn discard_sealed(&mut self) -> Result<()>;
 }
 
 /// FNV-1a 64 over a record payload — the log's torn-tail detector.
@@ -1009,13 +1107,17 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Appends one framed log record: `len u32 | fnv64 | payload`, with
-/// payload `shard u32 | nops u32 | (key u64, tag u8, value u64)*`, all
-/// little-endian. The checksum makes a torn tail (a crash mid-append on
-/// the file log) detectable, and a batch indivisible: replay takes a
-/// record wholly or not at all.
-fn encode_log_record(out: &mut Vec<u8>, shard: u32, effects: &[(Key, Option<Value>)]) {
-    let mut payload = Vec::with_capacity(8 + effects.len() * 17);
+/// payload `shard u32 | seq u64 | nops u32 | (key u64, tag u8, value
+/// u64)*`, all little-endian. The checksum makes a torn tail (a crash
+/// mid-append on the file log) detectable, and a batch indivisible:
+/// replay takes a record wholly or not at all. `seq` is the shard's
+/// batch sequence number; replay skips records at or below the shard
+/// manifest's watermark, so a record surviving past its checkpoint (in
+/// the sealed segment) cannot replay stale state over a newer manifest.
+fn encode_log_record(out: &mut Vec<u8>, shard: u32, seq: u64, effects: &[(Key, Option<Value>)]) {
+    let mut payload = Vec::with_capacity(16 + effects.len() * 17);
     payload.extend_from_slice(&shard.to_le_bytes());
+    payload.extend_from_slice(&seq.to_le_bytes());
     payload.extend_from_slice(&(effects.len() as u32).to_le_bytes());
     for &(k, eff) in effects {
         payload.extend_from_slice(&k.to_le_bytes());
@@ -1035,14 +1137,15 @@ fn encode_log_record(out: &mut Vec<u8>, shard: u32, effects: &[(Key, Option<Valu
     out.extend_from_slice(&payload);
 }
 
-/// One decoded commit-log record: the shard it belongs to and the
-/// batch's per-key effects (`None` = delete) in application order.
-type LogRecord = (u32, Vec<(Key, Option<Value>)>);
+/// One decoded commit-log record: the shard it belongs to, the shard's
+/// batch sequence number, and the batch's per-key effects (`None` =
+/// delete) in application order.
+type LogRecord = (u32, u64, Vec<(Key, Option<Value>)>);
 
-/// Parses every intact record of a log image as `(shard, effects)`,
-/// stopping at the first torn or corrupt frame — everything at or
-/// behind a bad frame was never acknowledged (acks happen only after
-/// the log's sync) and is dropped wholesale.
+/// Parses every intact record of a log image as `(shard, seq,
+/// effects)`, stopping at the first torn or corrupt frame — everything
+/// at or behind a bad frame was never acknowledged (acks happen only
+/// after the log's sync) and is dropped wholesale.
 fn decode_log_records(bytes: &[u8]) -> Vec<LogRecord> {
     let mut out = Vec::new();
     let mut at = 0usize;
@@ -1050,22 +1153,23 @@ fn decode_log_records(bytes: &[u8]) -> Vec<LogRecord> {
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
         let sum = u64::from_le_bytes(header[4..12].try_into().unwrap());
         let Some(payload) = bytes.get(at + 12..at + 12 + len) else { break };
-        if len < 8 || fnv1a64(payload) != sum {
+        if len < 16 || fnv1a64(payload) != sum {
             break;
         }
         let shard = u32::from_le_bytes(payload[0..4].try_into().unwrap());
-        let nops = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
-        if payload.len() != 8 + nops * 17 {
+        let seq = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+        let nops = u32::from_le_bytes(payload[12..16].try_into().unwrap()) as usize;
+        if payload.len() != 16 + nops * 17 {
             break;
         }
         let mut effects = Vec::with_capacity(nops);
         for i in 0..nops {
-            let rec = &payload[8 + i * 17..8 + (i + 1) * 17];
+            let rec = &payload[16 + i * 17..16 + (i + 1) * 17];
             let k = u64::from_le_bytes(rec[0..8].try_into().unwrap());
             let v = u64::from_le_bytes(rec[9..17].try_into().unwrap());
             effects.push((k, (rec[8] == 1).then_some(v)));
         }
-        out.push((shard, effects));
+        out.push((shard, seq, effects));
         at += 12 + len;
     }
     out
@@ -1076,10 +1180,14 @@ fn decode_log_records(bytes: &[u8]) -> Vec<LogRecord> {
 /// truncates the file back to its pre-round length so the round's
 /// records cannot surface later; if even that fails the log is poisoned
 /// and every later round errors (wedging its shards) until the service
-/// is reopened.
+/// is reopened. Sealing renames the file to `COMMITLOG.OLD` and opens
+/// a fresh active one; both survive reopen until the checkpoint
+/// rotation that sealed the old segment completes cleanly.
 pub struct DirCommitLog {
+    dir: PathBuf,
     file: fs::File,
     len: u64,
+    sealed_len: u64,
     poisoned: bool,
 }
 
@@ -1111,26 +1219,73 @@ impl CommitLog for DirCommitLog {
     }
 
     fn size(&self) -> u64 {
-        self.len
+        self.len + self.sealed_len
     }
 
     fn read_all(&mut self) -> Result<Vec<u8>> {
         use std::io::{Read, Seek, SeekFrom};
-        let mut out = Vec::with_capacity(self.len as usize);
+        let mut out = Vec::with_capacity((self.sealed_len + self.len) as usize);
+        if self.sealed_len > 0 {
+            fs::File::open(self.dir.join(COMMITLOG_OLD))?.read_to_end(&mut out)?;
+        }
         self.file.seek(SeekFrom::Start(0))?;
         self.file.read_to_end(&mut out)?;
         Ok(out)
     }
 
     fn truncate(&mut self) -> Result<()> {
+        if self.sealed_len > 0 {
+            self.discard_sealed()?;
+        }
         self.file.set_len(0)?;
         self.file.sync_data()?;
         self.len = 0;
         Ok(())
     }
+
+    fn seal(&mut self) -> Result<()> {
+        if self.sealed_len > 0 {
+            return Err(ExtMemError::Io(std::io::Error::other(
+                "commit log already has a sealed segment",
+            )));
+        }
+        // Every byte of the active segment was already fdatasync'd by
+        // the commit that appended it, so the rename needs no data
+        // fsync of its own — only the dir fsync that makes the new
+        // names durable. Hence the documented exemption from the
+        // `std::fs::rename` clippy ban (see crates/core/clippy.toml).
+        #[allow(clippy::disallowed_methods)]
+        fs::rename(self.dir.join(COMMITLOG), self.dir.join(COMMITLOG_OLD))?;
+        let fresh = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.dir.join(COMMITLOG))?;
+        sync_dir(&self.dir)?;
+        self.sealed_len = self.len;
+        self.len = 0;
+        self.file = fresh;
+        Ok(())
+    }
+
+    fn has_sealed(&self) -> bool {
+        self.sealed_len > 0
+    }
+
+    fn discard_sealed(&mut self) -> Result<()> {
+        match fs::remove_file(self.dir.join(COMMITLOG_OLD)) {
+            Ok(()) => sync_dir(&self.dir)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.sealed_len = 0;
+        Ok(())
+    }
 }
 
-/// [`CommitLog`] on a [`SimEnv`]: the whole log is one metadata blob,
+/// [`CommitLog`] on a [`SimEnv`]: each segment is one metadata blob
+/// (`COMMITLOG` active, `COMMITLOG.OLD` sealed), the active one
 /// rewritten atomically per round — one faultable I/O op, the single
 /// shared sync the round pays on the simulated machine. A failed or
 /// crashed commit leaves the previous blob intact, so a partial round
@@ -1139,6 +1294,7 @@ impl CommitLog for DirCommitLog {
 pub struct SimCommitLog {
     env: SimEnv,
     buf: Vec<u8>,
+    sealed: Vec<u8>,
 }
 
 impl CommitLog for SimCommitLog {
@@ -1152,16 +1308,52 @@ impl CommitLog for SimCommitLog {
     }
 
     fn size(&self) -> u64 {
-        self.buf.len() as u64
+        (self.buf.len() + self.sealed.len()) as u64
     }
 
     fn read_all(&mut self) -> Result<Vec<u8>> {
-        Ok(self.buf.clone())
+        let mut out = Vec::with_capacity(self.sealed.len() + self.buf.len());
+        out.extend_from_slice(&self.sealed);
+        out.extend_from_slice(&self.buf);
+        Ok(out)
     }
 
     fn truncate(&mut self) -> Result<()> {
+        if !self.sealed.is_empty() {
+            self.discard_sealed()?;
+        }
         self.env.meta_remove(COMMITLOG)?;
         self.buf.clear();
+        Ok(())
+    }
+
+    fn seal(&mut self) -> Result<()> {
+        if !self.sealed.is_empty() {
+            return Err(ExtMemError::Io(std::io::Error::other(
+                "commit log already has a sealed segment",
+            )));
+        }
+        // Two atomic metadata ops stand in for the file twin's rename:
+        // write the sealed blob, then drop the active one. A crash
+        // between them leaves the records in both blobs — replay sees
+        // them twice, which the watermark skip (and idempotent effects)
+        // absorbs.
+        self.env.meta_write(COMMITLOG_OLD, &self.buf)?;
+        self.env.meta_remove(COMMITLOG)?;
+        self.sealed = std::mem::take(&mut self.buf);
+        Ok(())
+    }
+
+    fn has_sealed(&self) -> bool {
+        !self.sealed.is_empty()
+    }
+
+    fn discard_sealed(&mut self) -> Result<()> {
+        if self.sealed.is_empty() {
+            return Ok(());
+        }
+        self.env.meta_remove(COMMITLOG_OLD)?;
+        self.sealed.clear();
         Ok(())
     }
 }
@@ -1236,14 +1428,28 @@ impl ServiceMedia for DirServiceMedia {
     }
 
     fn open_log(&mut self) -> Result<DirCommitLog> {
+        let path = self.root.join(COMMITLOG);
+        let fresh = !path.exists();
         let file = fs::OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(self.root.join(COMMITLOG))?;
+            .open(&path)?;
+        if fresh {
+            // Make the log's dirent durable before anything is
+            // acknowledged through it: without this, a crash could
+            // drop the whole file even though its contents were
+            // fdatasync'd (the fd sync does not cover the name).
+            sync_dir(&self.root)?;
+        }
         let len = file.metadata()?.len();
-        Ok(DirCommitLog { file, len, poisoned: false })
+        let sealed_len = match fs::metadata(self.root.join(COMMITLOG_OLD)) {
+            Ok(m) => m.len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e.into()),
+        };
+        Ok(DirCommitLog { dir: self.root.clone(), file, len, sealed_len, poisoned: false })
     }
 }
 
@@ -1287,7 +1493,8 @@ impl ServiceMedia for SimServiceMedia {
 
     fn open_log(&mut self) -> Result<SimCommitLog> {
         let buf = self.env.meta_read(COMMITLOG)?.unwrap_or_default();
-        Ok(SimCommitLog { env: self.env.clone(), buf })
+        let sealed = self.env.meta_read(COMMITLOG_OLD)?.unwrap_or_default();
+        Ok(SimCommitLog { env: self.env.clone(), buf, sealed })
     }
 }
 
@@ -1426,8 +1633,17 @@ where
         let v: Vec<Arc<Shard<M>>> = stores
             .into_iter()
             .map(|store| {
+                // Batch numbering resumes above the persisted
+                // watermark, so a record logged after this open can
+                // never collide with (and be skipped as) a pre-crash
+                // sequence number.
+                let w = store.replay_watermark();
                 Arc::new(Shard {
-                    buf: Mutex::new(BufState::default()),
+                    buf: Mutex::new(BufState {
+                        next_seq: w + 1,
+                        last_applied_seq: w,
+                        ..Default::default()
+                    }),
                     work_cv: Condvar::new(),
                     ack_cv: Condvar::new(),
                     store: Mutex::new(store),
@@ -1624,6 +1840,16 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         Ok(())
     }
 
+    /// Sets the commit-log size (in bytes) past which the coordinator
+    /// seals the log and starts a staggered checkpoint rotation.
+    /// Defaults to 4 MiB; tests and torture harnesses lower it to force
+    /// rotations under small workloads. Takes effect at the next sync
+    /// round.
+    pub fn set_checkpoint_log_bytes(&self, bytes: u64) {
+        self.coord.ckpt_bytes.store(bytes, Ordering::Relaxed);
+        self.coord.cv.notify_all();
+    }
+
     /// Total items across shards (physical counts, like
     /// [`crate::KvStore`]'s `len`: shadowed copies and unpurged markers
     /// included until merges drop them).
@@ -1785,22 +2011,30 @@ impl<M: StoreMedia> Drop for ShardedKvStore<M> {
 
 /// Replays every surviving commit-log record over the freshly opened
 /// shard stores (reopen-time recovery, phase two), then hardens them
-/// and empties the log. Replay is idempotent — a put is an upsert and a
-/// delete of an absent key is a miss — and per-shard record order
-/// equals the original apply order, so records whose effects already
-/// reached a manifest (through a checkpoint or a shutdown harden that
-/// outran the last truncation) reapply harmlessly: the last write per
-/// key still wins.
+/// and empties the log. Records at or below a shard manifest's
+/// persisted watermark are skipped: their effects are already in the
+/// manifest fold, and with staggered checkpoints the sealed segment
+/// routinely outlives the manifests that cover it, so replaying such a
+/// record could fold **stale** state (an old value of a key the shard
+/// since rewrote) over a newer manifest. Above the watermark replay is
+/// idempotent — a put is an upsert, a delete of an absent key a miss —
+/// and per-shard record order equals the original apply order, so the
+/// last write per key still wins.
 fn replay_log<M: StoreMedia>(log: &mut impl CommitLog, stores: &mut [KvStore<M>]) -> Result<()> {
     let image = log.read_all()?;
     let records = decode_log_records(&image);
     if records.is_empty() {
-        return Ok(());
+        // Nothing to fold in, but a torn tail or a leftover sealed
+        // segment still needs clearing.
+        return if log.size() == 0 { Ok(()) } else { log.truncate() };
     }
-    for (si, effects) in records {
+    for (si, seq, effects) in records {
         let store = stores.get_mut(si as usize).ok_or_else(|| {
             ExtMemError::Corrupt("commit log references a shard outside the service".into())
         })?;
+        if seq <= store.replay_watermark() {
+            continue;
+        }
         for (k, eff) in effects {
             match eff {
                 Some(v) => store.insert(k, v)?,
@@ -1809,6 +2043,7 @@ fn replay_log<M: StoreMedia>(log: &mut impl CommitLog, stores: &mut [KvStore<M>]
                 }
             }
         }
+        store.set_replay_watermark(seq);
     }
     for s in stores.iter_mut() {
         s.harden(true)?;
@@ -2013,6 +2248,28 @@ mod tests {
             assert_eq!(svc.get(k).unwrap(), Some(k + 7), "key {k} survived the drop drain");
         }
         assert_eq!(svc.get(100).unwrap(), Some(1));
+    }
+
+    /// A tiny checkpoint threshold trips many full rotations: seal the
+    /// log, harden one shard per sync round until every shard's
+    /// manifest covers the sealed segment, discard it. The staggering
+    /// must visit every shard and the folded state must survive reopen
+    /// (replay skips already-checkpointed records via the watermark).
+    #[test]
+    fn checkpoint_rotation_staggers_shard_hardens_and_survives_reopen() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 4, 24);
+        svc.set_checkpoint_log_bytes(128);
+        for k in 0..800u64 {
+            svc.put(k, k + 1).unwrap();
+        }
+        let stats = svc.stats();
+        assert!(stats.shard_syncs >= 4, "rotation hardened every shard: {}", stats.shard_syncs);
+        drop(svc);
+        let svc = sim_service(&env, 4, 24);
+        for k in 0..800u64 {
+            assert_eq!(svc.get(k).unwrap(), Some(k + 1), "key {k} after rotations");
+        }
     }
 
     #[test]

@@ -178,6 +178,14 @@ pub struct KvStore<M: StoreMedia = DirMedia> {
     /// handle can no longer represent the store, so sync/drop must not
     /// commit its state over the intact last manifest. Reopen recovers.
     poisoned: bool,
+    /// Highest per-shard commit-log sequence number whose effects this
+    /// store's manifest covers (0 = none; a store outside a service
+    /// never moves it). The service stamps it before each manifest
+    /// harden and its reopen-time replay skips log records at or below
+    /// it — without the watermark, a staggered checkpoint's replay
+    /// would reapply *older* logged batches over a *newer*
+    /// manifest-committed fold and tear the batch boundary (G4).
+    watermark: u64,
     /// The persistence environment; holds the store's mutual-exclusion
     /// lock for the handle's lifetime. Declared last so the lock is
     /// released only after the table (and its backend) is gone.
@@ -211,8 +219,15 @@ impl<M: StoreMedia> KvStore<M> {
             None => {
                 let disk = fresh_gen_disk(&mut media, DATA, &cfg)?;
                 let table = LogMethodTable::new_on(disk, cfg, seed)?;
-                let mut store =
-                    KvStore { table, seed, data_gen: 0, dirty: false, poisoned: false, media };
+                let mut store = KvStore {
+                    table,
+                    seed,
+                    data_gen: 0,
+                    dirty: false,
+                    poisoned: false,
+                    watermark: 0,
+                    media,
+                };
                 store.write_manifest()?; // a crash before the first sync can still reopen
                 store.media.set_clean_marker()?;
                 Ok(store)
@@ -276,6 +291,7 @@ impl<M: StoreMedia> KvStore<M> {
             data_gen: m.data_gen,
             dirty: false,
             poisoned: false,
+            watermark: m.watermark,
             media,
         })
     }
@@ -362,6 +378,20 @@ impl<M: StoreMedia> KvStore<M> {
         Ok(())
     }
 
+    /// Stamps the commit-log replay watermark the next manifest write
+    /// persists: every service log record with `seq <= w` for this
+    /// shard is covered by that manifest and must be skipped at replay.
+    /// Called by the service committer (under its store lock) right
+    /// before the harden stages; meaningless outside a service.
+    pub(crate) fn set_replay_watermark(&mut self, w: u64) {
+        self.watermark = w;
+    }
+
+    /// The persisted (or just-stamped) commit-log replay watermark.
+    pub(crate) fn replay_watermark(&self) -> u64 {
+        self.watermark
+    }
+
     fn check_poisoned(&self) -> Result<()> {
         if self.poisoned {
             return Err(ExtMemError::BadConfig(
@@ -398,6 +428,11 @@ impl<M: StoreMedia> KvStore<M> {
         ));
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("data {}\n", self.data_gen));
+        if self.watermark > 0 {
+            // Service-managed stores only (see `set_replay_watermark`);
+            // older parsers ignore the line (forward-compatible).
+            out.push_str(&format!("watermark {}\n", self.watermark));
+        }
         out.push_str(&format!("slots {}\n", backend.slots()));
         let free: Vec<String> = backend.free_list().iter().map(|id| id.to_string()).collect();
         out.push_str(&format!("free {}\n", free.join(",")));
@@ -663,7 +698,7 @@ impl<M: StoreMedia> Drop for KvStore<M> {
     /// machine) makes the sync a quiet no-op, leaving the last committed
     /// manifest authoritative.
     fn drop(&mut self) {
-        let _ = self.sync();
+        crate::media::best_effort(self.sync());
     }
 }
 
@@ -746,6 +781,9 @@ struct Manifest {
     /// ordinary value then, so reopen must prove none is stored before
     /// this version may treat it as the deletion marker.
     v1: bool,
+    /// Commit-log replay watermark (absent lines parse as 0 — stores
+    /// outside a service never write one).
+    watermark: u64,
 }
 
 impl Manifest {
@@ -764,6 +802,7 @@ impl Manifest {
         let mut cost = IoCostModel::SeekDominated;
         let mut seed = None;
         let mut data_gen = 0u64;
+        let mut watermark = 0u64;
         let mut slots = None;
         let mut free = Vec::new();
         let mut levels: Vec<Option<Region>> = Vec::new();
@@ -786,6 +825,7 @@ impl Manifest {
                 }
                 "seed" => seed = v.parse().ok(),
                 "data" => data_gen = v.parse().map_err(|_| corrupt("bad data generation"))?,
+                "watermark" => watermark = v.parse().map_err(|_| corrupt("bad watermark"))?,
                 "slots" => slots = v.parse().ok(),
                 "free" => {
                     for id in v.split(',').filter(|s| !s.is_empty()) {
@@ -825,7 +865,7 @@ impl Manifest {
             return Err(corrupt("missing required field"));
         };
         let cfg = CoreConfig::custom(b, m, gamma, beta)?.cost_model(cost);
-        Ok(Manifest { cfg, seed, data_gen, slots, free, levels, v1 })
+        Ok(Manifest { cfg, seed, data_gen, slots, free, levels, v1, watermark })
     }
 }
 

@@ -61,6 +61,10 @@ pub struct ServiceTortureSpec {
     pub ops_per_thread: usize,
     /// Master seed: workload, store hashing, crash lottery.
     pub seed: u64,
+    /// Commit-log size (bytes) that trips a checkpoint rotation, or
+    /// `None` for the production default — large enough that a short
+    /// torture lifecycle never rotates.
+    pub ckpt_log_bytes: Option<u64>,
 }
 
 impl ServiceTortureSpec {
@@ -73,6 +77,7 @@ impl ServiceTortureSpec {
             threads: 4,
             ops_per_thread: 48,
             seed,
+            ckpt_log_bytes: None,
         }
     }
 
@@ -88,7 +93,18 @@ impl ServiceTortureSpec {
             threads: 6,
             ops_per_thread: 40,
             seed,
+            ckpt_log_bytes: None,
         }
+    }
+
+    /// The staggered-checkpoint scenario: a log threshold so small the
+    /// lifecycle trips several full rotations (seal the log, harden one
+    /// shard's manifest per sync round, discard the sealed segment), so
+    /// swept crash indices land inside every window of the rotation —
+    /// sealed segment live, some shards checkpointed and some not,
+    /// discard pending.
+    pub fn checkpointing(seed: u64) -> Self {
+        ServiceTortureSpec { ckpt_log_bytes: Some(192), ..Self::small(seed) }
     }
 
     fn workload(&self) -> ConcurrentChurn {
@@ -113,6 +129,10 @@ pub struct ServiceTortureReport {
     pub total_ops: u64,
     /// Group commits the service acknowledged before the crash.
     pub committed_batches: u64,
+    /// Per-shard manifest hardens driven by the staggered checkpoint
+    /// rotation before the crash (0 unless the spec shrinks
+    /// `ckpt_log_bytes` enough for rotations to fire).
+    pub shard_syncs: u64,
 }
 
 /// Applies a recorded batch effect list to a model.
@@ -165,7 +185,7 @@ pub fn service_torture_run(
     crash_at: Option<u64>,
 ) -> ServiceTortureReport {
     let env = SimEnv::new();
-    env.set_tracing(false);
+    env.set_tracing(true);
     if let Some(k) = crash_at {
         env.set_plan(FaultPlan::crash(k, spec.seed ^ k.rotate_left(17)));
     }
@@ -173,6 +193,7 @@ pub fn service_torture_run(
     let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let mut crashed = false;
     let mut committed_batches = 0;
+    let mut shard_syncs = 0;
     let mut history = Vec::new();
 
     match ShardedKvStore::open_on(
@@ -183,6 +204,9 @@ pub fn service_torture_run(
     ) {
         Ok(svc) => {
             svc.set_batch_recording(true);
+            if let Some(bytes) = spec.ckpt_log_bytes {
+                svc.set_checkpoint_log_bytes(bytes);
+            }
             std::thread::scope(|scope| {
                 for t in 0..spec.threads {
                     let svc = &svc;
@@ -272,6 +296,7 @@ pub fn service_torture_run(
             });
             let stats = svc.stats();
             committed_batches = stats.committed_batches;
+            shard_syncs = stats.shard_syncs;
             crashed = env.crashed();
             if !crashed && stats.wedged_shards > 0 {
                 violations
@@ -299,13 +324,25 @@ pub fn service_torture_run(
     // --- Recovery: power-cycle and reopen, faults cleared. ---
     env.power_cycle();
     let total_ops = env.ops();
-    let report = |violations: Vec<String>| ServiceTortureReport {
-        crash_at,
-        crashed,
-        violations,
-        seed: spec.seed,
-        total_ops,
-        committed_batches,
+    let report = |mut violations: Vec<String>| {
+        // Trace conformance: the whole lifecycle's observed I/O —
+        // concurrent churn, crash, recovery, sentinel round-trip — must
+        // satisfy every trace-enabled durability rule in dxh-dura's
+        // automaton, the runtime twin of `xtask lint-durability`.
+        violations.extend(
+            dxh_dura::check_trace(&env.take_trace())
+                .iter()
+                .map(|v| format!("durability trace: {v}")),
+        );
+        ServiceTortureReport {
+            crash_at,
+            crashed,
+            violations,
+            seed: spec.seed,
+            total_ops,
+            committed_batches,
+            shard_syncs,
+        }
     };
     let svc = match ShardedKvStore::open_on(
         SimServiceMedia::new(&env),
@@ -319,6 +356,9 @@ pub fn service_torture_run(
             return report(violations);
         }
     };
+    if let Some(bytes) = spec.ckpt_log_bytes {
+        svc.set_checkpoint_log_bytes(bytes);
+    }
 
     // Batch-boundary check, shard by shard: the recovered state must be
     // the fold of that shard's committed batches plus some *prefix* of
@@ -463,6 +503,35 @@ mod tests {
         let report = service_torture_run(&ServiceTortureSpec::wide(31), None);
         assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
         assert!(report.committed_batches > 0);
+    }
+
+    /// Crash indices swept across a lifecycle that rotates checkpoints:
+    /// a clean run must actually exhibit the staggered rotation (every
+    /// shard's manifest hardened at least once), and every crash window
+    /// of it — sealed segment live, shards half-checkpointed, discard
+    /// pending — must recover to a batch boundary with a conformant
+    /// I/O trace.
+    #[test]
+    fn staggered_checkpoint_windows_recover_to_batch_boundaries() {
+        let spec = ServiceTortureSpec::checkpointing(27);
+        let clean = service_torture_run(&spec, None);
+        assert!(clean.violations.is_empty(), "clean run: {:?}", clean.violations);
+        assert!(
+            clean.shard_syncs >= spec.shards as u64,
+            "rotation turned through every shard: {} hardens across {} shards",
+            clean.shard_syncs,
+            spec.shards
+        );
+        let failures = sweep_service_crashes(&spec, 6);
+        assert!(
+            failures.is_empty(),
+            "{} crash points inside the rotation violated an invariant; first: seed {} \
+             crash_at {:?}: {:?}",
+            failures.len(),
+            failures[0].seed,
+            failures[0].crash_at,
+            failures[0].violations.first()
+        );
     }
 
     #[test]

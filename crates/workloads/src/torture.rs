@@ -152,17 +152,12 @@ fn diff_state(
 
 /// Runs one full lifecycle (see the module docs) with an optional crash
 /// index. Never panics: every invariant violation lands in the report.
+/// Every run records its I/O trace — not just as evidence, but because
+/// the report's conformance check (`dxh_dura::check_trace`) validates
+/// it against the durability-protocol rules.
 pub fn torture_run(spec: &TortureSpec, crash_at: Option<u64>) -> TortureReport {
-    torture_run_with(spec, crash_at, true)
-}
-
-/// [`torture_run`] with trace recording optional: the exhaustive sweeps
-/// run untraced (the trace is pure allocation overhead for a passing
-/// run) and re-run any failing index traced — determinism makes the
-/// replayed trace identical to the one the failure would have recorded.
-fn torture_run_with(spec: &TortureSpec, crash_at: Option<u64>, tracing: bool) -> TortureReport {
     let env = SimEnv::new();
-    env.set_tracing(tracing);
+    env.set_tracing(true);
     if let Some(k) = crash_at {
         env.set_plan(FaultPlan::crash(k, spec.seed ^ k.rotate_left(17)));
     }
@@ -310,17 +305,24 @@ fn torture_run_with(spec: &TortureSpec, crash_at: Option<u64>, tracing: bool) ->
     // cycle clears it.
     crashed = crashed || env.crashed();
     env.power_cycle();
-    let report =
-        |violations: Vec<String>, model: &HashMap<Key, Value>, env: &SimEnv| TortureReport {
+    let report = |mut violations: Vec<String>, model: &HashMap<Key, Value>, env: &SimEnv| {
+        // Trace conformance: the run's observed I/O must satisfy every
+        // trace-enabled durability rule (dxh-dura's automaton) — the
+        // runtime twin of `cargo run -p xtask -- lint-durability`.
+        let trace = env.take_trace();
+        violations
+            .extend(dxh_dura::check_trace(&trace).iter().map(|v| format!("durability trace: {v}")));
+        TortureReport {
             crash_at,
             crashed,
             violations,
             seed: spec.seed,
             markers,
-            trace: env.take_trace(),
+            trace,
             state_fingerprint: state_fingerprint(model),
             recovered_keys: model.len(),
-        };
+        }
+    };
     let mut store = match SimMedia::open(&env)
         .and_then(|media| KvStore::open_on(media, spec.cfg.clone(), spec.seed))
     {
@@ -424,13 +426,15 @@ fn torture_run_with(spec: &TortureSpec, crash_at: Option<u64>, tracing: bool) ->
 }
 
 /// Crashes at every I/O index in `[lo, hi)` and returns the reports that
-/// violated an invariant (empty = the whole window is crash-safe).
+/// violated an invariant — a recovered-state mismatch or a durability
+/// trace-conformance violation (empty = the whole window is crash-safe
+/// and every run's I/O trace conformed).
 pub fn sweep_crash_indices(spec: &TortureSpec, lo: u64, hi: u64) -> Vec<TortureReport> {
     (lo..hi)
-        .filter(|&k| !torture_run_with(spec, Some(k), false).violations.is_empty())
-        // Deterministic replay: re-run the failing index with the trace
-        // on, so the returned report carries the evidence.
-        .map(|k| torture_run(spec, Some(k)))
+        .filter_map(|k| {
+            let r = torture_run(spec, Some(k));
+            (!r.violations.is_empty()).then_some(r)
+        })
         .collect()
 }
 

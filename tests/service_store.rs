@@ -226,6 +226,31 @@ fn coalesced_round_crash_sweep_keeps_shards_independent() {
     }
 }
 
+/// The staggered-checkpoint rotation under crash: the checkpointing
+/// scenario shrinks the log threshold so the lifecycle seals the log
+/// and rotates per-shard manifest hardens repeatedly; swept crash
+/// indices land inside every window of the rotation — sealed segment
+/// live, shards half-checkpointed, discard pending — and must still
+/// recover to batch boundaries with a conformant I/O trace.
+#[test]
+fn staggered_checkpoint_crash_sweep_stays_atomic() {
+    let seeds = env_count("TORTURE_SEEDS", 2);
+    let points = env_count("TORTURE_POINTS", 8);
+    for s in 0..seeds {
+        let spec = ServiceTortureSpec::checkpointing(0xC4EC_4B01 ^ (s * 0x9E37_79B9));
+        let failures = sweep_service_crashes(&spec, points);
+        assert!(
+            failures.is_empty(),
+            "seed {}: {} crash points inside the checkpoint rotation violated an \
+             invariant; first: crash_at {:?}: {:?}",
+            spec.seed,
+            failures.len(),
+            failures[0].crash_at,
+            failures[0].violations.first()
+        );
+    }
+}
+
 /// Dropping the service runs the drain-then-sync handshake: every op
 /// accepted before the drop is durable after it — even with writers
 /// racing the drop from other threads until the moment it happens.

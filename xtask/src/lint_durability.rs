@@ -1,0 +1,705 @@
+//! `lint-durability` — the static half of the durability-protocol
+//! checker (the runtime half is `dxh_dura::check_trace`; the shared
+//! rule table is `dxh_dura::RULES`).
+//!
+//! A line scanner over cleaned source, not a compiler (the scanner core
+//! is shared with `lint-locks`, see `scan.rs`). Per function it:
+//!
+//! 1. classifies every I/O-effectful call site into a
+//!    [`dxh_dura::EffectClass`] using the table's source tokens
+//!    ([`dxh_dura::SINKS`], [`dxh_dura::ACK_FILL`],
+//!    [`dxh_dura::META_UNLINK_MARKERS`], [`dxh_dura::DIR_FSYNC_FNS`]),
+//! 2. records calls to other scanned functions and inlines their effect
+//!    summaries to a fixpoint (cycle-safe, sim/real name collisions
+//!    resolved toward the real-media impls), and
+//! 3. checks each function's resolved effect sequence against every
+//!    lint-enabled rule, reporting `file:line` at the anchor site.
+//!
+//! Check semantics per rule (deliberately conservative, pinned by the
+//! seeded-mutant tests below):
+//!
+//! * `rename-after-data-fsync` — the **nearest** write-class effect
+//!   before each rename must be a data fsync; a rename with no prior
+//!   write-class effect is vacuously ordered (nothing volatile can be
+//!   swapped past it — `CommitLog::seal`'s shape, whose bytes were all
+//!   fsynced by the commits that wrote them).
+//! * `ack-after-fsync` — **existence**: some data fsync must appear
+//!   before the ack in the path (not "nearest", because failure-path
+//!   rollbacks like `DirCommitLog::commit`'s `set_len` legitimately sit
+//!   between the round's fsync and the acks).
+//! * `rename-then-dir-fsync` / `clean-unlink-then-dir-fsync` — a
+//!   directory fsync must follow the anchor before its function's
+//!   sequence ends.
+//! * `no-discarded-sync-result` — no `let _ =` / `.ok();` on a line
+//!   calling a sync-class API; the single sanctioned sink is
+//!   `media::best_effort(..)` (each site documents why).
+
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+use std::process::ExitCode;
+
+use dxh_dura::{
+    Check, EffectClass, ACK_FILL, DIR_FSYNC_FNS, META_UNLINK_MARKERS, RULES, SINKS,
+    SYNC_RESULT_TOKENS,
+};
+
+use crate::scan::{clean_source, split_functions};
+
+/// The persistence-path sources under the durability discipline,
+/// relative to the repo root.
+const TARGETS: &[&str] = &[
+    "crates/core/src/store.rs",
+    "crates/core/src/media.rs",
+    "crates/core/src/service.rs",
+    "crates/core/src/facade.rs",
+    "crates/extmem/src/file_disk.rs",
+    "crates/extmem/src/sim_disk.rs",
+];
+
+/// When a called name is defined by several scanned functions (a real
+/// impl and its sim twin, usually), inlining binds the one whose `impl`
+/// target appears earliest here. The sim twins' metadata ops are
+/// atomic-durable and carry no source-visible protocol, so the real
+/// impl is always the stricter (and intended) summary.
+const CANONICAL_IMPLS: &[&str] =
+    &["DirMedia", "DirCommitLog", "DirServiceMedia", "FileDisk", "KvStore", "DirLock"];
+
+/// Call names never inlined: they collide with std idioms (`drop(g)`
+/// releases a guard, `.open(`/`.write(`/`.read(` are ubiquitous std
+/// I/O methods), so binding them to a scanned function of the same
+/// name would inject phantom effects into unrelated sequences — and a
+/// phantom fsync could *mask* a real violation.
+const UNBOUND_CALLS: &[&str] = &["drop", "open", "new", "write", "read"];
+
+/// The one sanctioned discard sink for sync-class `Result`s.
+const DISCARD_EXEMPT: &str = "best_effort(";
+
+/// One durability-order violation, anchored at a source line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Violation {
+    /// Index into the scanned source list (the `TARGETS` order in
+    /// `run`).
+    pub file: usize,
+    /// 1-based anchor line.
+    pub line: usize,
+    /// The violated rule's id in `dxh_dura::RULES`.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Anchor/effect counts across the scanned corpus — `run` enforces
+/// floors on these so a scanner regression (sinks renamed, token
+/// drift) cannot silently turn the lint vacuous.
+#[derive(Debug, Default)]
+pub(crate) struct ScanStats {
+    pub fns: usize,
+    pub renames: usize,
+    pub acks: usize,
+    pub meta_unlinks: usize,
+    pub data_fsyncs: usize,
+    pub dir_fsyncs: usize,
+}
+
+/// A classified site: where it is, in which scanned file.
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    file: usize,
+    line: usize,
+}
+
+/// One entry of a function's raw (pre-inline) effect sequence.
+#[derive(Debug, Clone)]
+enum Item {
+    Eff(EffectClass, Site),
+    /// A call to another scanned function, by index.
+    Call(usize),
+}
+
+/// One scanned function: identity plus cleaned body lines.
+struct FnInfo {
+    name: String,
+    imp: Option<String>,
+    file: usize,
+    body: Vec<(usize, String)>,
+}
+
+/// Every `needle` occurrence in `hay`, by byte offset.
+fn occurrences(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some(i) = hay[at..].find(needle) {
+        out.push(at + i);
+        at += i + needle.len().max(1);
+    }
+    out
+}
+
+/// Whether a call-name match at `col..col+len` is a standalone
+/// identifier followed directly by `(`.
+fn call_boundary_ok(text: &str, col: usize, len: usize) -> bool {
+    let prev_ok = col == 0
+        || text[..col].chars().next_back().is_some_and(|c| !(c.is_alphanumeric() || c == '_'));
+    prev_ok && text[col + len..].starts_with('(')
+}
+
+/// Scans one cleaned body line into classified items (sinks, ack
+/// fills, recovery-visible unlinks, calls into the corpus), ordered by
+/// column. Call matches never overlap a sink match — `fs::write(`
+/// classifies as the sink, not as a call to a scanned `write`.
+fn line_items(
+    text: &str,
+    site: Site,
+    in_dir_fsync_fn: bool,
+    call_of: &HashMap<&str, usize>,
+    out: &mut Vec<Item>,
+) {
+    let mut found: Vec<(usize, usize, Item)> = Vec::new();
+    for &(tok, class) in SINKS {
+        for col in occurrences(text, tok) {
+            let class =
+                if tok == ".sync_all(" && in_dir_fsync_fn { EffectClass::DirFsync } else { class };
+            found.push((col, col + tok.len(), Item::Eff(class, site)));
+        }
+    }
+    for col in occurrences(text, ACK_FILL) {
+        found.push((col, col + ACK_FILL.len(), Item::Eff(EffectClass::AckRelease, site)));
+    }
+    if META_UNLINK_MARKERS.iter().any(|m| text.contains(m)) {
+        for col in occurrences(text, "remove_file(") {
+            found.push((col, col + "remove_file(".len(), Item::Eff(EffectClass::MetaUnlink, site)));
+        }
+    }
+    for (&name, &idx) in call_of {
+        for col in occurrences(text, name) {
+            if !call_boundary_ok(text, col, name.len()) {
+                continue;
+            }
+            let span = (col, col + name.len() + 1);
+            if found.iter().any(|&(s, e, _)| span.0 < e && s < span.1) {
+                continue;
+            }
+            found.push((span.0, span.1, Item::Call(idx)));
+        }
+    }
+    found.sort_by_key(|&(col, _, _)| col);
+    out.extend(found.into_iter().map(|(_, _, it)| it));
+}
+
+/// Resolves function `i`'s effect sequence: its own effects with every
+/// call inlined to a fixpoint. Cycles resolve to the empty sequence at
+/// the back edge (recursion adds no *new* ordering evidence).
+fn resolve(
+    i: usize,
+    items: &[Vec<Item>],
+    memo: &mut Vec<Option<Vec<(EffectClass, Site)>>>,
+    on_stack: &mut Vec<bool>,
+) -> Vec<(EffectClass, Site)> {
+    if let Some(seq) = &memo[i] {
+        return seq.clone();
+    }
+    if on_stack[i] {
+        return Vec::new();
+    }
+    on_stack[i] = true;
+    let mut seq = Vec::new();
+    for it in &items[i] {
+        match it {
+            Item::Eff(class, site) => seq.push((*class, *site)),
+            Item::Call(j) => seq.extend(resolve(*j, items, memo, on_stack)),
+        }
+    }
+    on_stack[i] = false;
+    memo[i] = Some(seq.clone());
+    seq
+}
+
+/// Checks one function's resolved sequence against every lint-enabled
+/// ordering rule of the table. Rules anchor only on the function's
+/// **own** effect sites (`own == true`); inlined callees' effects are
+/// context — they satisfy preceded/followed obligations but are not
+/// re-anchored here (each callee anchors its own sites in its own
+/// evaluation, where its local ordering holds; re-anchoring them in
+/// every caller would indict e.g. `seal`'s write-free rename with a
+/// caller's unrelated earlier buffered write).
+fn eval_sequence(seq: &[(EffectClass, Site, bool)], out: &mut BTreeSet<Violation>) {
+    for rule in RULES.iter().filter(|r| r.lint) {
+        match rule.check {
+            Check::Preceded(want) => {
+                for (i, &(class, site, own)) in seq.iter().enumerate() {
+                    if !own || class != rule.anchor {
+                        continue;
+                    }
+                    let bad = if rule.anchor == EffectClass::Rename {
+                        // Nearest write-class predecessor must be the
+                        // fsync; no predecessor is vacuously ordered.
+                        matches!(
+                            seq[..i].iter().rev().find(|(c, _, _)| {
+                                matches!(c, EffectClass::VolatileWrite | EffectClass::DataFsync)
+                            }),
+                            Some((EffectClass::VolatileWrite, _, _))
+                        )
+                    } else {
+                        // Ack: some fsync must exist earlier in the path.
+                        !seq[..i].iter().any(|(c, _, _)| *c == want)
+                    };
+                    if bad {
+                        out.insert(Violation {
+                            file: site.file,
+                            line: site.line,
+                            rule: rule.name,
+                            what: format!(
+                                "{} not preceded by {} — {}",
+                                rule.anchor.name(),
+                                want.name(),
+                                rule.why
+                            ),
+                        });
+                    }
+                }
+            }
+            Check::Followed(want) => {
+                for (i, &(class, site, own)) in seq.iter().enumerate() {
+                    if !own || class != rule.anchor {
+                        continue;
+                    }
+                    if !seq[i + 1..].iter().any(|(c, _, _)| *c == want) {
+                        out.insert(Violation {
+                            file: site.file,
+                            line: site.line,
+                            rule: rule.name,
+                            what: format!(
+                                "{} not followed by {} — {}",
+                                rule.anchor.name(),
+                                want.name(),
+                                rule.why
+                            ),
+                        });
+                    }
+                }
+            }
+            // Trace-only / handled by the per-line discard check.
+            Check::NoWriteUnderCleanMarker | Check::NoDiscardedSyncResult => {}
+        }
+    }
+}
+
+/// The per-line discard check (`no-discarded-sync-result`): a sync-class
+/// call's `Result` dropped with `let _ =` or `.ok();`, outside the
+/// sanctioned `best_effort(..)` sink.
+fn eval_discards(f: &FnInfo, out: &mut BTreeSet<Violation>) {
+    for (line, text) in &f.body {
+        if text.contains(DISCARD_EXEMPT) {
+            continue;
+        }
+        if !(text.contains("let _ =") || text.contains(".ok();")) {
+            continue;
+        }
+        if let Some(tok) = SYNC_RESULT_TOKENS.iter().find(|t| text.contains(**t)) {
+            out.insert(Violation {
+                file: f.file,
+                line: *line,
+                rule: "no-discarded-sync-result",
+                what: format!(
+                    "`{tok}` result discarded — {} (route a deliberate best-effort \
+                     sync through media::best_effort and document why)",
+                    dxh_dura::rule("no-discarded-sync-result").why
+                ),
+            });
+        }
+    }
+}
+
+/// Scans a corpus of cleaned-to-be sources (indexed as `TARGETS` in
+/// `run`, arbitrarily in tests) and returns the deduped violations plus
+/// the anchor census.
+pub(crate) fn scan_sources(srcs: &[&str]) -> (Vec<Violation>, ScanStats) {
+    // Pass 1: recover every production function in the corpus.
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (file, src) in srcs.iter().enumerate() {
+        let cleaned = clean_source(src);
+        for f in split_functions(&cleaned) {
+            fns.push(FnInfo { name: f.name, imp: f.imp, file, body: f.body });
+        }
+    }
+    // Bind each callable name to one function: the canonical impl on a
+    // collision, the sole definition otherwise, nothing if ambiguous.
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+    let mut call_of: HashMap<&str, usize> = HashMap::new();
+    for (name, cands) in &by_name {
+        if UNBOUND_CALLS.contains(name) {
+            continue;
+        }
+        let pick = if cands.len() == 1 {
+            Some(cands[0])
+        } else {
+            CANONICAL_IMPLS
+                .iter()
+                .find_map(|ci| cands.iter().find(|&&i| fns[i].imp.as_deref() == Some(ci)))
+                .copied()
+        };
+        if let Some(i) = pick {
+            call_of.insert(name, i);
+        }
+    }
+    // Pass 2: per-function raw effect sequences.
+    let mut items: Vec<Vec<Item>> = Vec::with_capacity(fns.len());
+    let mut stats = ScanStats { fns: fns.len(), ..ScanStats::default() };
+    for f in &fns {
+        let in_dir_fsync_fn = DIR_FSYNC_FNS.contains(&f.name.as_str());
+        let mut seq = Vec::new();
+        for (line, text) in &f.body {
+            line_items(
+                text,
+                Site { file: f.file, line: *line },
+                in_dir_fsync_fn,
+                &call_of,
+                &mut seq,
+            );
+        }
+        for it in &seq {
+            if let Item::Eff(class, _) = it {
+                match class {
+                    EffectClass::Rename => stats.renames += 1,
+                    EffectClass::AckRelease => stats.acks += 1,
+                    EffectClass::MetaUnlink => stats.meta_unlinks += 1,
+                    EffectClass::DataFsync => stats.data_fsyncs += 1,
+                    EffectClass::DirFsync => stats.dir_fsyncs += 1,
+                    EffectClass::VolatileWrite => {}
+                }
+            }
+        }
+        items.push(seq);
+    }
+    // Pass 3: inline to fixpoint and check every rule. Each function is
+    // evaluated on its own sites with callee summaries as context.
+    let mut memo = vec![None; fns.len()];
+    let mut on_stack = vec![false; fns.len()];
+    let mut out = BTreeSet::new();
+    for i in 0..fns.len() {
+        let mut seq: Vec<(EffectClass, Site, bool)> = Vec::new();
+        for it in &items[i] {
+            match it {
+                Item::Eff(class, site) => seq.push((*class, *site, true)),
+                Item::Call(j) => seq.extend(
+                    resolve(*j, &items, &mut memo, &mut on_stack)
+                        .into_iter()
+                        .map(|(c, s)| (c, s, false)),
+                ),
+            }
+        }
+        eval_sequence(&seq, &mut out);
+        eval_discards(&fns[i], &mut out);
+    }
+    (out.into_iter().collect(), stats)
+}
+
+/// Runs the checker against `root` (defaults to the current directory).
+pub fn run(root: Option<&str>) -> ExitCode {
+    let root = Path::new(root.unwrap_or("."));
+    let mut owned = Vec::with_capacity(TARGETS.len());
+    for rel in TARGETS {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => owned.push(s),
+            Err(e) => {
+                eprintln!("lint-durability: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let srcs: Vec<&str> = owned.iter().map(String::as_str).collect();
+    let (violations, stats) = scan_sources(&srcs);
+    for v in &violations {
+        eprintln!("{}:{}: [{}] {}", TARGETS[v.file], v.line, v.rule, v.what);
+    }
+    // Anchor floors: the real corpus has (at least) the manifest commit
+    // and the log seal renames, two ack sites, the CLEAN and sealed-log
+    // unlinks, and the staged-harden / log fsyncs. Fewer means the
+    // scanner lost its tokens, not that the code got cleaner.
+    let floors_ok = stats.renames >= 2
+        && stats.acks >= 2
+        && stats.meta_unlinks >= 2
+        && stats.data_fsyncs >= 3
+        && stats.dir_fsyncs >= 1;
+    if !floors_ok {
+        eprintln!("lint-durability: anchor census below floor ({stats:?}) — scanner broken?");
+        return ExitCode::FAILURE;
+    }
+    if !violations.is_empty() {
+        eprintln!("lint-durability: {} violation(s)", violations.len());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "lint-durability: ok ({} fns; {} rename / {} ack / {} unlink anchors, \
+         {} data + {} dir fsyncs; 0 violations)",
+        stats.fns,
+        stats.renames,
+        stats.acks,
+        stats.meta_unlinks,
+        stats.data_fsyncs,
+        stats.dir_fsyncs,
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_sources(&[src]).0
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    /// The full manifest-commit shape (the real `commit_file_atomic`)
+    /// is conformant, including the dir-fsync reclassification of
+    /// `sync_all` inside `sync_dir`.
+    #[test]
+    fn conformant_commit_protocol_passes() {
+        let src = "
+            fn commit_file_atomic(dir: &Path, name: &str, text: &str) -> Result<()> {
+                let mut f = File::create(dir.join(tmp))?;
+                f.write_all(text.as_bytes())?;
+                f.sync_data()?;
+                fs::rename(dir.join(tmp), dir.join(name))?;
+                sync_dir(dir)
+            }
+            fn sync_dir(dir: &Path) -> Result<()> {
+                fs::File::open(dir)?.sync_all()?;
+                Ok(())
+            }
+        ";
+        assert_eq!(scan(src), vec![]);
+    }
+
+    /// Seeded mutant: the data fsync dropped before the rename.
+    #[test]
+    fn rename_without_data_fsync_is_caught() {
+        let src = "
+            fn commit(dir: &Path) -> Result<()> {
+                f.write_all(text)?;
+                fs::rename(a, b)?;
+                sync_dir(dir)
+            }
+            fn sync_dir(dir: &Path) -> Result<()> {
+                fs::File::open(dir)?.sync_all()?;
+                Ok(())
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(rules_of(&v), vec!["rename-after-data-fsync"], "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    /// Seeded mutant: the dir fsync dropped after the rename.
+    #[test]
+    fn rename_without_dir_fsync_is_caught() {
+        let src = "
+            fn commit(dir: &Path) -> Result<()> {
+                f.write_all(text)?;
+                f.sync_data()?;
+                fs::rename(a, b)?;
+                Ok(())
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(rules_of(&v), vec!["rename-then-dir-fsync"], "{v:?}");
+    }
+
+    /// A rename with no prior write-class effect is vacuously ordered —
+    /// `CommitLog::seal`'s shape (every sealed byte was fsynced by the
+    /// commit that appended it).
+    #[test]
+    fn write_free_rename_is_vacuously_ordered() {
+        let src = "
+            fn seal(&mut self) -> Result<()> {
+                fs::rename(self.dir.join(a), self.dir.join(b))?;
+                sync_dir(&self.dir)?;
+                Ok(())
+            }
+            fn sync_dir(dir: &Path) -> Result<()> {
+                fs::File::open(dir)?.sync_all()?;
+                Ok(())
+            }
+        ";
+        assert_eq!(scan(src), vec![]);
+    }
+
+    /// Seeded mutant: an answer cell filled with `Ok` before any fsync.
+    #[test]
+    fn ack_before_fsync_is_caught() {
+        let src = "
+            fn commit_round(q: &Q) {
+                *q.cell.0.lock() = Some(Ok(n));
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(rules_of(&v), vec!["ack-after-fsync"], "{v:?}");
+    }
+
+    /// The conformant ack shape: the round's fsync arrives via the
+    /// *inlined* `log.commit(..)` summary, and the failure-path
+    /// `set_len` rollback after the fsync does not re-indict the ack
+    /// (existence semantics, not nearest).
+    #[test]
+    fn inlined_log_fsync_satisfies_the_ack_rule() {
+        let src = "
+            impl CommitLog for DirCommitLog {
+                fn commit(&mut self, bytes: &[u8]) -> Result<()> {
+                    self.file.write_all(bytes)?;
+                    self.file.sync_data()?;
+                    if failed {
+                        self.file.set_len(self.len)?;
+                    }
+                    Ok(())
+                }
+            }
+            fn commit_round(q: &Q, log: &mut DirCommitLog) {
+                log.commit(&bytes)?;
+                *q.cell.0.lock() = Some(Ok(n));
+            }
+        ";
+        assert_eq!(scan(src), vec![]);
+    }
+
+    /// Seeded mutant: the CLEAN unlink without its dir fsync; and a
+    /// best-effort stray-file unlink carries no obligation.
+    #[test]
+    fn clean_unlink_without_dir_fsync_is_caught() {
+        let bad = "
+            fn clear_clean_marker(&self) -> Result<()> {
+                fs::remove_file(self.dir.join(CLEAN))?;
+                Ok(())
+            }
+        ";
+        let v = scan(bad);
+        assert_eq!(rules_of(&v), vec!["clean-unlink-then-dir-fsync"], "{v:?}");
+        let good = "
+            fn clear_clean_marker(&self) -> Result<()> {
+                fs::remove_file(self.dir.join(CLEAN))?;
+                sync_dir(&self.dir)
+            }
+            fn sync_dir(dir: &Path) -> Result<()> {
+                fs::File::open(dir)?.sync_all()?;
+                Ok(())
+            }
+            fn remove_stale(&self) {
+                let _ = fs::remove_file(e.path());
+            }
+        ";
+        assert_eq!(scan(good), vec![]);
+    }
+
+    /// Seeded mutants: discarded sync-class results, each discard
+    /// spelling; the sanctioned sink is exempt.
+    #[test]
+    fn discarded_sync_results_are_caught() {
+        let src = "
+            fn sloppy(&mut self) {
+                let _ = self.file.sync_data();
+                self.log.commit(&bytes).ok();
+                best_effort(self.file.sync_data());
+            }
+        ";
+        let v = scan(src);
+        assert_eq!(
+            rules_of(&v),
+            vec!["no-discarded-sync-result", "no-discarded-sync-result"],
+            "{v:?}"
+        );
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[1].line, 4);
+    }
+
+    /// Non-vacuity, lint layer: every lint-enabled rule of the shared
+    /// table fires on at least one seeded mutant.
+    #[test]
+    fn every_lint_rule_fires_on_a_seeded_mutant() {
+        let mutants: &[(&str, &str)] = &[
+            (
+                "rename-after-data-fsync",
+                "fn f() { g.write_all(b)?; fs::rename(a, b)?; h.sync_all()?; }",
+            ),
+            ("rename-then-dir-fsync", "fn f() { g.sync_data()?; fs::rename(a, b)?; }"),
+            ("ack-after-fsync", "fn f(q: &Q) { *q.cell.0.lock() = Some(Ok(1)); }"),
+            ("clean-unlink-then-dir-fsync", "fn f(d: &Path) { fs::remove_file(d.join(CLEAN))?; }"),
+            ("no-discarded-sync-result", "fn f(g: &File) { let _ = g.sync_data(); }"),
+        ];
+        for rule in RULES.iter().filter(|r| r.lint) {
+            let (_, src) = mutants
+                .iter()
+                .find(|(name, _)| *name == rule.name)
+                .unwrap_or_else(|| panic!("no seeded mutant for lint rule {}", rule.name));
+            let v = scan(src);
+            assert!(
+                v.iter().any(|x| x.rule == rule.name),
+                "mutant for {} did not fire it: {v:?}",
+                rule.name
+            );
+        }
+    }
+
+    /// Inlining binds real over sim on a name collision: the sim twin's
+    /// effect-free `commit` must not launder the ack.
+    #[test]
+    fn name_collisions_bind_the_canonical_impl() {
+        let src = "
+            impl CommitLog for SimCommitLog {
+                fn commit(&mut self, bytes: &[u8]) -> Result<()> {
+                    self.env.meta_put(COMMITLOG, bytes)
+                }
+            }
+            impl CommitLog for DirCommitLog {
+                fn commit(&mut self, bytes: &[u8]) -> Result<()> {
+                    self.file.write_all(bytes)?;
+                    self.file.sync_data()
+                }
+            }
+            fn commit_round(q: &Q, log: &mut L) {
+                log.commit(&bytes)?;
+                *q.cell.0.lock() = Some(Ok(n));
+            }
+        ";
+        assert_eq!(scan(src), vec![]);
+    }
+
+    /// A wedge fill (`Some(Err(..))`) is a failure, not an ack: no
+    /// durability promise, no anchor.
+    #[test]
+    fn error_fills_are_not_acks() {
+        let src = "
+            fn wedge(q: &Q, why: &str) {
+                *q.cell.0.lock() = Some(Err(why.clone()));
+            }
+        ";
+        assert_eq!(scan(src), vec![]);
+    }
+
+    /// The real persistence paths pass the lint — the same invocation
+    /// CI gates on — and the anchor census clears its floors, so the
+    /// pass is provably non-vacuous on the real corpus.
+    #[test]
+    fn real_persistence_paths_pass() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+        let owned: Vec<String> =
+            TARGETS.iter().map(|rel| std::fs::read_to_string(root.join(rel)).unwrap()).collect();
+        let srcs: Vec<&str> = owned.iter().map(String::as_str).collect();
+        let (v, stats) = scan_sources(&srcs);
+        let pretty: Vec<String> = v
+            .iter()
+            .map(|x| format!("{}:{}: [{}] {}", TARGETS[x.file], x.line, x.rule, x.what))
+            .collect();
+        assert!(pretty.is_empty(), "{pretty:#?}");
+        assert!(stats.renames >= 2, "{stats:?}");
+        assert!(stats.acks >= 2, "{stats:?}");
+        assert!(stats.meta_unlinks >= 2, "{stats:?}");
+        assert!(stats.data_fsyncs >= 3, "{stats:?}");
+        assert!(stats.dir_fsyncs >= 1, "{stats:?}");
+    }
+}

@@ -38,6 +38,8 @@ use std::fmt;
 use std::path::Path;
 use std::process::ExitCode;
 
+use crate::scan::{clean_source, ident_after, named_binding, receiver_before};
+
 /// Which mutex a guard came from, classified by the receiver path's
 /// suffix (`shard.buf`, `coord.state`, `cell.0`, ...).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -124,198 +126,6 @@ struct LiveGuard {
     line: usize,
 }
 
-/// Replaces comments, string literals and char literals with spaces so
-/// the scanner never trips over `".lock()"` in a doc sentence.
-fn clean_source(src: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Str,
-        RawStr(usize),
-        Chr,
-        Line,
-        Block(usize),
-    }
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        match st {
-            St::Code => match c {
-                '/' if b.get(i + 1) == Some(&'/') => {
-                    st = St::Line;
-                    out.push(' ');
-                }
-                '/' if b.get(i + 1) == Some(&'*') => {
-                    st = St::Block(1);
-                    out.push(' ');
-                }
-                '"' => {
-                    st = St::Str;
-                    out.push(' ');
-                }
-                'r' if b.get(i + 1) == Some(&'"') || b.get(i + 1) == Some(&'#') => {
-                    // r"..." / r#"..."# — count the hashes.
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while b.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        out.push(' ');
-                        while i < j {
-                            out.push(' ');
-                            i += 1;
-                        }
-                    } else {
-                        out.push(c);
-                    }
-                }
-                '\'' => {
-                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                    let is_char = matches!(
-                        (b.get(i + 1), b.get(i + 2)),
-                        (Some('\\'), _) | (Some(_), Some('\''))
-                    );
-                    if is_char {
-                        st = St::Chr;
-                    }
-                    out.push(' ');
-                }
-                _ => out.push(c),
-            },
-            St::Str => {
-                if c == '\\' {
-                    i += 1;
-                    out.push(' ');
-                } else if c == '"' {
-                    st = St::Code;
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-            }
-            St::RawStr(h) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0;
-                    while seen < h && b.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == h {
-                        st = St::Code;
-                        while i < j {
-                            out.push(' ');
-                            i += 1;
-                        }
-                        continue;
-                    }
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-            }
-            St::Chr => {
-                if c == '\\' {
-                    i += 1;
-                    out.push(' ');
-                } else if c == '\'' {
-                    st = St::Code;
-                }
-                out.push(' ');
-            }
-            St::Line => {
-                if c == '\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Block(d) => {
-                if c == '*' && b.get(i + 1) == Some(&'/') {
-                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && b.get(i + 1) == Some(&'*') {
-                    st = St::Block(d + 1);
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Walks backwards from the `.` of `.lock()` and returns the receiver
-/// path expression (`shards[*si].store`, `q.cell.0`, ...).
-fn receiver_before(line: &[char], dot: usize) -> String {
-    let mut start = dot;
-    let mut par = 0i32;
-    let mut brk = 0i32;
-    while start > 0 {
-        let c = line[start - 1];
-        let plain = c.is_alphanumeric() || c == '_' || c == '.' || c == ']' || c == ')';
-        if par == 0 && brk == 0 && !plain {
-            break;
-        }
-        match c {
-            ')' => par += 1,
-            '(' => {
-                par -= 1;
-                if par < 0 {
-                    break;
-                }
-            }
-            ']' => brk += 1,
-            '[' => {
-                brk -= 1;
-                if brk < 0 {
-                    break;
-                }
-            }
-            _ => {}
-        }
-        start -= 1;
-    }
-    line[start..dot].iter().collect()
-}
-
-/// If the (cleaned) line is a whole-guard binding — `let [mut] NAME =
-/// <recv>.lock();` or `NAME = <recv>.lock();` — returns the bound name
-/// and the position of that `.lock()` occurrence.
-fn named_binding(line: &[char], text: &str) -> Option<(String, usize)> {
-    let trimmed = text.trim_end();
-    if !trimmed.ends_with(".lock();") {
-        return None;
-    }
-    let lock_pos = text.rfind(".lock()")?;
-    let eq = text.find('=')?;
-    if eq > lock_pos {
-        return None;
-    }
-    let lhs = text[..eq].trim();
-    let lhs = lhs.strip_prefix("let ").unwrap_or(lhs);
-    let lhs = lhs.strip_prefix("mut ").unwrap_or(lhs).trim();
-    if !lhs.is_empty() && lhs.chars().all(|c| c.is_alphanumeric() || c == '_') {
-        let _ = line;
-        Some((lhs.to_string(), lock_pos))
-    } else {
-        None
-    }
-}
-
-/// Extracts the identifier right after `pat`'s opening paren, e.g. the
-/// `buf` of `drop(buf)` or `.wait(buf)`.
-fn ident_after(text: &str, open: usize) -> String {
-    text[open..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect()
-}
-
 fn scan_source(src: &str, table_file: bool) -> (Vec<Violation>, usize) {
     let cleaned = clean_source(src);
     let mut violations = Vec::new();
@@ -326,7 +136,7 @@ fn scan_source(src: &str, table_file: bool) -> (Vec<Violation>, usize) {
     for (ln0, text) in cleaned.lines().enumerate() {
         let ln = ln0 + 1;
         let chars: Vec<char> = text.chars().collect();
-        let named = named_binding(&chars, text);
+        let named = named_binding(text);
         let mut temps: Vec<(String, GuardClass)> = Vec::new();
 
         let mut i = 0;

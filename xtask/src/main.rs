@@ -13,24 +13,39 @@
 //!      guard is live, and
 //!   3. no `Condvar::wait` happens while a *second* guard is held.
 //!
-//!   Exits non-zero with `file:line` diagnostics on violation, so CI can
-//!   gate on it.
+//! * `lint-durability` — static durability-order checker for the
+//!   persistence paths (see `docs/DURABILITY.md`). Classifies every
+//!   I/O-effectful call site in the store/media/service/disk sources
+//!   into effect classes, builds per-function effect summaries, inlines
+//!   them through the commit/recovery entry points, and rejects any
+//!   ordering the `dxh-dura` protocol rule table forbids (rename
+//!   without a preceding data fsync or a following dir fsync, an ack
+//!   released before the round's fsync, a recovery-visible unlink
+//!   without its dir fsync, a discarded fsync-class `Result`).
+//!
+//! Both exit non-zero with `file:line` diagnostics on violation, so CI
+//! can gate on them.
 
+mod lint_durability;
 mod lint_locks;
+mod scan;
 
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p xtask -- <lint-locks|lint-durability> [repo-root]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint-locks") => lint_locks::run(args.next().as_deref()),
+        Some("lint-durability") => lint_durability::run(args.next().as_deref()),
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`");
-            eprintln!("usage: cargo run -p xtask -- lint-locks [repo-root]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint-locks [repo-root]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
