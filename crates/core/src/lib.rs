@@ -74,7 +74,7 @@ pub use log_method::LogMethodTable;
 pub use media::{DirMedia, SimMedia, StoreMedia};
 pub use mem_table::MemTable;
 pub use service::{
-    BatchRecord, CommitLog, DirCommitLog, DirServiceMedia, ServiceMedia, ServiceStats,
+    BatchRecord, CommitLog, DirCommitLog, DirServiceMedia, Effect, ServiceMedia, ServiceStats,
     ShardBatchHistory, ShardedKvStore, SimServiceMedia, WriteOp,
 };
 pub use sharded::ShardedTable;

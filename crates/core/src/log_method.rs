@@ -381,6 +381,51 @@ impl<F: HashFn, B: StorageBackend> LogMethodTable<F, B> {
         Ok((levels, stats))
     }
 
+    /// Rewrites every live value in place through `f` (deletion markers
+    /// are skipped — their value *is* the marker). One read-modify-write
+    /// per chained block, accounting included. The payload remap rider of
+    /// [`crate::KvStore::compact`]: after the index is rebuilt into a new
+    /// generation, the tagged offset words are remapped to the compacted
+    /// blob log's layout through exactly this walk.
+    pub(crate) fn rewrite_values(
+        &mut self,
+        f: &mut dyn FnMut(Value) -> Result<Value>,
+    ) -> Result<()> {
+        // H0 first (empty on the compaction path, which runs on a
+        // freshly rebuilt table; handled for generality).
+        for mut it in self.log.h0.drain_in_bucket_order() {
+            if !it.is_delete_marker() {
+                it.value = f(it.value)?;
+            }
+            let bucket = self.log.h0_bucket(it.key);
+            self.log.h0.upsert(bucket, it);
+        }
+        for region in self.log.levels.iter().skip(1).flatten() {
+            for q in 0..region.buckets {
+                let mut cur = Some(region.block_of(q));
+                while let Some(id) = cur {
+                    let mut blk = self.disk.backend_mut().read(id)?;
+                    let mut changed = false;
+                    for it in blk.items_mut() {
+                        if it.is_delete_marker() {
+                            continue;
+                        }
+                        let nv = f(it.value)?;
+                        if nv != it.value {
+                            it.value = nv;
+                            changed = true;
+                        }
+                    }
+                    cur = blk.next();
+                    if changed {
+                        self.disk.backend_mut().write(id, &blk)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// [`ExternalDictionary::delete`] with a `before_mutate` hook: runs
     /// once presence is confirmed, before the marker is written (never on
     /// a miss). The persistence layer transitions its dirty state there.

@@ -14,7 +14,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use dxh_extmem::{ExtMemError, FileDisk, PersistentBackend, Result};
+use dxh_extmem::{BlobFile, ExtMemError, FileBlob, FileDisk, PersistentBackend, Result};
 
 /// Manifest file name inside a store directory.
 pub(crate) const MANIFEST: &str = "MANIFEST";
@@ -29,6 +29,11 @@ pub(crate) const CLEAN: &str = "CLEAN";
 /// Whether `name` is a store data file (any generation).
 fn is_data_file(name: &str) -> bool {
     name.starts_with("store") && name.ends_with(".blk")
+}
+
+/// Whether `name` is a store blob-log file (any generation).
+fn is_blob_file(name: &str) -> bool {
+    name.starts_with("store") && name.ends_with(".blob")
 }
 
 /// The persistence environment a [`crate::KvStore`] runs on: a block
@@ -62,6 +67,11 @@ fn is_data_file(name: &str) -> bool {
 pub trait StoreMedia {
     /// The block backend this media serves.
     type Backend: PersistentBackend;
+
+    /// The append-only blob file this media serves (the payload log's
+    /// storage; see `dxh_extmem::BlobLog`). `Send` so a payload-mode
+    /// store can live behind the service's per-shard committer threads.
+    type Blob: BlobFile + Send;
 
     /// Reads the manifest; `None` when the store has never committed one
     /// (the create path).
@@ -98,6 +108,21 @@ pub trait StoreMedia {
     /// from a compaction interrupted on either side of its commit. Only
     /// called with the store lock held.
     fn remove_stale_data(&mut self, keep: &str);
+
+    /// Creates (truncating) blob file `name`.
+    fn create_blob(&mut self, name: &str) -> Result<Self::Blob>;
+
+    /// Opens existing blob file `name` without truncating.
+    fn open_blob(&mut self, name: &str) -> Result<Self::Blob>;
+
+    /// Best-effort removal of blob file `name` (a failed compaction's
+    /// half-written generation).
+    fn remove_blob(&mut self, name: &str);
+
+    /// Best-effort removal of every blob file except `keep` — the blob
+    /// twin of [`StoreMedia::remove_stale_data`]. Only called with the
+    /// store lock held.
+    fn remove_stale_blobs(&mut self, keep: &str);
 
     /// Filesystem path of file `name`, for media that have one.
     fn file_path(&self, name: &str) -> Option<PathBuf>;
@@ -263,6 +288,7 @@ impl DirMedia {
 
 impl StoreMedia for DirMedia {
     type Backend = FileDisk;
+    type Blob = FileBlob;
 
     fn read_manifest(&mut self) -> Result<Option<String>> {
         match fs::read_to_string(self.dir.join(MANIFEST)) {
@@ -326,6 +352,29 @@ impl StoreMedia for DirMedia {
         }
     }
 
+    fn create_blob(&mut self, name: &str) -> Result<FileBlob> {
+        FileBlob::create(self.dir.join(name))
+    }
+
+    fn open_blob(&mut self, name: &str) -> Result<FileBlob> {
+        FileBlob::open(self.dir.join(name))
+    }
+
+    fn remove_blob(&mut self, name: &str) {
+        let _ = fs::remove_file(self.dir.join(name));
+    }
+
+    fn remove_stale_blobs(&mut self, keep: &str) {
+        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name != keep && is_blob_file(name) {
+                let _ = fs::remove_file(e.path());
+            }
+        }
+    }
+
     fn file_path(&self, name: &str) -> Option<PathBuf> {
         Some(self.dir.join(name))
     }
@@ -384,6 +433,7 @@ impl Drop for SimMedia {
 
 impl StoreMedia for SimMedia {
     type Backend = dxh_extmem::SimDisk;
+    type Blob = dxh_extmem::SimBlob;
 
     fn read_manifest(&mut self) -> Result<Option<String>> {
         match self.env.meta_read(&self.scoped(MANIFEST))? {
@@ -434,6 +484,28 @@ impl StoreMedia for SimMedia {
             let Some(local) = name.strip_prefix(&self.prefix) else { continue };
             if name != keep && is_data_file(local) {
                 let _ = self.env.remove_file(&name);
+            }
+        }
+    }
+
+    fn create_blob(&mut self, name: &str) -> Result<dxh_extmem::SimBlob> {
+        self.env.create_blob(&self.scoped(name))
+    }
+
+    fn open_blob(&mut self, name: &str) -> Result<dxh_extmem::SimBlob> {
+        self.env.open_blob(&self.scoped(name))
+    }
+
+    fn remove_blob(&mut self, name: &str) {
+        let _ = self.env.remove_blob(&self.scoped(name));
+    }
+
+    fn remove_stale_blobs(&mut self, keep: &str) {
+        let keep = self.scoped(keep);
+        for name in self.env.blob_names() {
+            let Some(local) = name.strip_prefix(&self.prefix) else { continue };
+            if name != keep && is_blob_file(local) {
+                let _ = self.env.remove_blob(&name);
             }
         }
     }

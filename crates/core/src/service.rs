@@ -94,7 +94,7 @@ use dxh_hashfn::IdealFn;
 use dxh_tables::ExternalDictionary;
 
 use crate::config::CoreConfig;
-use crate::media::{best_effort, commit_file_atomic, sync_dir, DirMedia, SimMedia, StoreMedia};
+use crate::media::{commit_file_atomic, sync_dir, DirMedia, SimMedia, StoreMedia};
 use crate::sharded::{shard_of_key, shard_router};
 use crate::store::KvStore;
 
@@ -123,32 +123,67 @@ pub enum WriteOp {
     Delete(Key),
 }
 
-impl WriteOp {
+/// What a recorded write put at its key: a table word (the
+/// [`ShardedKvStore::put`] / [`ShardedKvStore::submit`] APIs) or a byte
+/// payload ([`ShardedKvStore::put_bytes`], payload-mode services only).
+/// `Option<Effect>` with `None` for a delete is the shape the
+/// read-your-writes overlay, the commit log, and [`BatchRecord`] share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Effect {
+    /// A word put.
+    Word(Value),
+    /// A byte-payload put (shared, not copied, along the commit path).
+    Bytes(Arc<[u8]>),
+}
+
+/// The internal form of a queued write: the public [`WriteOp`] pair plus
+/// the byte-payload op, which never appears in the public submit enum
+/// (it is not `Copy`, and byte writes are only valid on payload-mode
+/// services).
+#[derive(Clone, Debug)]
+enum Op {
+    Put(Key, Value),
+    Delete(Key),
+    PutBytes(Key, Arc<[u8]>),
+}
+
+impl From<WriteOp> for Op {
+    fn from(op: WriteOp) -> Op {
+        match op {
+            WriteOp::Put(k, v) => Op::Put(k, v),
+            WriteOp::Delete(k) => Op::Delete(k),
+        }
+    }
+}
+
+impl Op {
     fn key(&self) -> Key {
         match *self {
-            WriteOp::Put(k, _) | WriteOp::Delete(k) => k,
+            Op::Put(k, _) | Op::Delete(k) | Op::PutBytes(k, _) => k,
         }
     }
 
-    /// The op as a `(key, effect)` pair: `Some(value)` for a put, `None`
-    /// for a delete — the shape both the read-your-writes overlay and
-    /// [`BatchRecord`] store.
-    fn effect(&self) -> (Key, Option<Value>) {
-        match *self {
-            WriteOp::Put(k, v) => (k, Some(v)),
-            WriteOp::Delete(k) => (k, None),
+    /// The op as a `(key, effect)` pair.
+    fn effect(&self) -> (Key, Option<Effect>) {
+        match self {
+            Op::Put(k, v) => (*k, Some(Effect::Word(*v))),
+            Op::Delete(k) => (*k, None),
+            Op::PutBytes(k, b) => (*k, Some(Effect::Bytes(b.clone()))),
         }
     }
 
     /// Rejects the reserved sentinels before anything is enqueued, so an
     /// invalid op is an immediate per-call error and an apply-time error
-    /// is always environmental (and wedges the shard).
-    fn validate(&self) -> Result<()> {
+    /// is always environmental (and wedges the shard). On a payload-mode
+    /// service the word domain is unrestricted — values live in the blob
+    /// log there, where the deletion marker is out-of-band (see the
+    /// sentinel note on [`VALUE_TOMBSTONE`]).
+    fn validate(&self, payloads: bool) -> Result<()> {
         if self.key() == KEY_TOMBSTONE {
             return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
         }
-        if let WriteOp::Put(_, v) = self {
-            if *v == VALUE_TOMBSTONE {
+        if let Op::Put(_, v) = self {
+            if *v == VALUE_TOMBSTONE && !payloads {
                 return Err(ExtMemError::BadConfig(
                     "value u64::MAX is reserved as the deletion marker".into(),
                 ));
@@ -163,9 +198,9 @@ impl WriteOp {
 /// ground truth for the batch-boundary check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BatchRecord {
-    /// The batch's operations in application order: `(key, Some(v))` for
-    /// a put, `(key, None)` for a delete.
-    pub ops: Vec<(Key, Option<Value>)>,
+    /// The batch's operations in application order: `(key,
+    /// Some(effect))` for a put, `(key, None)` for a delete.
+    pub ops: Vec<(Key, Option<Effect>)>,
 }
 
 /// A shard's recorded commit history (see
@@ -205,6 +240,15 @@ pub struct ServiceStats {
     /// threshold reached) and the shutdown handshake, never by the
     /// steady-state log rounds. Near zero on a healthy short run.
     pub shard_syncs: u64,
+    /// Sealed commit-log segments discarded after a clean checkpoint
+    /// rotation. On a fault-free run every completed rotation shows up
+    /// here (possibly after retries); a rotation whose segment never
+    /// discards leaks log bytes and replay work at every reopen.
+    pub sealed_discards: u64,
+    /// Failed sealed-segment discard attempts. Each one is retried by a
+    /// later sync round; nonzero here with a stuck `sealed_discards` is
+    /// the signal that used to be swallowed silently.
+    pub sealed_discard_failures: u64,
 }
 
 impl ServiceStats {
@@ -222,7 +266,7 @@ impl ServiceStats {
 
 /// A queued write plus the cell its caller is parked on.
 struct QueuedOp {
-    op: WriteOp,
+    op: Op,
     cell: Arc<OpCell>,
 }
 
@@ -249,7 +293,7 @@ struct AppliedBatch {
     /// The batch's `(key, effect)` pairs in application order — what a
     /// log round frames into the commit log, and (when recording) the
     /// history entry.
-    effects: Vec<(Key, Option<Value>)>,
+    effects: Vec<(Key, Option<Effect>)>,
     /// Whether batch recording was on when this batch applied.
     recorded: bool,
 }
@@ -262,10 +306,10 @@ struct BufState {
     /// Ops accepted for the *next* batch.
     pending: Vec<QueuedOp>,
     /// Read-your-writes overlay of `pending` (`None` = pending delete).
-    pending_overlay: HashMap<Key, Option<Value>>,
+    pending_overlay: HashMap<Key, Option<Effect>>,
     /// Overlay of the batch currently being applied — visible to readers
     /// until the store itself can answer for it.
-    inflight_overlay: HashMap<Key, Option<Value>>,
+    inflight_overlay: HashMap<Key, Option<Effect>>,
     /// Applied batches awaiting their durability epoch (pipelined acks).
     unacked: Vec<AppliedBatch>,
     /// Sequence number the next applied batch takes. Seeded at open
@@ -309,9 +353,9 @@ struct BufState {
 }
 
 impl BufState {
-    fn overlay_get(&self, key: Key) -> Option<Option<Value>> {
+    fn overlay_get(&self, key: Key) -> Option<Option<Effect>> {
         // `pending` is strictly newer than the batch being applied.
-        self.pending_overlay.get(&key).or_else(|| self.inflight_overlay.get(&key)).copied()
+        self.pending_overlay.get(&key).or_else(|| self.inflight_overlay.get(&key)).cloned()
     }
 }
 
@@ -426,6 +470,15 @@ struct SyncCoordinator {
     /// torture harness shrinks it to sweep crashes across the rotation
     /// window).
     ckpt_bytes: AtomicU64,
+    /// Sealed commit-log segments successfully discarded after a clean
+    /// checkpoint rotation (feeds [`ServiceStats::sealed_discards`]).
+    sealed_discards: AtomicU64,
+    /// Failed discard attempts. Each failure leaves the segment in
+    /// place and a later sync round retries, so on a fault-free run the
+    /// success counter eventually catches every completed rotation —
+    /// a failure here used to vanish silently (`best_effort`), leaving
+    /// no way to notice a segment that never went away.
+    sealed_discard_failures: AtomicU64,
 }
 
 struct CoordState {
@@ -456,6 +509,8 @@ impl SyncCoordinator {
             }),
             cv: Condvar::new(),
             ckpt_bytes: AtomicU64::new(CHECKPOINT_LOG_BYTES),
+            sealed_discards: AtomicU64::new(0),
+            sealed_discard_failures: AtomicU64::new(0),
         }
     }
 
@@ -595,14 +650,20 @@ fn coordinator_loop<M: StoreMedia, L: CommitLog>(
         }
         if rotation.is_empty() && rotation_clean && log.has_sealed() {
             // Every manifest now covers the sealed segment (each harden
-            // stamped the shard's replay watermark): discard it.
-            // Best-effort — a failed unlink only means replay does
-            // redundant, watermark-skipped work at reopen, and this
-            // retries every round until the segment really is gone. A
-            // *tainted* rotation (wedged/dead shard) never reaches
-            // here: its sealed records may exist nowhere else, so the
-            // segment is kept for reopen-time replay.
-            best_effort(log.discard_sealed());
+            // stamped the shard's replay watermark): discard it. A
+            // failed unlink only means replay does redundant,
+            // watermark-skipped work at reopen, and this retries every
+            // round until the segment really is gone — but it is
+            // *counted*, not swallowed: a segment that never discards
+            // shows up in [`ServiceStats`] instead of silently pinning
+            // log bytes forever. A *tainted* rotation (wedged/dead
+            // shard) never reaches here: its sealed records may exist
+            // nowhere else, so the segment is kept for reopen replay.
+            if log.discard_sealed().is_err() {
+                coord.sealed_discard_failures.fetch_add(1, Ordering::Relaxed);
+            } else {
+                coord.sealed_discards.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -863,13 +924,13 @@ fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinato
 /// (false: nothing pending, shard wedged, or — wedging it now — the
 /// apply failed).
 fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
-    let (batch, effects): (Vec<QueuedOp>, Vec<(Key, Option<Value>)>) = {
+    let (batch, effects): (Vec<QueuedOp>, Vec<(Key, Option<Effect>)>) = {
         let mut buf = shard.buf.lock();
         if buf.wedged.is_some() || buf.pending.is_empty() {
             return false;
         }
         let batch = std::mem::take(&mut buf.pending);
-        let effects: Vec<(Key, Option<Value>)> = batch.iter().map(|q| q.op.effect()).collect();
+        let effects: Vec<(Key, Option<Effect>)> = batch.iter().map(|q| q.op.effect()).collect();
         debug_assert!(buf.inflight_overlay.is_empty(), "one apply at a time");
         buf.inflight_overlay = std::mem::take(&mut buf.pending_overlay);
         buf.applying = true;
@@ -884,9 +945,10 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
     {
         let mut store = shard.store.lock();
         for q in &batch {
-            let applied = match q.op {
-                WriteOp::Put(k, v) => store.insert(k, v).map(|()| true),
-                WriteOp::Delete(k) => store.delete(k),
+            let applied = match &q.op {
+                Op::Put(k, v) => store.insert(*k, *v).map(|()| true),
+                Op::Delete(k) => store.delete(*k),
+                Op::PutBytes(k, b) => store.put_bytes(*k, b).map(|()| true),
             };
             match applied {
                 Ok(b) => answers.push(b),
@@ -1107,24 +1169,33 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Appends one framed log record: `len u32 | fnv64 | payload`, with
-/// payload `shard u32 | seq u64 | nops u32 | (key u64, tag u8, value
-/// u64)*`, all little-endian. The checksum makes a torn tail (a crash
-/// mid-append on the file log) detectable, and a batch indivisible:
-/// replay takes a record wholly or not at all. `seq` is the shard's
-/// batch sequence number; replay skips records at or below the shard
-/// manifest's watermark, so a record surviving past its checkpoint (in
-/// the sealed segment) cannot replay stale state over a newer manifest.
-fn encode_log_record(out: &mut Vec<u8>, shard: u32, seq: u64, effects: &[(Key, Option<Value>)]) {
+/// payload `shard u32 | seq u64 | nops u32 | op*`, all little-endian.
+/// Each op is `key u64 | tag u8 | body`: tag `0` (delete) and tag `1`
+/// (word put) carry a fixed 8-byte body — the layout every pre-payload
+/// log used, byte for byte — while tag `2` (byte-payload put) carries
+/// `len u32 | bytes`, so records are variable-stride only when byte ops
+/// are present. The checksum makes a torn tail (a crash mid-append on
+/// the file log) detectable, and a batch indivisible: replay takes a
+/// record wholly or not at all. `seq` is the shard's batch sequence
+/// number; replay skips records at or below the shard manifest's
+/// watermark, so a record surviving past its checkpoint (in the sealed
+/// segment) cannot replay stale state over a newer manifest.
+fn encode_log_record(out: &mut Vec<u8>, shard: u32, seq: u64, effects: &[(Key, Option<Effect>)]) {
     let mut payload = Vec::with_capacity(16 + effects.len() * 17);
     payload.extend_from_slice(&shard.to_le_bytes());
     payload.extend_from_slice(&seq.to_le_bytes());
     payload.extend_from_slice(&(effects.len() as u32).to_le_bytes());
-    for &(k, eff) in effects {
+    for (k, eff) in effects {
         payload.extend_from_slice(&k.to_le_bytes());
         match eff {
-            Some(v) => {
+            Some(Effect::Word(v)) => {
                 payload.push(1);
                 payload.extend_from_slice(&v.to_le_bytes());
+            }
+            Some(Effect::Bytes(b)) => {
+                payload.push(2);
+                payload.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                payload.extend_from_slice(b);
             }
             None => {
                 payload.push(0);
@@ -1140,7 +1211,37 @@ fn encode_log_record(out: &mut Vec<u8>, shard: u32, seq: u64, effects: &[(Key, O
 /// One decoded commit-log record: the shard it belongs to, the shard's
 /// batch sequence number, and the batch's per-key effects (`None` =
 /// delete) in application order.
-type LogRecord = (u32, u64, Vec<(Key, Option<Value>)>);
+type LogRecord = (u32, u64, Vec<(Key, Option<Effect>)>);
+
+/// Parses the ops of one checksum-verified record payload; `None` when
+/// the structure is malformed (an unknown tag or a length running past
+/// the payload — corruption the checksum cannot have produced, so the
+/// caller stops replay there like it does at a torn frame).
+fn decode_record_ops(payload: &[u8], nops: usize) -> Option<Vec<(Key, Option<Effect>)>> {
+    let mut effects = Vec::with_capacity(nops);
+    let mut at = 16usize;
+    for _ in 0..nops {
+        let k = u64::from_le_bytes(payload.get(at..at + 8)?.try_into().unwrap());
+        let tag = *payload.get(at + 8)?;
+        at += 9;
+        let eff = match tag {
+            0 | 1 => {
+                let v = u64::from_le_bytes(payload.get(at..at + 8)?.try_into().unwrap());
+                at += 8;
+                (tag == 1).then_some(Effect::Word(v))
+            }
+            2 => {
+                let len = u32::from_le_bytes(payload.get(at..at + 4)?.try_into().unwrap()) as usize;
+                let bytes = payload.get(at + 4..at + 4 + len)?;
+                at += 4 + len;
+                Some(Effect::Bytes(Arc::from(bytes)))
+            }
+            _ => return None,
+        };
+        effects.push((k, eff));
+    }
+    (at == payload.len()).then_some(effects)
+}
 
 /// Parses every intact record of a log image as `(shard, seq,
 /// effects)`, stopping at the first torn or corrupt frame — everything
@@ -1159,16 +1260,7 @@ fn decode_log_records(bytes: &[u8]) -> Vec<LogRecord> {
         let shard = u32::from_le_bytes(payload[0..4].try_into().unwrap());
         let seq = u64::from_le_bytes(payload[4..12].try_into().unwrap());
         let nops = u32::from_le_bytes(payload[12..16].try_into().unwrap()) as usize;
-        if payload.len() != 16 + nops * 17 {
-            break;
-        }
-        let mut effects = Vec::with_capacity(nops);
-        for i in 0..nops {
-            let rec = &payload[16 + i * 17..16 + (i + 1) * 17];
-            let k = u64::from_le_bytes(rec[0..8].try_into().unwrap());
-            let v = u64::from_le_bytes(rec[9..17].try_into().unwrap());
-            effects.push((k, (rec[8] == 1).then_some(v)));
-        }
+        let Some(effects) = decode_record_ops(payload, nops) else { break };
         out.push((shard, seq, effects));
         at += 12 + len;
     }
@@ -1534,6 +1626,10 @@ pub struct ShardedKvStore<M: StoreMedia = DirMedia> {
     coord: Arc<SyncCoordinator>,
     committers: Vec<Option<JoinHandle<()>>>,
     coordinator: Option<JoinHandle<()>>,
+    /// Whether every shard runs in payload mode (byte values in a blob
+    /// log) — a service-wide property baked in at create time, like the
+    /// shard count.
+    payloads: bool,
 }
 
 impl ShardedKvStore<DirMedia> {
@@ -1566,6 +1662,21 @@ impl ShardedKvStore<DirMedia> {
     pub fn open(root: impl AsRef<Path>, shards: usize, cfg: CoreConfig, seed: u64) -> Result<Self> {
         Self::open_on(DirServiceMedia::open(root)?, shards, cfg, seed)
     }
+
+    /// [`ShardedKvStore::open`] in **payload mode**: every shard stores
+    /// arbitrary byte values in its own blob log and the byte APIs
+    /// ([`ShardedKvStore::put_bytes`] / [`ShardedKvStore::get_bytes`])
+    /// come alive. The mode is baked into the layout like the shard
+    /// count — reopening a payload service through [`ShardedKvStore::
+    /// open`] (or vice versa) is rejected.
+    pub fn open_payload(
+        root: impl AsRef<Path>,
+        shards: usize,
+        cfg: CoreConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::open_payload_on(DirServiceMedia::open(root)?, shards, cfg, seed)
+    }
 }
 
 impl<M: StoreMedia + Send + 'static> ShardedKvStore<M>
@@ -1579,10 +1690,32 @@ where
     /// and a per-shard hash seed derived from `seed`. Spawns the `N`
     /// committer threads and the sync coordinator; they join on drop.
     pub fn open_on<S: ServiceMedia<Store = M>>(
+        media: S,
+        shards: usize,
+        cfg: CoreConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::open_inner(media, shards, cfg, seed, false)
+    }
+
+    /// [`ShardedKvStore::open_payload`] on any [`ServiceMedia`] — the
+    /// backend-generic twin (the torture harness passes
+    /// [`SimServiceMedia`]).
+    pub fn open_payload_on<S: ServiceMedia<Store = M>>(
+        media: S,
+        shards: usize,
+        cfg: CoreConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::open_inner(media, shards, cfg, seed, true)
+    }
+
+    fn open_inner<S: ServiceMedia<Store = M>>(
         mut media: S,
         shards: usize,
         cfg: CoreConfig,
         seed: u64,
+        payloads: bool,
     ) -> Result<Self> {
         if shards == 0 {
             return Err(ExtMemError::BadConfig("need at least one shard".into()));
@@ -1594,15 +1727,26 @@ where
         }
         let (seed, fresh) = match media.read_meta()? {
             Some(text) => {
-                let (p_shards, p_seed) = parse_service_meta(&text)?;
-                if p_shards != shards {
+                let meta = parse_service_meta(&text)?;
+                if meta.shards != shards {
                     return Err(ExtMemError::BadConfig(format!(
-                        "service was created with {p_shards} shards, caller asked for \
-                         {shards} — the key partition is baked into the layout"
+                        "service was created with {} shards, caller asked for \
+                         {shards} — the key partition is baked into the layout",
+                        meta.shards
+                    )));
+                }
+                if meta.payloads != payloads {
+                    let (was, should) = if meta.payloads {
+                        ("payload", "open_payload")
+                    } else {
+                        ("raw word", "open")
+                    };
+                    return Err(ExtMemError::BadConfig(format!(
+                        "service was created in {was} mode; reopen it with {should}"
                     )));
                 }
                 // Persisted routing seed wins, like KvStore's hash seed.
-                (p_seed, false)
+                (meta.seed, false)
             }
             None => (seed, true),
         };
@@ -1612,7 +1756,12 @@ where
             // tables must hash independently of each other and of the
             // router. On reopen each store's own persisted seed wins.
             let shard_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            stores.push(KvStore::open_on(media.open_shard(i)?, cfg.clone(), shard_seed)?);
+            let shard_media = media.open_shard(i)?;
+            stores.push(if payloads {
+                KvStore::open_payload_on(shard_media, cfg.clone(), shard_seed)?
+            } else {
+                KvStore::open_on(shard_media, cfg.clone(), shard_seed)?
+            });
         }
         if fresh {
             // Committed only after every shard bootstrapped: a failed
@@ -1621,7 +1770,8 @@ where
             // service. A crash in between is recoverable — the next
             // open re-runs this create path, and each shard store
             // reopens from its own already-committed manifest.
-            media.commit_meta(&format!("{SERVICE_MAGIC}\nshards {shards}\nseed {seed}\n"))?;
+            let mode = if payloads { "payloads 1\n" } else { "" };
+            media.commit_meta(&format!("{SERVICE_MAGIC}\nshards {shards}\nseed {seed}\n{mode}"))?;
         }
         // Reopen-time recovery, phase two: each store recovered itself
         // to its last manifest above; now the commit log's surviving
@@ -1660,6 +1810,7 @@ where
             coord,
             committers: Vec::with_capacity(shards),
             coordinator: None,
+            payloads,
         };
         let handle = dxh_sync::thread::Builder::new().name("dxh-sync-coord".into()).spawn({
             let shards = svc.shards.clone();
@@ -1731,8 +1882,9 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// always drains them as one contiguous slice — one batch); ops on
     /// different shards commit independently.
     pub fn submit(&self, ops: &[WriteOp]) -> Result<Vec<bool>> {
-        for op in ops {
-            op.validate()?;
+        let ops: Vec<Op> = ops.iter().map(|&op| Op::from(op)).collect();
+        for op in &ops {
+            op.validate(self.payloads)?;
         }
         // Group by shard first (preserving each shard's op order and the
         // input positions for the answers): the whole per-shard slice
@@ -1757,8 +1909,8 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         let mut placed: Vec<Placed<'_>> = Vec::new();
         let mut first_err: Option<ExtMemError> = None;
         for (si, positions) in &by_shard {
-            let shard_ops: Vec<WriteOp> = positions.iter().map(|&p| ops[p]).collect();
-            match self.enqueue_batch(*si, &shard_ops) {
+            let shard_ops: Vec<Op> = positions.iter().map(|&p| ops[p].clone()).collect();
+            match self.enqueue_batch(*si, shard_ops) {
                 Ok(cells) => placed.push((*si, positions, cells)),
                 Err(e) => {
                     first_err = Some(e);
@@ -1800,8 +1952,20 @@ impl<M: StoreMedia> ShardedKvStore<M> {
             if let Some(why) = &buf.wedged {
                 return Err(wedged_err(why));
             }
-            if let Some(v) = buf.overlay_get(key) {
-                return Ok(v);
+            if let Some(eff) = buf.overlay_get(key) {
+                return match eff {
+                    None => Ok(None),
+                    Some(Effect::Word(v)) => Ok(Some(v)),
+                    // Mirror the store's payload-mode lookup: an 8-byte
+                    // payload *is* a word; anything else is not.
+                    Some(Effect::Bytes(b)) => match <[u8; 8]>::try_from(&b[..]) {
+                        Ok(bytes) => Ok(Some(u64::from_le_bytes(bytes))),
+                        Err(_) => Err(ExtMemError::BadConfig(format!(
+                            "key {key} holds a {}-byte payload, not a word; use get_bytes",
+                            b.len()
+                        ))),
+                    },
+                };
             }
         }
         // The buffer lock is dropped before the store lock is taken
@@ -1809,6 +1973,68 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         // the other order); the race this opens is benign, since a key
         // that left the overlay is answerable by the store.
         shard.store.lock().lookup(key)
+    }
+
+    /// Inserts (or upserts) `key` with an arbitrary byte payload —
+    /// [`ShardedKvStore::put`]'s byte twin, with the same group-commit
+    /// durability contract: when this returns `Ok`, the payload (and
+    /// the index word pointing at it) survives any crash. Payload-mode
+    /// services only ([`ShardedKvStore::open_payload`]); the payload is
+    /// copied once at this boundary, then shared (not re-copied) along
+    /// the apply and commit-log paths.
+    ///
+    /// ```
+    /// use dxh_core::{CoreConfig, ShardedKvStore, SimServiceMedia};
+    /// use dxh_extmem::SimEnv;
+    ///
+    /// let env = SimEnv::new();
+    /// let cfg = CoreConfig::lemma5(8, 128, 2)?;
+    /// let svc = ShardedKvStore::open_payload_on(SimServiceMedia::new(&env), 2, cfg, 7)?;
+    /// svc.put_bytes(1, b"a value of any length")?;
+    /// assert_eq!(svc.get_bytes(1)?.as_deref(), Some(&b"a value of any length"[..]));
+    /// # Ok::<(), dxh_extmem::ExtMemError>(())
+    /// ```
+    pub fn put_bytes(&self, key: Key, payload: &[u8]) -> Result<()> {
+        if !self.payloads {
+            return Err(ExtMemError::BadConfig(
+                "byte payloads need a payload-mode service (open_payload)".into(),
+            ));
+        }
+        let op = Op::PutBytes(key, Arc::from(payload));
+        op.validate(true)?;
+        let si = self.shard_of(key);
+        let cells = self.enqueue_batch(si, vec![op])?;
+        self.drive(si, &cells).map(|_| ())
+    }
+
+    /// Looks up `key`'s byte payload — [`ShardedKvStore::get`]'s byte
+    /// twin, with the same read-your-writes overlay semantics (a hit on
+    /// an accepted-but-volatile write answers before it is durable; see
+    /// `docs/GUARANTEES.md`). Returns an owned copy: the zero-copy view
+    /// stops at the shard's store lock, which a borrowed return would
+    /// otherwise have to hold open. Payload-mode services only.
+    pub fn get_bytes(&self, key: Key) -> Result<Option<Vec<u8>>> {
+        if !self.payloads {
+            return Err(ExtMemError::BadConfig(
+                "byte payloads need a payload-mode service (open_payload)".into(),
+            ));
+        }
+        let shard = &self.shards[self.shard_of(key)];
+        {
+            let buf = shard.buf.lock();
+            if let Some(why) = &buf.wedged {
+                return Err(wedged_err(why));
+            }
+            if let Some(eff) = buf.overlay_get(key) {
+                return Ok(eff.map(|e| match e {
+                    Effect::Bytes(b) => b.to_vec(),
+                    // A word put on a payload-mode store lands as its
+                    // 8-byte little-endian payload.
+                    Effect::Word(v) => v.to_le_bytes().to_vec(),
+                }));
+            }
+        }
+        shard.store.lock().get_bytes(key).map(|opt| opt.map(<[u8]>::to_vec))
     }
 
     /// Syncs every shard's store in turn — a manifest-level durability
@@ -1875,6 +2101,8 @@ impl<M: StoreMedia> ShardedKvStore<M> {
             out.shard_syncs += buf.hardens;
         }
         out.sync_rounds = self.coord.state.lock().epoch;
+        out.sealed_discards = self.coord.sealed_discards.load(Ordering::Relaxed);
+        out.sealed_discard_failures = self.coord.sealed_discard_failures.load(Ordering::Relaxed);
         out
     }
 
@@ -1925,7 +2153,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     /// committer always drains the whole queue, it can never be split
     /// across batches. Returns the cells the outcomes will land in.
     /// Fails fast (enqueuing nothing) on a wedged shard.
-    fn enqueue_batch(&self, si: usize, ops: &[WriteOp]) -> Result<Vec<Arc<OpCell>>> {
+    fn enqueue_batch(&self, si: usize, ops: Vec<Op>) -> Result<Vec<Arc<OpCell>>> {
         let shard = &self.shards[si];
         let mut buf = shard.buf.lock();
         if let Some(why) = &buf.wedged {
@@ -1935,7 +2163,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         for op in ops {
             let cell = Arc::new(OpCell::default());
             let (k, effect) = op.effect();
-            buf.pending.push(QueuedOp { op: *op, cell: cell.clone() });
+            buf.pending.push(QueuedOp { op, cell: cell.clone() });
             buf.pending_overlay.insert(k, effect);
             cells.push(cell);
         }
@@ -2037,7 +2265,8 @@ fn replay_log<M: StoreMedia>(log: &mut impl CommitLog, stores: &mut [KvStore<M>]
         }
         for (k, eff) in effects {
             match eff {
-                Some(v) => store.insert(k, v)?,
+                Some(Effect::Word(v)) => store.insert(k, v)?,
+                Some(Effect::Bytes(b)) => store.put_bytes(k, &b)?,
                 None => {
                     store.delete(k)?;
                 }
@@ -2051,8 +2280,18 @@ fn replay_log<M: StoreMedia>(log: &mut impl CommitLog, stores: &mut [KvStore<M>]
     log.truncate()
 }
 
-/// Parses the service manifest: `(shards, seed)`.
-fn parse_service_meta(text: &str) -> Result<(usize, u64)> {
+/// Parsed service manifest contents.
+struct ServiceMeta {
+    shards: usize,
+    seed: u64,
+    /// `payloads 1` line present ⟺ the service (and every shard store)
+    /// runs in payload mode. Absent on every pre-payload manifest, which
+    /// therefore parses as a raw word-mode service.
+    payloads: bool,
+}
+
+/// Parses the service manifest.
+fn parse_service_meta(text: &str) -> Result<ServiceMeta> {
     let corrupt = |why: &str| ExtMemError::Corrupt(format!("service manifest: {why}"));
     let mut lines = text.lines();
     if lines.next() != Some(SERVICE_MAGIC) {
@@ -2060,17 +2299,19 @@ fn parse_service_meta(text: &str) -> Result<(usize, u64)> {
     }
     let mut shards = None;
     let mut seed = None;
+    let mut payloads = false;
     for line in lines {
         let mut parts = line.split_whitespace();
         let (Some(key), Some(v)) = (parts.next(), parts.next()) else { continue };
         match key {
             "shards" => shards = v.parse().ok(),
             "seed" => seed = v.parse().ok(),
+            "payloads" => payloads = v == "1",
             _ => {} // forward-compatible
         }
     }
     match (shards, seed) {
-        (Some(s), Some(x)) if s > 0 => Ok((s, x)),
+        (Some(shards), Some(seed)) if shards > 0 => Ok(ServiceMeta { shards, seed, payloads }),
         _ => Err(corrupt("missing shards/seed")),
     }
 }
@@ -2176,7 +2417,7 @@ mod tests {
             }
             let ops_before = env.ops();
             // Enqueue without driving: accepted, not yet durable.
-            let _cells = svc.enqueue_batch(0, &[WriteOp::Put(2, 20), WriteOp::Delete(1)]).unwrap();
+            let _cells = svc.enqueue_batch(0, vec![Op::Put(2, 20), Op::Delete(1)]).unwrap();
             assert_eq!(svc.get(2).unwrap(), Some(20), "pending put visible");
             assert_eq!(svc.get(1).unwrap(), None, "pending delete visible");
             assert_eq!(env.ops(), ops_before, "overlay answers cost zero I/O");
@@ -2240,7 +2481,7 @@ mod tests {
         svc.put(100, 1).unwrap();
         let mut cells = Vec::new();
         for k in 0..40u64 {
-            cells.push(svc.enqueue_batch(svc.shard_of(k), &[WriteOp::Put(k, k + 7)]).unwrap());
+            cells.push(svc.enqueue_batch(svc.shard_of(k), vec![Op::Put(k, k + 7)]).unwrap());
         }
         drop(svc); // join: drain, apply, final harden per shard
         let svc = sim_service(&env, 2, 19);
@@ -2318,8 +2559,8 @@ mod tests {
         assert_eq!(history.len(), 1);
         let h = &history[0];
         assert_eq!(h.committed.len(), 2, "two group commits ran");
-        assert_eq!(h.committed[0].ops, vec![(1, Some(10))]);
-        assert_eq!(h.committed[1].ops, vec![(2, Some(20)), (1, None)]);
+        assert_eq!(h.committed[0].ops, vec![(1, Some(Effect::Word(10)))]);
+        assert_eq!(h.committed[1].ops, vec![(2, Some(Effect::Word(20))), (1, None)]);
         assert!(h.inflight.is_empty(), "no commit was interrupted");
         svc.set_batch_recording(false);
         svc.put(3, 30).unwrap();
@@ -2327,8 +2568,81 @@ mod tests {
     }
 
     #[test]
+    fn payload_service_round_trips_bytes_and_survives_reopen() {
+        let env = SimEnv::new();
+        let payload = |k: u64| -> Vec<u8> {
+            (0..1 + (k as usize * 5) % 60).map(|i| (k as u8).wrapping_add(i as u8)).collect()
+        };
+        let svc =
+            ShardedKvStore::open_payload_on(SimServiceMedia::new(&env), 2, cfg(), 31).unwrap();
+        for k in 0..120u64 {
+            svc.put_bytes(k, &payload(k)).unwrap();
+        }
+        // Word APIs interoperate: a word is an 8-byte payload, and the
+        // full word domain — including the raw path's reserved value —
+        // is storable (the deletion marker is out-of-band here).
+        svc.put(500, u64::MAX).unwrap();
+        assert_eq!(svc.get(500).unwrap(), Some(u64::MAX));
+        assert_eq!(svc.get_bytes(500).unwrap().as_deref(), Some(&u64::MAX.to_le_bytes()[..]));
+        assert!(svc.delete(5).unwrap());
+        assert_eq!(svc.get_bytes(5).unwrap(), None);
+        drop(svc);
+        // Acknowledged byte writes are durable: the reopen replays any
+        // commit-log records (tag-2 framed payloads included) over the
+        // shard manifests.
+        let svc =
+            ShardedKvStore::open_payload_on(SimServiceMedia::new(&env), 2, cfg(), 31).unwrap();
+        for k in 0..120u64 {
+            let expect = (k != 5).then(|| payload(k));
+            assert_eq!(svc.get_bytes(k).unwrap(), expect, "key {k} after reopen");
+        }
+        assert_eq!(svc.get(500).unwrap(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn payload_mode_is_a_service_property_checked_at_reopen() {
+        let env = SimEnv::new();
+        drop(ShardedKvStore::open_payload_on(SimServiceMedia::new(&env), 2, cfg(), 32).unwrap());
+        let err = match ShardedKvStore::open_on(SimServiceMedia::new(&env), 2, cfg(), 32) {
+            Err(e) => e,
+            Ok(_) => panic!("raw open of a payload service must fail"),
+        };
+        assert!(err.to_string().contains("payload mode"), "got: {err}");
+        let env = SimEnv::new();
+        drop(sim_service(&env, 2, 33));
+        let err = match ShardedKvStore::open_payload_on(SimServiceMedia::new(&env), 2, cfg(), 33) {
+            Err(e) => e,
+            Ok(_) => panic!("payload open of a raw service must fail"),
+        };
+        assert!(err.to_string().contains("raw word mode"), "got: {err}");
+        // Byte APIs on a raw service are immediate per-call errors.
+        let svc = sim_service(&env, 2, 33);
+        assert!(svc.put_bytes(1, b"x").is_err());
+        assert!(svc.get_bytes(1).is_err());
+    }
+
+    #[test]
+    fn clean_rotations_count_their_sealed_segment_discards() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 2, 34);
+        svc.set_checkpoint_log_bytes(128);
+        for k in 0..400u64 {
+            svc.put(k, k).unwrap();
+        }
+        let stats = svc.stats();
+        assert!(
+            stats.sealed_discards >= 1,
+            "tiny threshold forces rotations, each ending in a counted discard: {stats:?}"
+        );
+        assert_eq!(stats.sealed_discard_failures, 0, "fault-free run: no failed discards");
+    }
+
+    #[test]
     fn service_meta_parses_and_rejects() {
-        assert_eq!(parse_service_meta("dxh-service v1\nshards 8\nseed 42\n").unwrap(), (8, 42));
+        let m = parse_service_meta("dxh-service v1\nshards 8\nseed 42\n").unwrap();
+        assert_eq!((m.shards, m.seed, m.payloads), (8, 42, false));
+        let m = parse_service_meta("dxh-service v1\nshards 8\nseed 42\npayloads 1\n").unwrap();
+        assert!(m.payloads);
         assert!(parse_service_meta("nope\n").is_err());
         assert!(parse_service_meta("dxh-service v1\nshards 0\nseed 1\n").is_err());
         assert!(parse_service_meta("dxh-service v1\nshards 2\n").is_err());

@@ -70,8 +70,8 @@
 use std::path::{Path, PathBuf};
 
 use dxh_extmem::{
-    BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Key, PersistentBackend, Result, Value,
-    KEY_TOMBSTONE, VALUE_TOMBSTONE,
+    BlobLog, BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Key, PersistentBackend, Result,
+    Value, BLOB_TAG, KEY_TOMBSTONE, VALUE_TOMBSTONE,
 };
 use dxh_hashfn::IdealFn;
 use dxh_tables::ExternalDictionary;
@@ -103,6 +103,29 @@ fn data_file_name(gen: u64) -> String {
     } else {
         format!("store.{gen}.blk")
     }
+}
+
+/// The payload blob log of generation `gen` — gen-named exactly like
+/// [`data_file_name`], swapped at the same manifest commit, so index
+/// words and the log they point into always come from one generation.
+fn blob_file_name(gen: u64) -> String {
+    if gen == 0 {
+        "store.blob".to_string()
+    } else {
+        format!("store.{gen}.blob")
+    }
+}
+
+/// Strips [`BLOB_TAG`] from a payload-mode index word. An untagged word
+/// in a payload-mode table can only mean index/log disagreement —
+/// corruption, never a user error.
+fn untag(word: Value) -> Result<u64> {
+    if word & BLOB_TAG == 0 {
+        return Err(ExtMemError::Corrupt(format!(
+            "payload-mode index word {word:#x} lacks the blob tag"
+        )));
+    }
+    Ok(word & !BLOB_TAG)
 }
 
 /// The body of [`KvStore::mark_dirty`], over disjoint field borrows so
@@ -166,6 +189,13 @@ fn fresh_gen_disk<M: StoreMedia>(
 /// ```
 pub struct KvStore<M: StoreMedia = DirMedia> {
     table: LogMethodTable<IdealFn, M::Backend>,
+    /// The payload blob log — `Some` exactly when the store runs in
+    /// **payload mode** ([`KvStore::open_payload`]): the table is then an
+    /// index whose value words are `BLOB_TAG | offset` into this log,
+    /// and the byte API ([`KvStore::put_bytes`] / [`KvStore::get_bytes`])
+    /// is the way in. A raw store (`open`) has no log and keeps the
+    /// paper's pure-u64 representation bit-for-bit.
+    blob: Option<BlobLog<M::Blob>>,
     seed: u64,
     /// Generation of the authoritative data file (bumped by each
     /// [`KvStore::compact`]; see [`data_file_name`]).
@@ -202,6 +232,16 @@ impl KvStore<DirMedia> {
         Self::open_on(DirMedia::open(dir)?, cfg, seed)
     }
 
+    /// [`KvStore::open`] in **payload mode**: values are arbitrary byte
+    /// strings in an append-only blob log, the u64 table is the index
+    /// over it, and the store speaks [`KvStore::put_bytes`] /
+    /// [`KvStore::get_bytes`]. The mode is recorded in the manifest and
+    /// checked on reopen — a store never silently switches
+    /// representation.
+    pub fn open_payload(dir: impl AsRef<Path>, cfg: CoreConfig, seed: u64) -> Result<Self> {
+        Self::open_payload_on(DirMedia::open(dir)?, cfg, seed)
+    }
+
     /// The directory this store lives in.
     pub fn path(&self) -> &Path {
         self.media.dir()
@@ -213,14 +253,33 @@ impl<M: StoreMedia> KvStore<M> {
     /// [`KvStore::open`]. The media's mutual exclusion is already held
     /// (it was acquired when `media` was constructed) and travels with
     /// the returned handle.
-    pub fn open_on(mut media: M, cfg: CoreConfig, seed: u64) -> Result<Self> {
+    pub fn open_on(media: M, cfg: CoreConfig, seed: u64) -> Result<Self> {
+        Self::open_inner(media, cfg, seed, false)
+    }
+
+    /// [`KvStore::open_payload`] on caller-provided media — the
+    /// backend-generic payload-mode open (the sharded service and the
+    /// torture harness both come through here on the sim media).
+    pub fn open_payload_on(media: M, cfg: CoreConfig, seed: u64) -> Result<Self> {
+        Self::open_inner(media, cfg, seed, true)
+    }
+
+    /// Shared open; `payloads` is the mode the caller asked for, and the
+    /// manifest's recorded mode must agree on reopen.
+    fn open_inner(mut media: M, cfg: CoreConfig, seed: u64, payloads: bool) -> Result<Self> {
         match media.read_manifest()? {
-            Some(text) => Self::reopen(media, &text, cfg.b),
+            Some(text) => Self::reopen(media, &text, cfg.b, payloads),
             None => {
                 let disk = fresh_gen_disk(&mut media, DATA, &cfg)?;
                 let table = LogMethodTable::new_on(disk, cfg, seed)?;
+                let blob = if payloads {
+                    Some(BlobLog::create(media.create_blob(&blob_file_name(0))?)?)
+                } else {
+                    None
+                };
                 let mut store = KvStore {
                     table,
+                    blob,
                     seed,
                     data_gen: 0,
                     dirty: false,
@@ -235,13 +294,26 @@ impl<M: StoreMedia> KvStore<M> {
         }
     }
 
-    fn reopen(mut media: M, text: &str, expected_b: usize) -> Result<Self> {
+    fn reopen(mut media: M, text: &str, expected_b: usize, payloads: bool) -> Result<Self> {
         let m = Manifest::parse(text)?;
         if m.cfg.b != expected_b {
             return Err(ExtMemError::BadConfig(format!(
                 "store was created with b = {}, caller asked for b = {expected_b}",
                 m.cfg.b
             )));
+        }
+        match (&m.blob, payloads) {
+            (Some(_), false) => {
+                return Err(ExtMemError::BadConfig(
+                    "store is in payload mode; reopen it with open_payload".into(),
+                ))
+            }
+            (None, true) => {
+                return Err(ExtMemError::BadConfig(
+                    "store was created without payload mode; reopen it with open".into(),
+                ))
+            }
+            _ => {}
         }
         let data_name = data_file_name(m.data_gen);
         let mut backend = media.open_data(&data_name, m.cfg.b)?;
@@ -282,11 +354,25 @@ impl<M: StoreMedia> KvStore<M> {
         backend.set_defer_recycling(true);
         let disk = Disk::new(backend, m.cfg.b, m.cfg.cost);
         let table = LogMethodTable::from_parts(disk, m.cfg, IdealFn::from_seed(m.seed), m.levels)?;
+        // The blob log recovers to the committed length the manifest
+        // covers: a crash tail (torn or unsynced appends the index never
+        // referenced) is truncated away, and the committed prefix is
+        // verified frame by frame before any offset is served.
+        let blob = match m.blob {
+            Some(committed) => {
+                let blob_name = blob_file_name(m.data_gen);
+                let log = BlobLog::open(media.open_blob(&blob_name)?, committed)?;
+                media.remove_stale_blobs(&blob_name);
+                Some(log)
+            }
+            None => None,
+        };
         // Strays from an interrupted compaction (either side of its
         // manifest commit) are unreferenced whole files: remove them.
         media.remove_stale_data(&data_name);
         Ok(KvStore {
             table,
+            blob,
             seed: m.seed,
             data_gen: m.data_gen,
             dirty: false,
@@ -343,14 +429,20 @@ impl<M: StoreMedia> KvStore<M> {
         self.table.flush_memory()
     }
 
-    /// Stage 2: `fdatasync` the block file, making stage 1's writes (and
-    /// every block write since the last commit) durable. No-op when
-    /// clean.
+    /// Stage 2: `fdatasync` the payload blob log (payload mode only),
+    /// then the block file, making stage 1's writes (and every append
+    /// and block write since the last commit) durable. No-op when clean.
+    ///
+    /// The blob sync runs **before** stage 3's manifest commit can — the
+    /// `blob-sync-before-index-commit` durability rule: the index words
+    /// a manifest commits point into the log, so the pointed-at bytes
+    /// must be durable first or a crash could commit dangling offsets.
     pub(crate) fn harden_data_sync(&mut self) -> Result<()> {
         self.check_poisoned()?;
         if !self.dirty {
             return Ok(());
         }
+        self.blob_sync()?;
         self.table.disk_mut().flush()
     }
 
@@ -401,6 +493,85 @@ impl<M: StoreMedia> KvStore<M> {
         Ok(())
     }
 
+    /// Whether this store runs in payload mode (opened via
+    /// [`KvStore::open_payload`]).
+    pub fn payload_mode(&self) -> bool {
+        self.blob.is_some()
+    }
+
+    /// The blob log's current length in bytes (0 on a raw store) —
+    /// footprint reporting, and what the next manifest commit records as
+    /// the committed payload length.
+    pub fn blob_len(&self) -> u64 {
+        self.blob.as_ref().map_or(0, |log| log.len())
+    }
+
+    /// The append choke point of the payload write path — every byte
+    /// entering the blob log goes through here (a volatile-write sink in
+    /// the durability lint's classification; [`KvStore::blob_sync`] is
+    /// its fsync counterpart).
+    fn blob_append(&mut self, payload: &[u8]) -> Result<u64> {
+        let log = self
+            .blob
+            .as_mut()
+            .ok_or_else(|| ExtMemError::BadConfig("store has no payload log; use insert".into()))?;
+        let (offset, _len) = log.append(payload)?;
+        Ok(offset)
+    }
+
+    /// The sync choke point of the payload write path: `fdatasync`s the
+    /// blob log (no-op on a raw store). Ordered before every index
+    /// commit by [`KvStore::harden_data_sync`] and
+    /// [`KvStore::compact`].
+    fn blob_sync(&mut self) -> Result<()> {
+        match self.blob.as_mut() {
+            Some(log) => log.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Inserts `key → payload` (payload mode only): the bytes are
+    /// appended to the blob log and the index word becomes
+    /// `BLOB_TAG | offset`. The **full byte domain** is storable — there
+    /// is no in-band sentinel on this path (see the sentinel-domain note
+    /// on [`dxh_extmem::VALUE_TOMBSTONE`]); only key `u64::MAX` stays
+    /// reserved (it is the slot-level sentinel everywhere). Durability
+    /// follows the store's sync points: the payload is crash-recoverable
+    /// after the next [`KvStore::sync`] / harden.
+    pub fn put_bytes(&mut self, key: Key, payload: &[u8]) -> Result<()> {
+        if self.blob.is_none() {
+            return Err(ExtMemError::BadConfig(
+                "store was opened without payload mode; use insert".into(),
+            ));
+        }
+        if key == KEY_TOMBSTONE {
+            return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
+        }
+        self.mark_dirty()?;
+        let offset = self.blob_append(payload)?;
+        self.table.insert(key, BLOB_TAG | offset)
+    }
+
+    /// Looks up `key`'s payload (payload mode only) as a **borrowed
+    /// zero-copy view** over the blob log's mapped region: one index
+    /// probe, one O(1) bounds check, no payload copy and no per-read
+    /// checksum (integrity was established for the whole committed
+    /// prefix when the log was opened). `None` when absent or deleted.
+    pub fn get_bytes(&mut self, key: Key) -> Result<Option<&[u8]>> {
+        self.check_poisoned()?;
+        if self.blob.is_none() {
+            return Err(ExtMemError::BadConfig(
+                "store was opened without payload mode; use lookup".into(),
+            ));
+        }
+        let Some(word) = self.table.lookup(key)? else {
+            return Ok(None);
+        };
+        let offset = untag(word)?;
+        let log = self.blob.as_ref().expect("payload mode checked above");
+        Ok(Some(log.get(offset)?))
+    }
+
     /// Transitions into the dirty state before the first mutation after a
     /// clean point: the marker must be gone from disk before any block
     /// write lands, or a crash would be misread as a clean shutdown.
@@ -411,6 +582,11 @@ impl<M: StoreMedia> KvStore<M> {
 
     fn write_manifest(&mut self) -> Result<()> {
         let cfg = self.table.config().clone();
+        // Presence of the `blob` line ⟺ payload mode; its value is the
+        // committed payload length — reopen truncates the log back to it
+        // (crash-tail discard) and verifies the prefix. Callers order a
+        // blob sync before this commit (`blob-sync-before-index-commit`).
+        let blob_len = self.blob.as_ref().map(|log| log.len());
         let backend = self.table.disk_mut().backend_mut();
         let mut out = String::new();
         out.push_str(MAGIC);
@@ -428,6 +604,11 @@ impl<M: StoreMedia> KvStore<M> {
         ));
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("data {}\n", self.data_gen));
+        if let Some(len) = blob_len {
+            // Forward-compatible: older parsers ignore the line (and a
+            // payload store refuses a raw reopen anyway).
+            out.push_str(&format!("blob {len}\n"));
+        }
         if self.watermark > 0 {
             // Service-managed stores only (see `set_replay_watermark`);
             // older parsers ignore the line (forward-compatible).
@@ -557,6 +738,38 @@ impl<M: StoreMedia> KvStore<M> {
         };
         self.table = table; // old table (and its file handle) dropped here
         self.data_gen = new_gen;
+        // Payload mode: rewrite the live prefix of the blob log into a
+        // fresh generation — only payloads the rebuilt index still
+        // references survive (deleted and superseded ones are the log's
+        // dead weight). The index walk remaps every tagged word to its
+        // new offset, and the new log is fdatasync'd before the manifest
+        // commit can reference it (`blob-sync-before-index-commit`).
+        if let Some(old_log) = self.blob.take() {
+            let new_blob_name = blob_file_name(new_gen);
+            let blob_fail = |this: &mut Self, e: ExtMemError| {
+                this.poisoned = true;
+                this.media.remove_blob(&new_blob_name);
+                this.media.remove_data(&new_name);
+                Err(e)
+            };
+            let mut new_log = match self.media.create_blob(&new_blob_name).and_then(BlobLog::create)
+            {
+                Ok(l) => l,
+                Err(e) => return blob_fail(self, e),
+            };
+            let mut remap = |word: Value| -> Result<Value> {
+                let payload = old_log.get(untag(word)?)?;
+                let (offset, _len) = new_log.append(payload)?;
+                Ok(BLOB_TAG | offset)
+            };
+            if let Err(e) = self.table.rewrite_values(&mut remap) {
+                return blob_fail(self, e);
+            }
+            self.blob = Some(new_log);
+            if let Err(e) = self.blob_sync() {
+                return blob_fail(self, e);
+            }
+        }
         // Commit point: a crash before this rename leaves the old
         // manifest + old file authoritative (the newer files are strays);
         // after it, the new pair is.
@@ -564,6 +777,9 @@ impl<M: StoreMedia> KvStore<M> {
         self.media.set_clean_marker()?;
         self.dirty = false;
         self.media.remove_stale_data(&new_name);
+        if self.blob.is_some() {
+            self.media.remove_stale_blobs(&blob_file_name(new_gen));
+        }
         let bytes_after = self.media.data_len(&new_name);
         Ok(CompactionStats {
             live_items: stats.items,
@@ -708,7 +924,16 @@ impl<M: StoreMedia> ExternalDictionary for KvStore<M> {
     /// not dirty the store — a handle whose every mutation was rejected
     /// stays clean, and its next `sync` (or drop) is a no-op instead of
     /// a manifest rewrite plus two directory fsyncs.
+    ///
+    /// On a payload-mode store the word is stored as its 8-byte
+    /// little-endian payload, so the **full** value domain — including
+    /// `u64::MAX`, rejected on the raw path below — round-trips (the
+    /// deletion marker is out-of-band there; see the sentinel-domain
+    /// note on [`VALUE_TOMBSTONE`]).
     fn insert(&mut self, key: Key, value: Value) -> Result<()> {
+        if self.blob.is_some() {
+            return self.put_bytes(key, &value.to_le_bytes());
+        }
         if key == KEY_TOMBSTONE {
             return Err(ExtMemError::BadConfig("key u64::MAX is reserved".into()));
         }
@@ -724,9 +949,25 @@ impl<M: StoreMedia> ExternalDictionary for KvStore<M> {
     /// Errors on a handle poisoned by a failed [`KvStore::compact`]:
     /// the in-memory table was drained into the aborted pass, so
     /// answering from it would report every synced key as absent.
+    ///
+    /// On a payload-mode store this decodes the 8-byte payload written
+    /// by the word-insert above; a payload of any other length errors —
+    /// use [`KvStore::get_bytes`] for the byte API.
     fn lookup(&mut self, key: Key) -> Result<Option<Value>> {
         self.check_poisoned()?;
-        self.table.lookup(key)
+        if self.blob.is_none() {
+            return self.table.lookup(key);
+        }
+        let Some(payload) = self.get_bytes(key)? else {
+            return Ok(None);
+        };
+        let bytes: [u8; 8] = payload.try_into().map_err(|_| {
+            ExtMemError::BadConfig(format!(
+                "key {key} holds a {}-byte payload, not a word; use get_bytes",
+                payload.len()
+            ))
+        })?;
+        Ok(Some(u64::from_le_bytes(bytes)))
     }
 
     /// Deletes through the log method's deletion-marker path (see
@@ -784,6 +1025,9 @@ struct Manifest {
     /// Commit-log replay watermark (absent lines parse as 0 — stores
     /// outside a service never write one).
     watermark: u64,
+    /// Committed blob-log length in bytes. Presence of the line ⟺ the
+    /// store runs in payload mode; recovery truncates the log here.
+    blob: Option<u64>,
 }
 
 impl Manifest {
@@ -803,6 +1047,7 @@ impl Manifest {
         let mut seed = None;
         let mut data_gen = 0u64;
         let mut watermark = 0u64;
+        let mut blob = None;
         let mut slots = None;
         let mut free = Vec::new();
         let mut levels: Vec<Option<Region>> = Vec::new();
@@ -826,6 +1071,7 @@ impl Manifest {
                 "seed" => seed = v.parse().ok(),
                 "data" => data_gen = v.parse().map_err(|_| corrupt("bad data generation"))?,
                 "watermark" => watermark = v.parse().map_err(|_| corrupt("bad watermark"))?,
+                "blob" => blob = Some(v.parse().map_err(|_| corrupt("bad blob length"))?),
                 "slots" => slots = v.parse().ok(),
                 "free" => {
                     for id in v.split(',').filter(|s| !s.is_empty()) {
@@ -865,7 +1111,7 @@ impl Manifest {
             return Err(corrupt("missing required field"));
         };
         let cfg = CoreConfig::custom(b, m, gamma, beta)?.cost_model(cost);
-        Ok(Manifest { cfg, seed, data_gen, slots, free, levels, v1, watermark })
+        Ok(Manifest { cfg, seed, data_gen, slots, free, levels, v1, watermark, blob })
     }
 }
 
@@ -1571,5 +1817,139 @@ mod tests {
         assert_eq!(Manifest::parse(&text).unwrap().data_gen, 0);
         assert_eq!(data_file_name(0), DATA);
         assert_eq!(data_file_name(2), "store.2.blk");
+    }
+
+    /// A deterministic payload whose length varies with the key, so a
+    /// mis-indexed read cannot accidentally produce the right bytes.
+    fn payload_for(k: u64) -> Vec<u8> {
+        let len = 1 + (k as usize * 7) % 90;
+        (0..len).map(|i| (k as u8).wrapping_mul(31).wrapping_add(i as u8)).collect()
+    }
+
+    #[test]
+    fn payload_store_round_trips_bytes_and_the_full_word_domain() {
+        let dir = tmp_dir("payload-roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = KvStore::open_payload(&dir, cfg(), 21).unwrap();
+            assert!(s.payload_mode());
+            for k in 0..400u64 {
+                s.put_bytes(k, &payload_for(k)).unwrap();
+            }
+            // Satellite: the deletion marker is out-of-band here, so the
+            // raw path's reserved word is an ordinary value in payload
+            // mode — both as an 8-byte payload and via the word API.
+            s.insert(500, u64::MAX).unwrap();
+            s.put_bytes(501, &u64::MAX.to_le_bytes()).unwrap();
+            assert_eq!(s.lookup(500).unwrap(), Some(u64::MAX));
+            assert_eq!(s.lookup(501).unwrap(), Some(u64::MAX));
+            assert!(s.delete(500).unwrap());
+            assert_eq!(s.get_bytes(500).unwrap(), None);
+        } // drop syncs
+        let mut s = KvStore::open_payload(&dir, cfg(), 21).unwrap();
+        for k in 0..400u64 {
+            assert_eq!(s.get_bytes(k).unwrap(), Some(payload_for(k).as_slice()), "key {k}");
+        }
+        assert_eq!(s.get_bytes(500).unwrap(), None, "delete survives reopen");
+        assert_eq!(s.lookup(501).unwrap(), Some(u64::MAX));
+        // A non-8-byte payload is not a word.
+        s.put_bytes(502, b"hello").unwrap();
+        assert!(matches!(s.lookup(502), Err(ExtMemError::BadConfig(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_mode_is_a_store_property_checked_at_reopen() {
+        let dir = tmp_dir("payload-mode");
+        let _ = fs::remove_dir_all(&dir);
+        drop(KvStore::open_payload(&dir, cfg(), 22).unwrap());
+        let Err(err) = KvStore::open(&dir, cfg(), 22) else {
+            panic!("raw open of a payload store must fail");
+        };
+        assert!(matches!(err, ExtMemError::BadConfig(_)), "got: {err}");
+        let _ = fs::remove_dir_all(&dir);
+        drop(KvStore::open(&dir, cfg(), 22).unwrap());
+        let Err(err) = KvStore::open_payload(&dir, cfg(), 22) else {
+            panic!("payload open of a raw store must fail");
+        };
+        assert!(matches!(err, ExtMemError::BadConfig(_)), "got: {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_api_on_a_raw_store_is_rejected() {
+        let dir = tmp_dir("payload-raw");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 23).unwrap();
+        assert!(matches!(s.put_bytes(1, b"x"), Err(ExtMemError::BadConfig(_))));
+        assert!(matches!(s.get_bytes(1), Err(ExtMemError::BadConfig(_))));
+        // The raw path keeps its documented sentinel rejection.
+        assert!(matches!(s.insert(1, u64::MAX), Err(ExtMemError::BadConfig(_))));
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_rewrites_the_live_prefix_of_the_blob_log() {
+        let dir = tmp_dir("payload-compact");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open_payload(&dir, cfg(), 24).unwrap();
+        for k in 0..300u64 {
+            s.put_bytes(k, &payload_for(k)).unwrap();
+        }
+        // Overwrites and deletes strand dead frames in the log.
+        for k in 0..300u64 {
+            s.put_bytes(k, &payload_for(k + 1000)).unwrap();
+        }
+        for k in (0..300u64).step_by(3) {
+            assert!(s.delete(k).unwrap());
+        }
+        let before = s.blob_len();
+        s.compact().unwrap();
+        let after = s.blob_len();
+        assert!(after < before, "live-prefix rewrite shrinks the log: {after} !< {before}");
+        for k in 0..300u64 {
+            let expect = (k % 3 != 0).then(|| payload_for(k + 1000));
+            assert_eq!(s.get_bytes(k).unwrap(), expect.as_deref(), "key {k} after compact");
+        }
+        drop(s);
+        // The compacted generation reopens clean.
+        let mut s = KvStore::open_payload(&dir, cfg(), 24).unwrap();
+        for k in 0..300u64 {
+            let expect = (k % 3 != 0).then(|| payload_for(k + 1000));
+            assert_eq!(s.get_bytes(k).unwrap(), expect.as_deref(), "key {k} after reopen");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sim_crash_recovers_committed_payloads_and_drops_unsynced_ones() {
+        use crate::media::SimMedia;
+        use dxh_extmem::{FaultPlan, SimEnv};
+        let env = SimEnv::new();
+        let mut s = KvStore::open_payload_on(SimMedia::open(&env).unwrap(), cfg(), 25).unwrap();
+        for k in 0..200u64 {
+            s.put_bytes(k, &payload_for(k)).unwrap();
+        }
+        s.sync().unwrap();
+        env.set_plan(FaultPlan::crash(env.ops() + 150, 17));
+        let mut died = false;
+        for k in 200..2000u64 {
+            if s.put_bytes(k, &payload_for(k)).is_err() {
+                died = true;
+                break;
+            }
+        }
+        assert!(died, "the crash point fires inside the unsynced churn");
+        drop(s);
+        env.power_cycle();
+        let mut s = KvStore::open_payload_on(SimMedia::open(&env).unwrap(), cfg(), 25).unwrap();
+        for k in 0..200u64 {
+            assert_eq!(
+                s.get_bytes(k).unwrap(),
+                Some(payload_for(k).as_slice()),
+                "synced payload {k} survives the crash"
+            );
+        }
     }
 }

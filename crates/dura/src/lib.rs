@@ -89,6 +89,11 @@ pub enum Check {
     /// is an unkept durability promise. The single sanctioned sink is
     /// `dxh_core`'s `best_effort()` (documented per site).
     NoDiscardedSyncResult,
+    /// Trace-only: at each manifest commit, the store's blob log must
+    /// have no unsynced appends — the index words the manifest commits
+    /// may reference blob offsets, so the payload bytes must be durable
+    /// first (G8).
+    BlobSyncedAtCommit,
 }
 
 /// One protocol rule: an anchor effect class, the ordering it demands,
@@ -160,6 +165,18 @@ pub const RULES: &[Rule] = &[
               or a crash masquerades as a clean shutdown (G3)",
     },
     Rule {
+        name: "blob-sync-before-index-commit",
+        anchor: EffectClass::Rename,
+        check: Check::BlobSyncedAtCommit,
+        lint: false, // cross-file ordering through runtime state; the lint
+        // sees the choke points (`.blob_append(`/`.blob_sync(`) as
+        // ordinary write/fsync sites instead
+        trace: true,
+        why: "the manifest commits index words that may point into the blob log; a \
+              durable index referencing unsynced payload bytes would serve torn or \
+              missing payloads after a crash (G8)",
+    },
+    Rule {
         name: "no-discarded-sync-result",
         anchor: EffectClass::DataFsync,
         check: Check::NoDiscardedSyncResult,
@@ -187,6 +204,11 @@ pub const SINKS: &[(&str, EffectClass)] = &[
     (".set_len(", EffectClass::VolatileWrite),
     ("File::create(", EffectClass::VolatileWrite),
     (".flush_memory(", EffectClass::VolatileWrite),
+    // The store's blob choke points (dot-prefixed so the `fn
+    // blob_append(` definition lines don't match): every payload byte
+    // enters through the first and becomes durable through the second.
+    (".blob_append(", EffectClass::VolatileWrite),
+    (".blob_sync(", EffectClass::DataFsync),
     (".sync_data(", EffectClass::DataFsync),
     (".flush()", EffectClass::DataFsync),
     (".sync_all(", EffectClass::DataFsync),
@@ -224,6 +246,7 @@ pub const SYNC_RESULT_TOKENS: &[&str] = &[
     "commit_file_atomic(",
     "sync_dir(",
     "clear_clean_marker(",
+    ".blob_sync(",
 ];
 
 /// One conformance violation found in an I/O trace.
@@ -247,6 +270,12 @@ impl std::fmt::Display for TraceViolation {
 /// store layer's naming scheme (`store.blk`, `store.N.blk`).
 fn is_data_file(name: &str) -> bool {
     name.starts_with("store") && name.ends_with(".blk")
+}
+
+/// Whether `name` is a store blob log (any generation) — mirrors the
+/// store layer's naming scheme (`store.blob`, `store.N.blob`).
+fn is_blob_file(name: &str) -> bool {
+    name.starts_with("store") && name.ends_with(".blob")
 }
 
 /// Splits a simulated file name into `(store prefix, local name)` at
@@ -282,11 +311,15 @@ fn split_label(label: &str) -> (&str, &str) {
 pub fn check_trace(events: &[IoEvent]) -> Vec<TraceViolation> {
     let r1 = rule("rename-after-data-fsync").trace;
     let r5 = rule("no-write-under-clean-marker").trace;
+    let r7 = rule("blob-sync-before-index-commit").trace;
     let mut out = Vec::new();
-    // Unsynced block-write count per file.
+    // Unsynced write count per file (block writes and blob appends
+    // alike — both land in the same `Write`/`Sync` event vocabulary).
     let mut unsynced: HashMap<&str, u64> = HashMap::new();
     // The current (latest created/opened) data file per store prefix.
     let mut current_data: HashMap<&str, &str> = HashMap::new();
+    // The current blob log per store prefix (payload-mode stores only).
+    let mut current_blob: HashMap<&str, &str> = HashMap::new();
     // Store prefixes whose CLEAN marker is durably present.
     let mut clean: HashSet<&str> = HashSet::new();
 
@@ -294,12 +327,12 @@ pub fn check_trace(events: &[IoEvent]) -> Vec<TraceViolation> {
         match ev {
             IoEvent::Write { file, .. } => {
                 let (prefix, local) = split_name(file);
-                if r5 && is_data_file(local) && clean.contains(prefix) {
+                if r5 && (is_data_file(local) || is_blob_file(local)) && clean.contains(prefix) {
                     out.push(TraceViolation {
                         at,
                         rule: "no-write-under-clean-marker",
                         what: format!(
-                            "block write to {file} while {prefix}CLEAN is durably present — \
+                            "write to {file} while {prefix}CLEAN is durably present — \
                              the clean→dirty transition must unlink the marker first"
                         ),
                     });
@@ -320,19 +353,37 @@ pub fn check_trace(events: &[IoEvent]) -> Vec<TraceViolation> {
                         // cycle; the reopening process starts clean.
                         unsynced.clear();
                     }
-                    "meta-write" if local == "MANIFEST" && r1 => {
-                        if let Some(&data) = current_data.get(prefix) {
-                            let pending = unsynced.get(data).copied().unwrap_or(0);
-                            if pending > 0 {
-                                out.push(TraceViolation {
-                                    at,
-                                    rule: "rename-after-data-fsync",
-                                    what: format!(
-                                        "manifest commit {name} while {data} has {pending} \
-                                         unsynced block write(s) — the data fsync must \
-                                         precede the commit point"
-                                    ),
-                                });
+                    "meta-write" if local == "MANIFEST" => {
+                        if r1 {
+                            if let Some(&data) = current_data.get(prefix) {
+                                let pending = unsynced.get(data).copied().unwrap_or(0);
+                                if pending > 0 {
+                                    out.push(TraceViolation {
+                                        at,
+                                        rule: "rename-after-data-fsync",
+                                        what: format!(
+                                            "manifest commit {name} while {data} has {pending} \
+                                             unsynced block write(s) — the data fsync must \
+                                             precede the commit point"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                        if r7 {
+                            if let Some(&blob) = current_blob.get(prefix) {
+                                let pending = unsynced.get(blob).copied().unwrap_or(0);
+                                if pending > 0 {
+                                    out.push(TraceViolation {
+                                        at,
+                                        rule: "blob-sync-before-index-commit",
+                                        what: format!(
+                                            "manifest commit {name} while {blob} has {pending} \
+                                             unsynced blob append(s) — the payload fdatasync \
+                                             must precede the index commit point"
+                                        ),
+                                    });
+                                }
                             }
                         }
                     }
@@ -347,15 +398,30 @@ pub fn check_trace(events: &[IoEvent]) -> Vec<TraceViolation> {
                         if is_data_file(local) {
                             current_data.insert(prefix, name);
                         }
+                        if is_blob_file(local) {
+                            current_blob.insert(prefix, name);
+                        }
                     }
                     "file-open" if is_data_file(local) => {
                         current_data.insert(prefix, name);
+                    }
+                    "file-open" if is_blob_file(local) => {
+                        current_blob.insert(prefix, name);
                     }
                     "file-remove" => {
                         unsynced.remove(name.trim());
                         if current_data.get(prefix) == Some(&name) {
                             current_data.remove(prefix);
                         }
+                        if current_blob.get(prefix) == Some(&name) {
+                            current_blob.remove(prefix);
+                        }
+                    }
+                    "blob-truncate" => {
+                        // Recovery (or open) discarded the unsynced
+                        // tail: the appends it covered no longer exist,
+                        // so they owe no sync before the next commit.
+                        unsynced.insert(name, 0);
                     }
                     _ => {}
                 }
@@ -386,11 +452,15 @@ mod tests {
     fn every_trace_rule_is_implemented_by_the_automaton() {
         // The automaton hand-implements the trace layer; this pins the
         // table to it so a new trace-enabled rule cannot silently no-op.
-        let implemented = ["rename-after-data-fsync", "no-write-under-clean-marker"];
+        let implemented = [
+            "rename-after-data-fsync",
+            "no-write-under-clean-marker",
+            "blob-sync-before-index-commit",
+        ];
         for r in RULES.iter().filter(|r| r.trace) {
             assert!(implemented.contains(&r.name), "rule {} has no automaton arm", r.name);
         }
-        // And both implemented rules really are trace-enabled.
+        // And the implemented rules really are trace-enabled.
         for name in implemented {
             assert!(rule(name).trace, "{name} lost its trace flag");
         }
@@ -444,6 +514,56 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "no-write-under-clean-marker");
         assert_eq!(v[0].at, 4);
+    }
+
+    /// Seeded mutant: index commit with the blob fdatasync dropped. A
+    /// manifest pointing at payload bytes still in the page cache would
+    /// resurrect dangling index entries after a crash.
+    #[test]
+    fn index_commit_before_blob_sync_mutant_is_caught() {
+        let events =
+            vec![meta("file-create store.blob"), write("store.blob"), meta("meta-write MANIFEST")];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "blob-sync-before-index-commit");
+        assert_eq!(v[0].at, 2);
+        // With the sync in place the same sequence is conformant.
+        let events = vec![
+            meta("file-create store.blob"),
+            write("store.blob"),
+            sync("store.blob"),
+            meta("meta-write MANIFEST"),
+        ];
+        assert_eq!(check_trace(&events), vec![]);
+    }
+
+    /// Recovery's tail truncation discharges the sync obligation: the
+    /// torn appends it drops no longer gate the next commit.
+    #[test]
+    fn blob_truncate_discharges_unsynced_appends() {
+        let events = vec![
+            meta("file-open store.blob"),
+            write("store.blob"),
+            meta("blob-truncate store.blob"),
+            meta("meta-write MANIFEST"),
+        ];
+        assert_eq!(check_trace(&events), vec![]);
+    }
+
+    /// Seeded mutant: blob append with the CLEAN unlink skipped — the
+    /// marker rule covers the payload log like any data file.
+    #[test]
+    fn blob_write_under_clean_marker_mutant_is_caught() {
+        let events = vec![
+            meta("file-create shard-000/store.blob"),
+            sync("shard-000/store.blob"),
+            meta("meta-write shard-000/CLEAN"),
+            write("shard-000/store.blob"),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-write-under-clean-marker");
+        assert_eq!(v[0].at, 3);
     }
 
     /// The marker-scoped rule is per store: a sibling shard's marker

@@ -24,7 +24,43 @@ pub const KEY_TOMBSTONE: Key = u64::MAX;
 /// merge into the deepest level purges it. Structures that support
 /// log-method deletion reject user values equal to this sentinel on
 /// insert; the flat tables (which delete physically) accept any value.
+///
+/// ## The sentinel domain, in one place
+///
+/// This is the single normative statement of which `u64` values are
+/// reserved and on which path — every rejection in the stack traces
+/// back here:
+///
+/// * **Key `u64::MAX`** ([`KEY_TOMBSTONE`]) is reserved on **every**
+///   path: it doubles as the slot-level sentinel of the flat probing
+///   tables, so no store — raw or payload — accepts it.
+/// * **Value `u64::MAX`** ([`VALUE_TOMBSTONE`]) is reserved only on the
+///   **legacy raw-u64 path** (`insert`/`lookup` on a store opened
+///   without payload mode). Lifting it there would need a manifest
+///   format change (v2 manifests promise "value `u64::MAX` = deletion
+///   marker" to every reader), so the rejection stays, documented here.
+/// * The **byte-payload path** has no in-band sentinel at all: a
+///   payload store's index word is `BLOB_TAG | offset` with
+///   `offset < MAX_BLOB_OFFSET`, so a tagged word can never equal
+///   `VALUE_TOMBSTONE` — the deletion marker is out-of-band *by
+///   construction*, and the full payload domain (including the 8-byte
+///   payload equal to `u64::MAX.to_le_bytes()`) is storable.
 pub const VALUE_TOMBSTONE: Value = u64::MAX;
+
+/// Tag bit marking an index word as a **blob-log offset** rather than an
+/// inline `u64` value: a payload store's table maps `key →
+/// BLOB_TAG | offset`, where `offset` locates a length-framed,
+/// checksummed record in the store's append-only blob log (see
+/// `blob::BlobLog`). Offsets are bounded by [`MAX_BLOB_OFFSET`], so a
+/// tagged word is always distinguishable from [`VALUE_TOMBSTONE`] — see
+/// the sentinel-domain note on [`VALUE_TOMBSTONE`].
+pub const BLOB_TAG: Value = 1 << 63;
+
+/// Exclusive upper bound on blob-log offsets stored in tagged index
+/// words (2^62 bytes — far beyond any real log). Keeping a full untagged
+/// bit of headroom below the tag means `BLOB_TAG | offset` can never
+/// collide with [`VALUE_TOMBSTONE`] (which has every bit set).
+pub const MAX_BLOB_OFFSET: u64 = 1 << 62;
 
 /// An indivisible record: `(key, value)`.
 ///
@@ -81,9 +117,15 @@ impl Item {
 }
 
 impl core::fmt::Debug for Item {
+    /// Renders the sentinels distinctly — `Item(‡)` for the slot
+    /// tombstone, `Item(k→‡del)` for a deletion marker — so a torture
+    /// failure dump never shows a marker as an ordinary
+    /// `Item(k→18446744073709551615)`.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         if self.is_tombstone() {
             write!(f, "Item(‡)")
+        } else if self.is_delete_marker() {
+            write!(f, "Item({}→‡del)", self.key)
         } else {
             write!(f, "Item({}→{})", self.key, self.value)
         }
@@ -134,6 +176,25 @@ mod tests {
     fn debug_format_marks_tombstones() {
         assert_eq!(format!("{:?}", Item::new(1, 2)), "Item(1→2)");
         assert_eq!(format!("{:?}", Item::tombstone()), "Item(‡)");
+    }
+
+    #[test]
+    fn debug_format_marks_delete_markers_distinctly() {
+        assert_eq!(format!("{:?}", Item::delete_marker(42)), "Item(42→‡del)");
+    }
+
+    #[test]
+    fn blob_tagged_words_never_collide_with_sentinels() {
+        // The out-of-band deletion design: every representable tagged
+        // word is distinct from VALUE_TOMBSTONE (and from any untagged
+        // user value, which lacks the tag bit on the legacy path).
+        for off in [0, 1, MAX_BLOB_OFFSET - 1] {
+            let word = BLOB_TAG | off;
+            assert_ne!(word, VALUE_TOMBSTONE);
+            assert!(word & BLOB_TAG != 0);
+            assert_eq!(word & !BLOB_TAG, off);
+        }
+        const { assert!(MAX_BLOB_OFFSET & BLOB_TAG == 0, "offsets stay clear of the tag bit") }
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use crate::backend::{PersistentBackend, SlotAllocator, StorageBackend};
+use crate::blob::BlobFile;
 use crate::block::{Block, BlockId};
 use crate::error::{ExtMemError, Result};
 
@@ -172,6 +173,24 @@ struct SimFileState {
     overlay: BTreeMap<u64, Vec<u8>>,
 }
 
+/// One simulated append-only blob file: a durable prefix plus the
+/// unsynced appends made since the last sync barrier, kept append-
+/// granular so the crash lottery can keep a *prefix* of them (appends
+/// reach the platter in order) and tear the first casualty.
+struct SimBlobState {
+    /// Bytes durable as of the last completed sync.
+    durable: Vec<u8>,
+    /// Unsynced appends, in order; discarded (modulo the prefix-survival
+    /// lottery) at a crash.
+    tail: Vec<Vec<u8>>,
+}
+
+impl SimBlobState {
+    fn visible_len(&self) -> u64 {
+        self.durable.len() as u64 + self.tail.iter().map(|t| t.len() as u64).sum::<u64>()
+    }
+}
+
 /// The machine behind a [`SimEnv`] handle.
 struct SimEnvState {
     clock: u64,
@@ -180,6 +199,7 @@ struct SimEnvState {
     tracing: bool,
     trace: Vec<IoEvent>,
     files: BTreeMap<String, SimFileState>,
+    blobs: BTreeMap<String, SimBlobState>,
     meta: BTreeMap<String, Vec<u8>>,
     /// Held store locks by name (`""` is the machine's default store; a
     /// sharded service locks one name per shard), each mapped to the
@@ -214,6 +234,7 @@ impl SimEnv {
             tracing: true,
             trace: Vec::new(),
             files: BTreeMap::new(),
+            blobs: BTreeMap::new(),
             meta: BTreeMap::new(),
             locks: BTreeMap::new(),
             lock_epoch: 0,
@@ -300,6 +321,26 @@ impl SimEnv {
                         file.durable.insert(id, torn);
                     }
                     _ => {} // dropped: the slot reads back as zeros
+                }
+            }
+        }
+        for blob in st.blobs.values_mut() {
+            // Appends reach the platter in order, so survival is
+            // prefix-shaped: each unsynced append in turn survives
+            // whole, tears (half its bytes then garbage — the last
+            // write the head got to), or is lost — and the first
+            // casualty ends the prefix.
+            let tail = std::mem::take(&mut blob.tail);
+            for bytes in tail {
+                match splitmix_next(&mut rng) % 3 {
+                    0 => blob.durable.extend_from_slice(&bytes),
+                    1 if plan.tear => {
+                        let half = bytes.len() / 2;
+                        blob.durable.extend_from_slice(&bytes[..half]);
+                        blob.durable.extend(std::iter::repeat_n(0xFF, bytes.len() - half));
+                        break;
+                    }
+                    _ => break,
                 }
             }
         }
@@ -468,6 +509,160 @@ impl SimEnv {
     pub fn file_len(&self, name: &str) -> u64 {
         let st = self.state();
         st.files.get(name).map_or(0, |f| f.slots * f.block_bytes as u64)
+    }
+
+    /// Creates (truncating) append-only blob file `name` and returns a
+    /// handle to it (one I/O op) — the blob-file namespace every
+    /// torture/crash sweep drives, so torn appends are covered by the
+    /// same fault plans as block files.
+    pub fn create_blob(&self, name: &str) -> Result<SimBlob> {
+        self.guarded(
+            || IoEvent::Meta { label: format!("file-create {name}"), fingerprint: 0 },
+            |st| {
+                st.blobs.insert(
+                    name.to_string(),
+                    SimBlobState { durable: Vec::new(), tail: Vec::new() },
+                );
+                Ok(())
+            },
+        )?;
+        Ok(SimBlob { env: self.clone(), name: name.to_string() })
+    }
+
+    /// Opens existing blob file `name` without truncating (one I/O op).
+    pub fn open_blob(&self, name: &str) -> Result<SimBlob> {
+        self.guarded(
+            || IoEvent::Meta { label: format!("file-open {name}"), fingerprint: 0 },
+            |st| match st.blobs.get(name) {
+                Some(_) => Ok(()),
+                None => Err(ExtMemError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("sim blob {name} does not exist"),
+                ))),
+            },
+        )?;
+        Ok(SimBlob { env: self.clone(), name: name.to_string() })
+    }
+
+    /// Removes blob file `name` (one I/O op; absent is not an error).
+    pub fn remove_blob(&self, name: &str) -> Result<()> {
+        self.guarded(
+            || IoEvent::Meta { label: format!("file-remove {name}"), fingerprint: 0 },
+            |st| {
+                st.blobs.remove(name);
+                Ok(())
+            },
+        )
+    }
+
+    /// Names of the blob files currently in the namespace (diagnostic
+    /// listing, un-clocked).
+    pub fn blob_names(&self) -> Vec<String> {
+        self.state().blobs.keys().cloned().collect()
+    }
+
+    /// Visible length of blob `name` in bytes (durable prefix plus
+    /// unsynced appends — what a `stat` from this process sees); 0 when
+    /// absent. Un-clocked diagnostic.
+    pub fn blob_len(&self, name: &str) -> u64 {
+        self.state().blobs.get(name).map_or(0, |b| b.visible_len())
+    }
+
+    /// Appends `bytes` to blob `name` (one I/O op, volatile until
+    /// [`SimEnv::blob_sync`]). The trace records it as a `Write` whose
+    /// `id` is the append's byte offset.
+    pub fn blob_append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let fp = fnv1a64(bytes);
+        let owned = bytes.to_vec();
+        // The event is built before the apply closure runs (same pattern
+        // as the sync barrier's flushed count): peek the offset up front.
+        let offset = self.state().blobs.get(name).map_or(0, |b| b.visible_len());
+        self.guarded(
+            || IoEvent::Write { file: name.to_string(), id: offset, fingerprint: fp },
+            move |st| {
+                let b = st
+                    .blobs
+                    .get_mut(name)
+                    .ok_or_else(|| ExtMemError::Corrupt(format!("sim blob {name} vanished")))?;
+                b.tail.push(owned);
+                Ok(())
+            },
+        )
+    }
+
+    /// Sync barrier for blob `name` (one I/O op): every prior append
+    /// becomes durable.
+    pub fn blob_sync(&self, name: &str) -> Result<()> {
+        let flushed = {
+            let st = self.state();
+            st.blobs.get(name).map_or(0, |b| b.tail.len() as u64)
+        };
+        self.guarded(
+            || IoEvent::Sync { file: name.to_string(), flushed },
+            |st| {
+                let b = st
+                    .blobs
+                    .get_mut(name)
+                    .ok_or_else(|| ExtMemError::Corrupt(format!("sim blob {name} vanished")))?;
+                for chunk in b.tail.drain(..) {
+                    b.durable.extend_from_slice(&chunk);
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// Reads the whole of blob `name` (one I/O op) — a process reads its
+    /// own unsynced appends, so the image is durable prefix + tail.
+    pub fn blob_read_all(&self, name: &str) -> Result<Vec<u8>> {
+        self.guarded(
+            || IoEvent::Meta { label: format!("blob-read {name}"), fingerprint: 0 },
+            |st| {
+                let b = st
+                    .blobs
+                    .get(name)
+                    .ok_or_else(|| ExtMemError::Corrupt(format!("sim blob {name} vanished")))?;
+                let mut out = b.durable.clone();
+                for chunk in &b.tail {
+                    out.extend_from_slice(chunk);
+                }
+                Ok(out)
+            },
+        )
+    }
+
+    /// Truncates blob `name` to `len` visible bytes (one I/O op) —
+    /// recovery's crash-tail discard. Truncating into the durable prefix
+    /// is itself durable (like `set_len`); a cut inside the unsynced
+    /// tail trims the volatile appends.
+    pub fn blob_truncate(&self, name: &str, len: u64) -> Result<()> {
+        self.guarded(
+            || IoEvent::Meta { label: format!("blob-truncate {name}"), fingerprint: len },
+            |st| {
+                let b = st
+                    .blobs
+                    .get_mut(name)
+                    .ok_or_else(|| ExtMemError::Corrupt(format!("sim blob {name} vanished")))?;
+                let durable_len = b.durable.len() as u64;
+                if len <= durable_len {
+                    b.durable.truncate(len as usize);
+                    b.tail.clear();
+                } else {
+                    let mut keep = len - durable_len;
+                    let mut trimmed = Vec::new();
+                    for chunk in b.tail.drain(..) {
+                        if keep == 0 {
+                            break;
+                        }
+                        let take = (chunk.len() as u64).min(keep) as usize;
+                        keep -= take as u64;
+                        trimmed.push(chunk[..take].to_vec());
+                    }
+                    b.tail = trimmed;
+                }
+                Ok(())
+            },
+        )
     }
 
     /// The clock-tick-plus-fault-check wrapper every operation goes
@@ -749,6 +944,44 @@ impl PersistentBackend for SimDisk {
     }
 }
 
+/// A handle to one named blob file of a [`SimEnv`] — the crash-faithful
+/// [`BlobFile`] a `BlobLog` runs on under torture: appends are volatile
+/// until sync, and a power cycle applies the prefix-survival lottery
+/// (keep / tear / drop) to the unsynced tail.
+pub struct SimBlob {
+    env: SimEnv,
+    name: String,
+}
+
+impl SimBlob {
+    /// The environment this blob lives in (fault plan, clock, trace).
+    pub fn env(&self) -> SimEnv {
+        self.env.clone()
+    }
+}
+
+impl BlobFile for SimBlob {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.env.blob_append(&self.name, bytes)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.env.blob_sync(&self.name)
+    }
+
+    fn len(&self) -> u64 {
+        self.env.blob_len(&self.name)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        self.env.blob_read_all(&self.name)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.env.blob_truncate(&self.name, len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -938,5 +1171,86 @@ mod tests {
         assert!(d.restore_free_list(vec![5]).is_err(), "out of range");
         assert!(d.restore_free_list(vec![0, 0]).is_err(), "duplicate");
         assert!(d.restore_free_list(vec![0]).is_ok());
+    }
+
+    #[test]
+    fn blob_appends_are_volatile_until_sync() {
+        let env = SimEnv::new();
+        let mut b = env.create_blob("t.blob").unwrap();
+        b.append(b"synced").unwrap();
+        b.sync().unwrap();
+        b.append(b" unsynced").unwrap();
+        assert_eq!(b.len(), 15, "a process sees its own appends");
+        env.set_plan(FaultPlan::crash(env.ops(), 3));
+        assert!(b.append(b"x").is_err(), "crash point fires");
+        env.power_cycle();
+        let mut b = env.open_blob("t.blob").unwrap();
+        assert_eq!(&b.read_all().unwrap()[..6], b"synced", "durable prefix survives exactly");
+    }
+
+    #[test]
+    fn blob_crash_survival_is_prefix_shaped() {
+        // Many unsynced appends, then a crash: whatever survives must be
+        // a prefix of the append sequence — a later append never lands
+        // without every earlier one (appends hit the platter in order).
+        for seed in 0..16u64 {
+            let env = SimEnv::new();
+            let mut b = env.create_blob("t.blob").unwrap();
+            b.append(b"AAAA").unwrap();
+            b.sync().unwrap();
+            for _ in 0..8 {
+                b.append(b"BBBB").unwrap();
+            }
+            env.set_plan(FaultPlan::crash(env.ops(), seed));
+            assert!(b.sync().is_err(), "crash fires at the sync");
+            env.power_cycle();
+            let img = env.open_blob("t.blob").unwrap().read_all().unwrap();
+            assert_eq!(&img[..4], b"AAAA");
+            // After the durable prefix: zero or more whole appends, then
+            // optionally one torn append (4 bytes, garbage tail), then
+            // nothing.
+            let tail = &img[4..];
+            assert!(tail.len().is_multiple_of(4) && tail.len() <= 32);
+            let whole = tail.chunks(4).take_while(|c| *c == b"BBBB").count();
+            if let Some(c) = tail.chunks(4).nth(whole + 1) {
+                panic!("bytes after a non-intact append: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blob_truncate_discards_the_crash_tail() {
+        let env = SimEnv::new();
+        let mut b = env.create_blob("t.blob").unwrap();
+        b.append(b"keepkeep").unwrap();
+        b.sync().unwrap();
+        b.append(b"crashtail").unwrap();
+        b.truncate(8).unwrap();
+        assert_eq!(b.read_all().unwrap(), b"keepkeep");
+        // A cut inside the unsynced tail trims the volatile appends.
+        b.append(b"abcdef").unwrap();
+        b.truncate(11).unwrap();
+        assert_eq!(b.read_all().unwrap(), b"keepkeepabc");
+    }
+
+    #[test]
+    fn blob_namespace_is_disjoint_from_block_files_and_traced() {
+        let env = SimEnv::new();
+        let _d = env.create_disk("store.blk", 4).unwrap();
+        let mut b = env.create_blob("store.blob").unwrap();
+        b.append(b"payload").unwrap();
+        b.sync().unwrap();
+        assert_eq!(env.file_names(), vec!["store.blk".to_string()]);
+        assert_eq!(env.blob_names(), vec!["store.blob".to_string()]);
+        let trace = env.take_trace();
+        assert!(trace.iter().any(
+            |e| matches!(e, IoEvent::Write { file, id, .. } if file == "store.blob" && *id == 0)
+        ));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, IoEvent::Sync { file, flushed } if file == "store.blob" && *flushed == 1)));
+        env.remove_blob("store.blob").unwrap();
+        assert!(env.blob_names().is_empty());
+        assert!(env.open_blob("store.blob").is_err());
     }
 }

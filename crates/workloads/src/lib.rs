@@ -22,10 +22,15 @@
 //!   service ([`dxh_core::ShardedKvStore`]) from real writer threads on
 //!   one simulated machine, crash it mid group commit, and check that
 //!   every shard recovers to a batch boundary (all-in or all-out).
+//! * [`blob`] — the byte-payload twin: churn a payload-mode store,
+//!   then crash at every I/O of a `put_bytes` + sync window and check
+//!   that a torn or unsynced blob payload is never visible after
+//!   recovery.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod blob;
 pub mod generator;
 pub mod runner;
 pub mod service;
@@ -33,6 +38,7 @@ pub mod torture;
 pub mod trace;
 pub mod zipf;
 
+pub use blob::{blob_torture_run, sweep_blob_crashes, BlobTortureReport, BlobTortureSpec};
 pub use generator::{
     ArchivalStream, ChurnMix, ConcurrentChurn, InsertLookupMix, UniformInserts, Workload,
     WorkloadError, ZipfQueries,

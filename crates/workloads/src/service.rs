@@ -36,7 +36,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use dxh_core::{CoreConfig, ShardedKvStore, SimMedia, SimServiceMedia, WriteOp};
+use dxh_core::{CoreConfig, Effect, ShardedKvStore, SimMedia, SimServiceMedia, WriteOp};
 use dxh_extmem::{FaultPlan, Key, SimEnv, Value};
 
 use crate::generator::ConcurrentChurn;
@@ -133,17 +133,26 @@ pub struct ServiceTortureReport {
     /// rotation before the crash (0 unless the spec shrinks
     /// `ckpt_log_bytes` enough for rotations to fire).
     pub shard_syncs: u64,
+    /// Sealed commit-log segments discarded after checkpoint rotations.
+    pub sealed_discards: u64,
+    /// Discard attempts that failed (retried by later rounds).
+    pub sealed_discard_failures: u64,
 }
 
-/// Applies a recorded batch effect list to a model.
-fn fold_into(model: &mut HashMap<Key, Value>, ops: &[(Key, Option<Value>)]) {
-    for &(k, effect) in ops {
+/// Applies a recorded batch effect list to a model. This harness drives
+/// the word APIs only, so a byte effect in the history would mean the
+/// service recorded an op nobody submitted.
+fn fold_into(model: &mut HashMap<Key, Value>, ops: &[(Key, Option<Effect>)]) {
+    for (k, effect) in ops {
         match effect {
-            Some(v) => {
-                model.insert(k, v);
+            Some(Effect::Word(v)) => {
+                model.insert(*k, *v);
+            }
+            Some(Effect::Bytes(_)) => {
+                unreachable!("word-only workload recorded a byte effect for key {k}")
             }
             None => {
-                model.remove(&k);
+                model.remove(k);
             }
         }
     }
@@ -194,6 +203,8 @@ pub fn service_torture_run(
     let mut crashed = false;
     let mut committed_batches = 0;
     let mut shard_syncs = 0;
+    let mut sealed_discards = 0;
+    let mut sealed_discard_failures = 0;
     let mut history = Vec::new();
 
     match ShardedKvStore::open_on(
@@ -297,12 +308,33 @@ pub fn service_torture_run(
             let stats = svc.stats();
             committed_batches = stats.committed_batches;
             shard_syncs = stats.shard_syncs;
+            sealed_discards = stats.sealed_discards;
+            sealed_discard_failures = stats.sealed_discard_failures;
             crashed = env.crashed();
             if !crashed && stats.wedged_shards > 0 {
                 violations
                     .lock()
                     .unwrap()
                     .push(format!("{} shards wedged without a crash", stats.wedged_shards));
+            }
+            // Fault-free lifecycle with rotations configured: every
+            // sealed segment must eventually discard — a rotation whose
+            // segment lingers (or whose discard failed without a fault
+            // to blame) used to be swallowed silently.
+            if !crashed && crash_at.is_none() && spec.ckpt_log_bytes.is_some() {
+                if stats.sealed_discards == 0 {
+                    violations.lock().unwrap().push(
+                        "checkpoint rotations configured but no sealed segment was \
+                         ever discarded — rotation or discard path is stuck"
+                            .into(),
+                    );
+                }
+                if stats.sealed_discard_failures > 0 {
+                    violations.lock().unwrap().push(format!(
+                        "{} sealed-segment discard(s) failed on a fault-free run",
+                        stats.sealed_discard_failures
+                    ));
+                }
             }
             history = svc.batch_history();
             drop(svc); // wedged shards must not commit; clean ones no-op
@@ -342,6 +374,8 @@ pub fn service_torture_run(
             total_ops,
             committed_batches,
             shard_syncs,
+            sealed_discards,
+            sealed_discard_failures,
         }
     };
     let svc = match ShardedKvStore::open_on(
@@ -532,6 +566,18 @@ mod tests {
             failures[0].crash_at,
             failures[0].violations.first()
         );
+    }
+
+    /// Satellite of the discard-visibility fix: a fault-free rotating
+    /// lifecycle must discard every sealed segment it rotates (the
+    /// harness itself flags a stuck discard as a violation; this pins
+    /// the counters the fix surfaced).
+    #[test]
+    fn fault_free_rotations_discard_their_sealed_segments() {
+        let report = service_torture_run(&ServiceTortureSpec::checkpointing(29), None);
+        assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        assert!(report.sealed_discards >= 1, "a rotation completed: {report:?}");
+        assert_eq!(report.sealed_discard_failures, 0, "no faults injected: {report:?}");
     }
 
     #[test]
