@@ -78,7 +78,7 @@ pub use service::{
     ShardBatchHistory, ShardedKvStore, SimServiceMedia, WriteOp,
 };
 pub use sharded::ShardedTable;
-pub use store::{CompactionStats, KvStore};
+pub use store::{CompactionStats, KvStore, ManifestIoStats};
 
 // Re-exported so downstream code can name the dictionary trait without
 // depending on dxh-tables directly.

@@ -25,6 +25,9 @@ pub(crate) const LOCK: &str = "LOCK";
 /// Clean-shutdown marker name: present exactly while no block write has
 /// happened since the last manifest.
 pub(crate) const CLEAN: &str = "CLEAN";
+/// Manifest delta-chain name: checksummed incremental manifest records
+/// appended between full manifest rewrites (see `store.rs`).
+pub(crate) const MANIFEST_DELTA: &str = "MANIFEST.DELTA";
 
 /// Whether `name` is a store data file (any generation).
 fn is_data_file(name: &str) -> bool {
@@ -79,6 +82,24 @@ pub trait StoreMedia {
 
     /// Atomically replaces the manifest and makes the swap durable.
     fn commit_manifest(&mut self, text: &str) -> Result<()>;
+
+    /// Appends one framed record to the manifest delta chain and makes
+    /// the append durable before returning. Each delta is a real index
+    /// commit point (the incremental twin of
+    /// [`StoreMedia::commit_manifest`]): after it returns, a reopen must
+    /// see the frame; interrupted, a reopen may see a torn tail, which
+    /// the store's frame checksums detect and discard.
+    fn append_manifest_delta(&mut self, frame: &[u8]) -> Result<()>;
+
+    /// Every surviving byte of the delta chain, in append order (empty
+    /// when no chain exists). Torn tails are the store's problem, not
+    /// the media's.
+    fn read_manifest_deltas(&mut self) -> Result<Vec<u8>>;
+
+    /// Best-effort removal of the delta chain after a full manifest
+    /// rewrite made it redundant. No durability obligation: surviving
+    /// stale frames quote a superseded epoch and are skipped at reopen.
+    fn clear_manifest_deltas(&mut self);
 
     /// Whether the clean-shutdown marker is present.
     fn clean_marker(&mut self) -> Result<bool>;
@@ -302,6 +323,37 @@ impl StoreMedia for DirMedia {
         commit_file_atomic(&self.dir, MANIFEST, text)
     }
 
+    fn append_manifest_delta(&mut self, frame: &[u8]) -> Result<()> {
+        let path = self.dir.join(MANIFEST_DELTA);
+        let fresh = !path.exists();
+        let mut f = fs::OpenOptions::new().append(true).create(true).open(&path)?;
+        f.write_all(frame)?;
+        f.sync_data()?;
+        if fresh {
+            // The chain file's dirent must be durable too: commit-log
+            // segments sealed against this delta may already be
+            // discarded, so losing the whole chain to a lost dirent
+            // would lose acknowledged batches. One directory fsync per
+            // chain lifetime (creation), not per append.
+            sync_dir(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    fn read_manifest_deltas(&mut self) -> Result<Vec<u8>> {
+        match fs::read(self.dir.join(MANIFEST_DELTA)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn clear_manifest_deltas(&mut self) {
+        // Deliberately not fsynced: a resurrected chain's frames quote
+        // the pre-rewrite epoch and are skipped at reopen.
+        let _ = fs::remove_file(self.dir.join(MANIFEST_DELTA));
+    }
+
     fn clean_marker(&mut self) -> Result<bool> {
         Ok(self.dir.join(CLEAN).exists())
     }
@@ -446,6 +498,26 @@ impl StoreMedia for SimMedia {
 
     fn commit_manifest(&mut self, text: &str) -> Result<()> {
         self.env.meta_write(&self.scoped(MANIFEST), text.as_bytes())
+    }
+
+    fn append_manifest_delta(&mut self, frame: &[u8]) -> Result<()> {
+        // Modeled as one atomic metadata write of the grown chain: the
+        // append either lands whole or not at all, and the write is the
+        // single faultable step a crash sweep can land on. (Torn-tail
+        // recovery is exercised by the frame-level store tests; the sim
+        // exercises the crash-between-appends windows.)
+        let name = self.scoped(MANIFEST_DELTA);
+        let mut chain = self.env.meta_read(&name)?.unwrap_or_default();
+        chain.extend_from_slice(frame);
+        self.env.meta_write(&name, &chain)
+    }
+
+    fn read_manifest_deltas(&mut self) -> Result<Vec<u8>> {
+        Ok(self.env.meta_read(&self.scoped(MANIFEST_DELTA))?.unwrap_or_default())
+    }
+
+    fn clear_manifest_deltas(&mut self) {
+        let _ = self.env.meta_remove(&self.scoped(MANIFEST_DELTA));
     }
 
     fn clean_marker(&mut self) -> Result<bool> {

@@ -249,6 +249,27 @@ pub struct ServiceStats {
     /// later sync round; nonzero here with a stuck `sealed_discards` is
     /// the signal that used to be swallowed silently.
     pub sealed_discard_failures: u64,
+    /// Write ops absorbed by the newest-wins coalescing buffer: enqueued
+    /// ops that never cost a table op of their own because a later op on
+    /// the same key superseded them inside one batch. Every absorbed op
+    /// was still individually answered and acknowledged — this counts
+    /// saved table work, not dropped writes.
+    pub coalesced_ops: u64,
+    /// Total manifest-commit bytes across every shard store (full
+    /// rewrites plus delta frames). With incremental deltas, checkpoint
+    /// hardens contribute O(changed state) each, so this stays
+    /// proportional to update volume instead of table size.
+    pub manifest_bytes_written: u64,
+    /// Incremental `MANIFEST.DELTA` frames committed across shards.
+    pub manifest_delta_commits: u64,
+    /// Bytes of those delta frames — the O(changed-state) share of
+    /// `manifest_bytes_written`.
+    pub manifest_delta_bytes: u64,
+    /// Full manifest rewrites across shards (open, compaction, chain
+    /// rollover, shutdown).
+    pub manifest_full_commits: u64,
+    /// Bytes of those full rewrites — the O(table) share.
+    pub manifest_full_bytes: u64,
 }
 
 impl ServiceStats {
@@ -268,6 +289,68 @@ impl ServiceStats {
 struct QueuedOp {
     op: Op,
     cell: Arc<OpCell>,
+}
+
+/// One key's slot in the coalescing buffer: every queued op on the key
+/// in arrival order (each with its parked writer's cell — all of them
+/// get answered), plus the newest effect, which is simultaneously the
+/// read-your-writes answer and the one table op the drain applies.
+struct KeySlot {
+    ops: Vec<QueuedOp>,
+    newest: Option<Effect>,
+}
+
+/// The **newest-wins coalescing buffer** in front of a shard's group
+/// commit: writers upsert by key under the buffer lock alone (never the
+/// store lock), readers hit it first for zero-I/O read-your-writes, and
+/// the committer drains one deduplicated `(key, newest effect)` batch —
+/// hot-key churn costs one table op per key per batch instead of one
+/// per write. Shadowed ops still get individual answers (reconstructed
+/// by a serial-equivalence walk at apply; see `apply_pending`) and the
+/// commit log records the deduplicated batch, which folds to the same
+/// state because replay is last-write-wins — G7 ack semantics and
+/// recovery are unchanged.
+#[derive(Default)]
+struct CoalesceBuf {
+    slots: HashMap<Key, KeySlot>,
+    /// First-touch key order: the application (and commit-log) order of
+    /// the drained batch.
+    order: Vec<Key>,
+    /// Total queued ops across all slots (≥ `slots.len()`; the surplus
+    /// is what coalescing saves).
+    ops: u64,
+}
+
+impl CoalesceBuf {
+    /// Upserts one op: appended to its key's run, newest effect wins.
+    fn push(&mut self, op: Op, cell: Arc<OpCell>) {
+        use std::collections::hash_map::Entry;
+        let (k, effect) = op.effect();
+        let slot = match self.slots.entry(k) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                self.order.push(k);
+                e.insert(KeySlot { ops: Vec::new(), newest: None })
+            }
+        };
+        slot.ops.push(QueuedOp { op, cell });
+        slot.newest = effect;
+        self.ops += 1;
+    }
+
+    /// The key's newest pending effect (`Some(None)` = pending delete).
+    fn get(&self, key: Key) -> Option<Option<Effect>> {
+        self.slots.get(&key).map(|s| s.newest.clone())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Every queued cell, in drain order — the wedge path fails them all.
+    fn cells(&self) -> impl Iterator<Item = &Arc<OpCell>> {
+        self.order.iter().flat_map(|k| self.slots[k].ops.iter().map(|q| &q.cell))
+    }
 }
 
 /// Where a parked writer's outcome lands: `Ok(presence)` for a committed
@@ -303,10 +386,10 @@ struct AppliedBatch {
 /// enqueues and overlay reads never wait behind an apply or a harden.
 #[derive(Default)]
 struct BufState {
-    /// Ops accepted for the *next* batch.
-    pending: Vec<QueuedOp>,
-    /// Read-your-writes overlay of `pending` (`None` = pending delete).
-    pending_overlay: HashMap<Key, Option<Effect>>,
+    /// Ops accepted for the *next* batch, coalesced newest-wins by key.
+    /// Doubles as the read-your-writes overlay: each slot's newest
+    /// effect is the answer a reader sees.
+    pending: CoalesceBuf,
     /// Overlay of the batch currently being applied — visible to readers
     /// until the store itself can answer for it.
     inflight_overlay: HashMap<Key, Option<Effect>>,
@@ -337,6 +420,10 @@ struct BufState {
     committed_ops: u64,
     committed_batches: u64,
     largest_batch: u64,
+    /// Ops absorbed by newest-wins coalescing: enqueued ops that never
+    /// cost their own table op because a later op on the same key
+    /// superseded them inside one batch. Counted at drain.
+    coalesced_ops: u64,
     /// Manifest hardens this shard performed (checkpoint and shutdown
     /// rounds; feeds `shard_syncs`).
     hardens: u64,
@@ -355,7 +442,7 @@ struct BufState {
 impl BufState {
     fn overlay_get(&self, key: Key) -> Option<Option<Effect>> {
         // `pending` is strictly newer than the batch being applied.
-        self.pending_overlay.get(&key).or_else(|| self.inflight_overlay.get(&key)).cloned()
+        self.pending.get(key).or_else(|| self.inflight_overlay.get(&key).cloned())
     }
 }
 
@@ -919,44 +1006,96 @@ fn committer_loop<M: StoreMedia>(shard: Arc<Shard<M>>, coord: Arc<SyncCoordinato
     }
 }
 
-/// Drains the shard's pending queue and applies it to the table as one
-/// batch. Returns whether a batch was applied and now awaits its epoch
-/// (false: nothing pending, shard wedged, or — wedging it now — the
-/// apply failed).
+/// Drains the shard's coalescing buffer and applies it to the table as
+/// one **deduplicated** batch: one table op per distinct key (the key's
+/// newest effect), whatever the queued op count. Returns whether a
+/// batch was applied and now awaits its epoch (false: nothing pending,
+/// shard wedged, or — wedging it now — the apply failed).
+///
+/// Every queued op is still answered individually, by a
+/// serial-equivalence walk over each key's run: a put always answers
+/// `true`; a delete answers the key's presence at its position in the
+/// run, which the preceding run op determines — except a run-*opening*
+/// delete, whose answer is the store's presence before the batch. That
+/// presence comes for free when the run's final effect is also a delete
+/// (`KvStore::delete` reports it), and costs one read-only index probe
+/// (`KvStore::contains`) when a later put shadows it. The answers are
+/// exactly what serial uncoalesced application would have produced —
+/// the equivalence the proptest battery in `tests/service_store.rs`
+/// checks against a serially-applied model.
 fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
-    let (batch, effects): (Vec<QueuedOp>, Vec<(Key, Option<Effect>)>) = {
+    let (drained, effects): (CoalesceBuf, Vec<(Key, Option<Effect>)>) = {
         let mut buf = shard.buf.lock();
         if buf.wedged.is_some() || buf.pending.is_empty() {
             return false;
         }
-        let batch = std::mem::take(&mut buf.pending);
-        let effects: Vec<(Key, Option<Effect>)> = batch.iter().map(|q| q.op.effect()).collect();
+        let drained = std::mem::take(&mut buf.pending);
+        // The deduplicated batch, in first-touch key order: what the
+        // table applies, the commit log records, and replay refolds.
+        // Folding it equals folding the full op stream — replay is
+        // last-write-wins, so the shadowed ops are semantic no-ops.
+        let effects: Vec<(Key, Option<Effect>)> =
+            drained.order.iter().map(|k| (*k, drained.slots[k].newest.clone())).collect();
+        buf.coalesced_ops += drained.ops - drained.order.len() as u64;
         debug_assert!(buf.inflight_overlay.is_empty(), "one apply at a time");
-        buf.inflight_overlay = std::mem::take(&mut buf.pending_overlay);
+        buf.inflight_overlay = effects.iter().cloned().collect();
         buf.applying = true;
         if buf.recording {
             buf.applying_record = Some(BatchRecord { ops: effects.clone() });
         }
-        (batch, effects)
+        (drained, effects)
     };
 
-    let mut answers: Vec<bool> = Vec::with_capacity(batch.len());
+    // Per-key answer runs, parallel to `drained.order`.
+    let mut runs: Vec<Vec<bool>> = Vec::with_capacity(drained.order.len());
     let mut failure: Option<String> = None;
     {
         let mut store = shard.store.lock();
-        for q in &batch {
-            let applied = match &q.op {
-                Op::Put(k, v) => store.insert(*k, *v).map(|()| true),
-                Op::Delete(k) => store.delete(*k),
-                Op::PutBytes(k, b) => store.put_bytes(*k, b).map(|()| true),
+        for k in &drained.order {
+            let slot = &drained.slots[k];
+            // Pre-batch presence, resolved only when a run-opening
+            // delete needs it and the final effect (a put) won't report
+            // it: one read-only probe before the mutation.
+            let opening_delete = matches!(slot.ops[0].op, Op::Delete(_));
+            let probed = if opening_delete && slot.newest.is_some() {
+                match store.contains(*k) {
+                    Ok(p) => Some(p),
+                    Err(e) => {
+                        failure = Some(e.to_string());
+                        break;
+                    }
+                }
+            } else {
+                None
             };
-            match applied {
-                Ok(b) => answers.push(b),
+            let applied = match &slot.newest {
+                Some(Effect::Word(v)) => store.insert(*k, *v).map(|()| true),
+                Some(Effect::Bytes(b)) => store.put_bytes(*k, b).map(|()| true),
+                None => store.delete(*k),
+            };
+            let final_ans = match applied {
+                Ok(b) => b,
                 Err(e) => {
                     failure = Some(e.to_string());
                     break;
                 }
-            }
+            };
+            // When the final effect is the delete itself, `final_ans`
+            // *is* the pre-batch presence (one op per key touched the
+            // table, and it was this one).
+            let mut present = probed.unwrap_or(final_ans);
+            let run = slot
+                .ops
+                .iter()
+                .map(|q| match q.op {
+                    Op::Delete(_) => std::mem::replace(&mut present, false),
+                    _ => {
+                        present = true;
+                        true
+                    }
+                })
+                .collect();
+            runs.push(run);
         }
         if failure.is_some() {
             // The table holds a partial batch that was reported failed;
@@ -972,14 +1111,24 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
             buf.inflight_overlay.clear();
             buf.applying = false;
             let recorded = buf.applying_record.take().is_some();
-            let cells = batch.iter().map(|q| q.cell.clone()).collect();
+            let mut cells = Vec::with_capacity(drained.ops as usize);
+            let mut answers = Vec::with_capacity(drained.ops as usize);
+            for (k, run) in drained.order.iter().zip(&runs) {
+                for (q, ans) in drained.slots[k].ops.iter().zip(run) {
+                    cells.push(q.cell.clone());
+                    answers.push(*ans);
+                }
+            }
             let seq = buf.next_seq;
             buf.next_seq += 1;
             buf.last_applied_seq = seq;
             buf.unacked.push(AppliedBatch {
                 cells,
                 answers,
-                ops: batch.len() as u64,
+                // User ops acknowledged, not table ops spent — the
+                // public committed_ops/largest_batch counters keep
+                // counting what callers submitted.
+                ops: drained.ops,
                 seq,
                 effects,
                 recorded,
@@ -987,7 +1136,8 @@ fn apply_pending<M: StoreMedia>(shard: &Shard<M>) -> bool {
             true
         }
         Some(why) => {
-            wedge(shard, why, &batch);
+            let cells: Vec<Arc<OpCell>> = drained.cells().cloned().collect();
+            wedge(shard, why, &cells);
             false
         }
     }
@@ -1077,24 +1227,23 @@ fn harden_shard<M: StoreMedia>(shard: &Shard<M>, set_marker: bool, sync: Option<
 /// batches, and everything still queued behind them — gets the error.
 /// Batch records stay in place: they are the harness's in-flight
 /// candidates. Called with no locks held.
-fn wedge<M: StoreMedia>(shard: &Shard<M>, why: String, mid_apply: &[QueuedOp]) {
+fn wedge<M: StoreMedia>(shard: &Shard<M>, why: String, mid_apply: &[Arc<OpCell>]) {
     {
         let mut buf = shard.buf.lock();
         buf.inflight_overlay.clear();
         buf.applying = false;
-        for q in mid_apply {
-            *q.cell.0.lock() = Some(Err(why.clone()));
+        for cell in mid_apply {
+            *cell.0.lock() = Some(Err(why.clone()));
         }
         for ab in &buf.unacked {
             for cell in &ab.cells {
                 *cell.0.lock() = Some(Err(why.clone()));
             }
         }
-        let stranded: Vec<QueuedOp> = std::mem::take(&mut buf.pending);
-        for q in &stranded {
-            *q.cell.0.lock() = Some(Err(why.clone()));
+        let stranded = std::mem::take(&mut buf.pending);
+        for cell in stranded.cells() {
+            *cell.0.lock() = Some(Err(why.clone()));
         }
-        buf.pending_overlay.clear();
         buf.wedged = Some(why);
     }
     shard.ack_cv.notify_all();
@@ -2093,13 +2242,24 @@ impl<M: StoreMedia> ShardedKvStore<M> {
     pub fn stats(&self) -> ServiceStats {
         let mut out = ServiceStats::default();
         for shard in &self.shards {
-            let buf = shard.buf.lock();
-            out.committed_ops += buf.committed_ops;
-            out.committed_batches += buf.committed_batches;
-            out.largest_batch = out.largest_batch.max(buf.largest_batch);
-            out.wedged_shards += usize::from(buf.wedged.is_some());
-            out.shard_syncs += buf.hardens;
+            {
+                let buf = shard.buf.lock();
+                out.committed_ops += buf.committed_ops;
+                out.committed_batches += buf.committed_batches;
+                out.largest_batch = out.largest_batch.max(buf.largest_batch);
+                out.wedged_shards += usize::from(buf.wedged.is_some());
+                out.shard_syncs += buf.hardens;
+                out.coalesced_ops += buf.coalesced_ops;
+            }
+            // Store lock taken after the buffer lock is released —
+            // readers' lock discipline (never both at once).
+            let mio = shard.store.lock().manifest_io();
+            out.manifest_delta_commits += mio.delta_commits;
+            out.manifest_delta_bytes += mio.delta_bytes;
+            out.manifest_full_commits += mio.full_commits;
+            out.manifest_full_bytes += mio.full_bytes;
         }
+        out.manifest_bytes_written = out.manifest_full_bytes + out.manifest_delta_bytes;
         out.sync_rounds = self.coord.state.lock().epoch;
         out.sealed_discards = self.coord.sealed_discards.load(Ordering::Relaxed);
         out.sealed_discard_failures = self.coord.sealed_discard_failures.load(Ordering::Relaxed);
@@ -2162,9 +2322,7 @@ impl<M: StoreMedia> ShardedKvStore<M> {
         let mut cells = Vec::with_capacity(ops.len());
         for op in ops {
             let cell = Arc::new(OpCell::default());
-            let (k, effect) = op.effect();
-            buf.pending.push(QueuedOp { op, cell: cell.clone() });
-            buf.pending_overlay.insert(k, effect);
+            buf.pending.push(op, cell.clone());
             cells.push(cell);
         }
         drop(buf);
@@ -2430,6 +2588,45 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.committed_ops, 4, "every enqueued op committed");
         assert!(stats.largest_batch >= 2, "the enqueued pair stayed one batch");
+    }
+
+    /// Hot-key churn collapses to one table op per key per batch while
+    /// the per-op answers still read as if each op ran serially.
+    #[test]
+    fn coalesced_batch_answers_match_serial_application() {
+        let env = SimEnv::new();
+        let svc = sim_service(&env, 1, 21);
+        svc.put(3, 7).unwrap(); // pre-batch state for the probe case
+        let ops = [
+            WriteOp::Put(1, 10),
+            WriteOp::Delete(1), // present: the put above it
+            WriteOp::Put(1, 20),
+            WriteOp::Delete(2), // absent: never written
+            WriteOp::Put(2, 5),
+            WriteOp::Delete(1), // present: put(1, 20)
+            WriteOp::Delete(3), // present pre-batch (probe path)
+            WriteOp::Put(3, 9),
+        ];
+        let answers = svc.submit(&ops).unwrap();
+        assert_eq!(
+            answers,
+            vec![true, true, true, false, true, true, true, true],
+            "answers reconstruct serial presence under coalescing"
+        );
+        assert_eq!(svc.get(1).unwrap(), None, "newest effect wins");
+        assert_eq!(svc.get(2).unwrap(), Some(5));
+        assert_eq!(svc.get(3).unwrap(), Some(9));
+        let stats = svc.stats();
+        // 8 ops over 3 distinct keys: 5 table ops saved this batch.
+        assert_eq!(stats.coalesced_ops, 5, "coalesced: {}", stats.coalesced_ops);
+        assert_eq!(stats.committed_ops, 9, "user ops counted uncoalesced");
+        // Coalescing survives the crash/replay path too: the log holds
+        // the deduplicated effects, and replay is last-write-wins.
+        drop(svc);
+        let svc = sim_service(&env, 1, 21);
+        assert_eq!(svc.get(1).unwrap(), None);
+        assert_eq!(svc.get(2).unwrap(), Some(5));
+        assert_eq!(svc.get(3).unwrap(), Some(9));
     }
 
     #[test]

@@ -25,10 +25,19 @@
 //!   (high-water mark and free list), and one line per disk level
 //!   region. Written atomically (tmp + rename, then a directory fsync so
 //!   the rename itself is durable) by [`KvStore::sync`];
+//! * `MANIFEST.DELTA` — a chain of checksummed incremental manifest
+//!   frames appended by marker-less hardens (`harden(false)`, the
+//!   service committers' steady state): each frame records only what
+//!   changed since the last commit, so a checkpoint harden writes
+//!   O(changed state) instead of rewriting the whole manifest. Reopen
+//!   folds the intact chain prefix over the base manifest; every full
+//!   rewrite (sync, compact, rollover) supersedes and clears the chain;
 //! * `CLEAN` — a marker present exactly while no block write has
 //!   happened since the last manifest (unlinked before the first
 //!   mutation, rewritten at each sync). Reopen trusts the manifest's
-//!   free list only when it sees this marker;
+//!   free list only when it sees this marker (which also implies no
+//!   delta frames are outstanding — the marker only ever commits over a
+//!   full rewrite);
 //! * `LOCK` — mutual exclusion for the directory. Ownership is an OS
 //!   advisory lock held on the file for the handle's lifetime, so a
 //!   second live handle fails fast instead of silently overwriting the
@@ -70,8 +79,8 @@
 use std::path::{Path, PathBuf};
 
 use dxh_extmem::{
-    BlobLog, BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Key, PersistentBackend, Result,
-    Value, BLOB_TAG, KEY_TOMBSTONE, VALUE_TOMBSTONE,
+    fnv1a64, BlobLog, BlockId, Disk, ExtMemError, IoCostModel, IoSnapshot, Key, PersistentBackend,
+    Result, Value, BLOB_TAG, KEY_TOMBSTONE, VALUE_TOMBSTONE,
 };
 use dxh_hashfn::IdealFn;
 use dxh_tables::ExternalDictionary;
@@ -91,6 +100,15 @@ const MAGIC: &str = "dxh-store v2";
 /// Format v1: written before deletion existed. Readable, but `u64::MAX`
 /// was an ordinary value then — see [`scan_reserved_values`].
 const MAGIC_V1: &str = "dxh-store v1";
+
+/// Bytes of a delta frame's header: payload length (u32 LE) followed by
+/// the payload's FNV-1a64 checksum (u64 LE).
+const DELTA_HEADER: usize = 12;
+/// Delta frames after which the next commit compacts the chain into a
+/// full manifest rewrite — bounds both reopen's chain replay and the
+/// chain's disk footprint without giving up O(changed-state) commits in
+/// steady state.
+const DELTA_ROLLOVER: u64 = 64;
 
 /// The authoritative data file of generation `gen`: the original name
 /// for generation 0 (every pre-compaction store), generation-suffixed
@@ -216,6 +234,18 @@ pub struct KvStore<M: StoreMedia = DirMedia> {
     /// would reapply *older* logged batches over a *newer*
     /// manifest-committed fold and tear the batch boundary (G4).
     watermark: u64,
+    /// Full-rewrite epoch: bumped by every full manifest rewrite. Delta
+    /// frames quote the epoch they extend, so frames surviving a
+    /// best-effort chain clear are recognized as stale at reopen.
+    epoch: u64,
+    /// Frames appended to the delta chain since the last full rewrite
+    /// (the next frame's sequence number is `delta_seq + 1`).
+    delta_seq: u64,
+    /// Level regions as of the last manifest commit (full or delta) —
+    /// the diff base for the next delta frame's changed-level lines.
+    committed_levels: Vec<Option<Region>>,
+    /// Manifest-commit byte accounting (see [`KvStore::manifest_io`]).
+    manifest_io: ManifestIoStats,
     /// The persistence environment; holds the store's mutual-exclusion
     /// lock for the handle's lifetime. Declared last so the lock is
     /// released only after the table (and its backend) is gone.
@@ -285,6 +315,10 @@ impl<M: StoreMedia> KvStore<M> {
                     dirty: false,
                     poisoned: false,
                     watermark: 0,
+                    epoch: 0,
+                    delta_seq: 0,
+                    committed_levels: Vec::new(),
+                    manifest_io: ManifestIoStats::default(),
                     media,
                 };
                 store.write_manifest()?; // a crash before the first sync can still reopen
@@ -295,7 +329,12 @@ impl<M: StoreMedia> KvStore<M> {
     }
 
     fn reopen(mut media: M, text: &str, expected_b: usize, payloads: bool) -> Result<Self> {
-        let m = Manifest::parse(text)?;
+        let mut m = Manifest::parse(text)?;
+        // Fold the surviving delta chain into the parsed base: every
+        // intact frame is a commit point newer than the base manifest
+        // (torn tails, broken sequences, and stale-epoch frames are
+        // discarded inside).
+        let applied = apply_manifest_deltas(&mut m, &media.read_manifest_deltas()?);
         if m.cfg.b != expected_b {
             return Err(ExtMemError::BadConfig(format!(
                 "store was created with b = {}, caller asked for b = {expected_b}",
@@ -331,10 +370,12 @@ impl<M: StoreMedia> KvStore<M> {
             // slot is still live, so every region block is readable.
             scan_reserved_values(&mut backend, &m.levels)?;
         }
-        if media.clean_marker()? && backend.slots() == m.slots {
+        if applied == 0 && media.clean_marker()? && backend.slots() == m.slots {
             // Clean shutdown: no block write happened after the manifest,
             // so it describes the file exactly and the free list is safe
-            // to recycle from.
+            // to recycle from. Delta frames never carry a free list (and
+            // a marker-setting harden always compacts the chain first),
+            // so an applied chain forces the recovery walk below.
             backend.restore_free_list(m.free)?;
         } else {
             // Crash recovery: the manifest's free list is stale (post-sync
@@ -353,6 +394,7 @@ impl<M: StoreMedia> KvStore<M> {
         }
         backend.set_defer_recycling(true);
         let disk = Disk::new(backend, m.cfg.b, m.cfg.cost);
+        let committed_levels = m.levels.clone();
         let table = LogMethodTable::from_parts(disk, m.cfg, IdealFn::from_seed(m.seed), m.levels)?;
         // The blob log recovers to the committed length the manifest
         // covers: a crash tail (torn or unsynced appends the index never
@@ -378,6 +420,10 @@ impl<M: StoreMedia> KvStore<M> {
             dirty: false,
             poisoned: false,
             watermark: m.watermark,
+            epoch: m.epoch,
+            delta_seq: applied,
+            committed_levels,
+            manifest_io: ManifestIoStats::default(),
             media,
         })
     }
@@ -446,25 +492,46 @@ impl<M: StoreMedia> KvStore<M> {
         self.table.disk_mut().flush()
     }
 
-    /// Stage 3: the commit point — atomically rewrite the manifest, then
-    /// write the `CLEAN` marker back if `set_marker`.
+    /// Stage 3: the commit point — commit the index durably, then write
+    /// the `CLEAN` marker back if `set_marker`.
+    ///
+    /// Steady-state `harden(false)` commits by appending one checksummed
+    /// **delta frame** to the `MANIFEST.DELTA` chain — O(changed state)
+    /// per commit instead of a full manifest rewrite. A marker-setting
+    /// harden, and every [`DELTA_ROLLOVER`]th commit, compacts the chain
+    /// into a full rewrite instead. The marker may only ever sit over a
+    /// full manifest: reopen trusts the manifest's free list under the
+    /// marker, and delta frames deliberately carry none.
     pub(crate) fn harden_commit(&mut self, set_marker: bool) -> Result<()> {
         self.check_poisoned()?;
         if !self.dirty {
             // Nothing to commit, but a `harden(true)` after a run of
             // `harden(false)` rounds still owes the marker: the manifest
-            // already matches the table, so writing `CLEAN` is safe.
+            // already matches the table, so writing `CLEAN` is safe —
+            // except when those rounds left delta frames outstanding,
+            // in which case the base manifest's free list predates the
+            // chain and the marker may only go down over a compaction.
             if set_marker && !self.media.clean_marker()? {
+                if self.delta_seq > 0 {
+                    self.write_manifest()?;
+                }
                 self.media.set_clean_marker()?;
             }
             return Ok(());
         }
-        self.write_manifest()?;
+        if set_marker || self.delta_seq >= DELTA_ROLLOVER {
+            self.write_manifest()?;
+        } else {
+            self.write_manifest_delta()?;
+        }
         if set_marker {
             self.media.set_clean_marker()?;
         }
-        // The new manifest (listing quarantined slots as free) is
-        // durable; they may now be recycled.
+        // The new commit is durable; quarantined slots may now be
+        // recycled. Sound after a delta commit too: no region any
+        // commit point (base or intact delta prefix) records references
+        // a quarantined slot, so recovery to any of those points never
+        // reads a slot recycled after it became durable.
         self.table.disk_mut().backend_mut().commit_frees();
         self.dirty = false;
         Ok(())
@@ -603,6 +670,10 @@ impl<M: StoreMedia> KvStore<M> {
             }
         ));
         out.push_str(&format!("seed {}\n", self.seed));
+        // The epoch this rewrite commits at; older parsers ignore the
+        // line (forward-compatible), new ones use it to recognize stale
+        // delta frames.
+        out.push_str(&format!("epoch {}\n", self.epoch + 1));
         out.push_str(&format!("data {}\n", self.data_gen));
         if let Some(len) = blob_len {
             // Forward-compatible: older parsers ignore the line (and a
@@ -625,8 +696,78 @@ impl<M: StoreMedia> KvStore<M> {
             }
         }
         // The media's commit is atomic and durable (tmp + rename + dir
-        // fsync on the real filesystem): the single commit point.
-        self.media.commit_manifest(&out)
+        // fsync on the real filesystem): the commit point.
+        self.media.commit_manifest(&out)?;
+        // The rewrite supersedes every delta frame: drop the chain with
+        // no durability work (a frame surviving the best-effort clear
+        // quotes the old epoch and is skipped at reopen).
+        self.epoch += 1;
+        self.delta_seq = 0;
+        self.media.clear_manifest_deltas();
+        self.committed_levels = self.table.persisted_levels().to_vec();
+        self.manifest_io.full_commits += 1;
+        self.manifest_io.full_bytes += out.len() as u64;
+        Ok(())
+    }
+
+    /// The incremental commit point: appends one checksummed frame to
+    /// the `MANIFEST.DELTA` chain recording only what changed since the
+    /// last commit — watermark, blob length, slot count, and the level
+    /// regions that differ from the `committed_levels` snapshot — so a
+    /// service checkpoint harden writes O(changed state), not O(table).
+    /// The free list is deliberately absent: only a marker-setting
+    /// harden lets reopen trust a free list, and those always take the
+    /// full-rewrite path (see [`KvStore::harden_commit`]); a reopen over
+    /// deltas takes the recovery region walk, which recomputes liveness
+    /// exactly.
+    fn write_manifest_delta(&mut self) -> Result<()> {
+        let seq = self.delta_seq + 1;
+        let mut out = String::new();
+        out.push_str(&format!("delta {} {seq}\n", self.epoch));
+        if let Some(len) = self.blob.as_ref().map(|log| log.len()) {
+            out.push_str(&format!("blob {len}\n"));
+        }
+        if self.watermark > 0 {
+            out.push_str(&format!("watermark {}\n", self.watermark));
+        }
+        out.push_str(&format!("slots {}\n", self.table.disk_mut().backend_mut().slots()));
+        let levels = self.table.persisted_levels().to_vec();
+        if levels.len() != self.committed_levels.len() {
+            out.push_str(&format!("levels {}\n", levels.len()));
+        }
+        for k in 0..levels.len().max(self.committed_levels.len()) {
+            let now = levels.get(k).copied().flatten();
+            let then = self.committed_levels.get(k).copied().flatten();
+            if now == then {
+                continue;
+            }
+            match now {
+                Some(r) => {
+                    out.push_str(&format!("level {k} {} {} {}\n", r.base.raw(), r.buckets, r.items))
+                }
+                None => out.push_str(&format!("clearlevel {k}\n")),
+            }
+        }
+        let mut frame = Vec::with_capacity(DELTA_HEADER + out.len());
+        frame.extend_from_slice(&(out.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(out.as_bytes()).to_le_bytes());
+        frame.extend_from_slice(out.as_bytes());
+        self.media.append_manifest_delta(&frame)?;
+        self.delta_seq = seq;
+        self.committed_levels = levels;
+        self.manifest_io.delta_commits += 1;
+        self.manifest_io.delta_bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Manifest-commit I/O accounting since this handle opened: how many
+    /// bytes the index-commit path wrote, split between full rewrites
+    /// and incremental delta frames. A service shard in steady state
+    /// accumulates almost all its commits — at O(changed-state) bytes
+    /// each — on the delta side; the torture harness and the bench
+    /// assert exactly that through these counters.
+    pub fn manifest_io(&self) -> ManifestIoStats {
+        self.manifest_io
     }
 
     /// Rewrites the data file densely: every live item (deletion markers
@@ -816,6 +957,33 @@ impl<M: StoreMedia> KvStore<M> {
     pub(crate) fn poison(&mut self) {
         self.poisoned = true;
     }
+
+    /// Whether `key` is currently present (not absent, not deleted):
+    /// one index probe, no payload decode, valid in both raw and
+    /// payload mode. The service's coalescing committer uses it to
+    /// answer a batch-opening delete whose table effect is shadowed by
+    /// a later put on the same key in the same batch.
+    pub(crate) fn contains(&mut self, key: Key) -> Result<bool> {
+        self.check_poisoned()?;
+        Ok(self.table.lookup(key)?.is_some())
+    }
+}
+
+/// Cumulative manifest-commit I/O of one [`KvStore`] handle since it
+/// opened: bytes and commit counts, split between full atomic rewrites
+/// and incremental `MANIFEST.DELTA` frames. Full-rewrite bytes scale
+/// with table size (one `level` line per region plus the whole free
+/// list); delta bytes scale with what changed since the last commit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ManifestIoStats {
+    /// Bytes written by full manifest rewrites.
+    pub full_bytes: u64,
+    /// Full atomic manifest rewrites committed.
+    pub full_commits: u64,
+    /// Bytes appended as delta frames (frame headers included).
+    pub delta_bytes: u64,
+    /// Delta frames committed.
+    pub delta_commits: u64,
 }
 
 /// What one [`KvStore::compact`] pass accomplished.
@@ -1008,6 +1176,102 @@ impl<M: StoreMedia> ExternalDictionary for KvStore<M> {
     }
 }
 
+/// Parses a delta frame's `delta <epoch> <seq>` head line.
+fn parse_delta_head(line: &str) -> Option<(u64, u64)> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("delta") {
+        return None;
+    }
+    let epoch = parts.next()?.parse().ok()?;
+    let seq = parts.next()?.parse().ok()?;
+    Some((epoch, seq))
+}
+
+/// Folds the surviving `MANIFEST.DELTA` chain into a parsed base
+/// manifest. Frames apply in order while they are intact (length and
+/// checksum verify), quote the base's epoch, and carry sequence numbers
+/// running 1, 2, …; the first torn or out-of-sequence frame ends the
+/// chain — everything at and behind it was never acknowledged as
+/// committed. Frames quoting a *different* epoch are stale survivors of
+/// a best-effort chain clear and are skipped without ending the chain.
+/// Returns the number of frames applied (the reopened handle's
+/// `delta_seq`); when nonzero, the base's free list has been cleared —
+/// it predates the chain and must not be trusted.
+fn apply_manifest_deltas(m: &mut Manifest, chain: &[u8]) -> u64 {
+    let mut at = 0usize;
+    let mut applied = 0u64;
+    while let Some(header) = chain.get(at..at + DELTA_HEADER) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 header bytes")) as usize;
+        let sum = u64::from_le_bytes(header[4..].try_into().expect("8 header bytes"));
+        let Some(payload) = chain.get(at + DELTA_HEADER..at + DELTA_HEADER + len) else { break };
+        if fnv1a64(payload) != sum {
+            break;
+        }
+        at += DELTA_HEADER + len;
+        let Ok(text) = std::str::from_utf8(payload) else { break };
+        let mut lines = text.lines();
+        let Some((epoch, seq)) = lines.next().and_then(parse_delta_head) else { break };
+        if epoch != m.epoch {
+            continue;
+        }
+        if seq != applied + 1 {
+            break;
+        }
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let (Some(key), Some(v)) = (parts.next(), parts.next()) else { continue };
+            match key {
+                "watermark" => {
+                    if let Ok(w) = v.parse() {
+                        m.watermark = w;
+                    }
+                }
+                // Only meaningful in payload mode; a frame cannot
+                // switch the store's representation.
+                "blob" if m.blob.is_some() => {
+                    if let Ok(l) = v.parse() {
+                        m.blob = Some(l);
+                    }
+                }
+                "slots" => {
+                    if let Ok(s) = v.parse() {
+                        m.slots = s;
+                    }
+                }
+                "levels" => {
+                    if let Ok(n) = v.parse::<usize>() {
+                        if n <= 64 {
+                            m.levels.resize(n.max(1), None);
+                        }
+                    }
+                }
+                "level" => {
+                    let Ok(k) = v.parse::<usize>() else { continue };
+                    let nums: Vec<u64> = parts.filter_map(|p| p.parse().ok()).collect();
+                    let [base, buckets, items] = nums[..] else { continue };
+                    if k > 0 && k < m.levels.len() {
+                        m.levels[k] =
+                            Some(Region { base: BlockId(base), buckets, items: items as usize });
+                    }
+                }
+                "clearlevel" => {
+                    if let Ok(k) = v.parse::<usize>() {
+                        if k > 0 && k < m.levels.len() {
+                            m.levels[k] = None;
+                        }
+                    }
+                }
+                _ => {} // forward-compatible, like the manifest itself
+            }
+        }
+        applied += 1;
+    }
+    if applied > 0 {
+        m.free.clear();
+    }
+    applied
+}
+
 /// Parsed manifest contents.
 struct Manifest {
     cfg: CoreConfig,
@@ -1028,6 +1292,10 @@ struct Manifest {
     /// Committed blob-log length in bytes. Presence of the line ⟺ the
     /// store runs in payload mode; recovery truncates the log here.
     blob: Option<u64>,
+    /// Full-rewrite epoch this manifest committed at (absent lines
+    /// parse as 0 — pre-delta stores). Delta frames quote the epoch
+    /// they extend; frames quoting any other are stale and skipped.
+    epoch: u64,
 }
 
 impl Manifest {
@@ -1046,6 +1314,7 @@ impl Manifest {
         let mut cost = IoCostModel::SeekDominated;
         let mut seed = None;
         let mut data_gen = 0u64;
+        let mut epoch = 0u64;
         let mut watermark = 0u64;
         let mut blob = None;
         let mut slots = None;
@@ -1070,6 +1339,7 @@ impl Manifest {
                 }
                 "seed" => seed = v.parse().ok(),
                 "data" => data_gen = v.parse().map_err(|_| corrupt("bad data generation"))?,
+                "epoch" => epoch = v.parse().map_err(|_| corrupt("bad epoch"))?,
                 "watermark" => watermark = v.parse().map_err(|_| corrupt("bad watermark"))?,
                 "blob" => blob = Some(v.parse().map_err(|_| corrupt("bad blob length"))?),
                 "slots" => slots = v.parse().ok(),
@@ -1111,7 +1381,7 @@ impl Manifest {
             return Err(corrupt("missing required field"));
         };
         let cfg = CoreConfig::custom(b, m, gamma, beta)?.cost_model(cost);
-        Ok(Manifest { cfg, seed, data_gen, slots, free, levels, v1, watermark, blob })
+        Ok(Manifest { cfg, seed, data_gen, slots, free, levels, v1, watermark, blob, epoch })
     }
 }
 
@@ -1920,6 +2190,165 @@ mod tests {
             assert_eq!(s.get_bytes(k).unwrap(), expect.as_deref(), "key {k} after reopen");
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hardens_between_syncs_append_deltas_not_full_rewrites() {
+        use crate::media::MANIFEST_DELTA;
+        let dir = tmp_dir("delta-harden");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 81).unwrap();
+        for k in 0..600u64 {
+            s.insert(k, k + 1).unwrap();
+        }
+        s.sync().unwrap();
+        let manifest = fs::read(dir.join(MANIFEST)).unwrap();
+        let base = s.manifest_io();
+        for round in 0..3u64 {
+            for i in 0..40u64 {
+                s.insert(10_000 + round * 40 + i, round).unwrap();
+            }
+            s.harden(false).unwrap();
+        }
+        let io = s.manifest_io();
+        assert_eq!(io.full_commits, base.full_commits, "hardens stay off the full-rewrite path");
+        assert_eq!(io.delta_commits - base.delta_commits, 3, "one frame per harden");
+        assert!(dir.join(MANIFEST_DELTA).exists(), "the chain is on disk");
+        assert_eq!(
+            fs::read(dir.join(MANIFEST)).unwrap(),
+            manifest,
+            "delta commits leave the base manifest untouched"
+        );
+        assert!(
+            io.delta_bytes / 3 < manifest.len() as u64,
+            "a delta frame ({} B avg) undercuts a full rewrite ({} B)",
+            io.delta_bytes / 3,
+            manifest.len()
+        );
+        crash(s);
+        let mut s = KvStore::open(&dir, cfg(), 81).unwrap();
+        for k in 0..600u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(k + 1), "pre-sync key {k}");
+        }
+        for round in 0..3u64 {
+            for i in 0..40u64 {
+                let k = 10_000 + round * 40 + i;
+                assert_eq!(s.lookup(k).unwrap(), Some(round), "delta-hardened key {k}");
+            }
+        }
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn marker_setting_sync_compacts_the_delta_chain() {
+        use crate::media::MANIFEST_DELTA;
+        let dir = tmp_dir("delta-rollover");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 82).unwrap();
+        for k in 0..200u64 {
+            s.insert(k, k).unwrap();
+        }
+        s.harden(false).unwrap();
+        assert!(dir.join(MANIFEST_DELTA).exists());
+        assert!(!dir.join(CLEAN).exists(), "marker-less harden leaves the marker down");
+        // The handle is clean (the delta committed everything), but the
+        // chain is outstanding: the marker may only go down over a full
+        // manifest, so this sync must compact even with nothing new.
+        let before = s.manifest_io();
+        s.sync().unwrap();
+        let after = s.manifest_io();
+        assert_eq!(after.full_commits, before.full_commits + 1, "clean sync still compacts");
+        assert!(dir.join(CLEAN).exists());
+        assert!(!dir.join(MANIFEST_DELTA).exists(), "the chain is superseded and cleared");
+        drop(s);
+        // Clean reopen trusts the compacted manifest's free list.
+        let mut s = KvStore::open(&dir, cfg(), 82).unwrap();
+        for k in 0..200u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(k));
+        }
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_delta_tail_recovers_to_the_last_intact_frame() {
+        use crate::media::MANIFEST_DELTA;
+        let dir = tmp_dir("delta-torn");
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = KvStore::open(&dir, cfg(), 83).unwrap();
+        for k in 0..100u64 {
+            s.insert(k, 1).unwrap();
+        }
+        s.harden(false).unwrap();
+        for k in 100..200u64 {
+            s.insert(k, 2).unwrap();
+        }
+        s.harden(false).unwrap();
+        // Tear the second frame's tail: a crash mid-append.
+        let chain = fs::read(dir.join(MANIFEST_DELTA)).unwrap();
+        fs::write(dir.join(MANIFEST_DELTA), &chain[..chain.len() - 5]).unwrap();
+        crash(s);
+        let mut s = KvStore::open(&dir, cfg(), 83).unwrap();
+        for k in 0..100u64 {
+            assert_eq!(s.lookup(k).unwrap(), Some(1), "frame-1 key {k} survives the torn tail");
+        }
+        for k in 100..200u64 {
+            assert_eq!(s.lookup(k).unwrap(), None, "torn frame-2 key {k} rolls back");
+        }
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Frames a delta payload exactly like `write_manifest_delta`.
+    fn delta_frame(text: &str) -> Vec<u8> {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(text.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(text.as_bytes()).to_le_bytes());
+        frame.extend_from_slice(text.as_bytes());
+        frame
+    }
+
+    #[test]
+    fn delta_chain_replay_filters_stale_epochs_and_stops_on_gaps() {
+        let text = format!(
+            "{MAGIC}\nb 8\nm 128\ngamma 2\nbeta 2\nseed 1\nepoch 3\nslots 4\nfree 1,2\n\
+             levels 2\nlevel 1 0 2 5\n"
+        );
+        let mut m = Manifest::parse(&text).unwrap();
+        assert_eq!(m.epoch, 3);
+        let mut chain = Vec::new();
+        // Stale survivor of a cleared chain: skipped, not a stop.
+        chain.extend_from_slice(&delta_frame("delta 2 1\nslots 99\n"));
+        chain.extend_from_slice(&delta_frame("delta 3 1\nslots 7\nwatermark 11\n"));
+        // Sequence gap (2 missing): the chain's own order is broken —
+        // nothing past this point was acknowledged in this order.
+        chain.extend_from_slice(&delta_frame("delta 3 3\nslots 8\n"));
+        assert_eq!(apply_manifest_deltas(&mut m, &chain), 1);
+        assert_eq!(m.slots, 7, "frame 1 applied, stale and gapped frames discarded");
+        assert_eq!(m.watermark, 11);
+        assert!(m.free.is_empty(), "an applied chain invalidates the base free list");
+
+        // A checksum-corrupt frame ends the chain even with intact
+        // frames behind it.
+        let mut m = Manifest::parse(&text).unwrap();
+        let mut chain = delta_frame("delta 3 1\nslots 7\n");
+        let mut bad = delta_frame("delta 3 2\nslots 9\n");
+        let flip = bad.len() - 1;
+        bad[flip] ^= 0xff;
+        chain.extend_from_slice(&bad);
+        chain.extend_from_slice(&delta_frame("delta 3 3\nslots 10\n"));
+        assert_eq!(apply_manifest_deltas(&mut m, &chain), 1);
+        assert_eq!(m.slots, 7);
+
+        // Level edits: resize, replace, clear.
+        let mut m = Manifest::parse(&text).unwrap();
+        let chain = delta_frame("delta 3 1\nslots 12\nlevels 3\nlevel 2 4 8 9\nclearlevel 1\n");
+        assert_eq!(apply_manifest_deltas(&mut m, &chain), 1);
+        assert_eq!(m.levels.len(), 3);
+        assert!(m.levels[1].is_none(), "clearlevel drops the region");
+        let r = m.levels[2].unwrap();
+        assert_eq!((r.base.raw(), r.buckets, r.items), (4, 8, 9));
     }
 
     #[test]

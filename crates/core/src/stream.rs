@@ -24,7 +24,7 @@ use dxh_tables::{chain_collect, write_bucket};
 /// A disk-resident hash-table region: `buckets` consecutive primary
 /// blocks starting at `base` (overflow chains hang off them), holding
 /// `items` items.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct Region {
     /// First primary block.
     pub base: BlockId,

@@ -52,6 +52,11 @@ pub enum EffectClass {
     /// cell with `Ok` (`*cell = Some(Ok(..))`). The caller treats it as
     /// a durability promise, so it must follow the round's fsync.
     AckRelease,
+    /// A manifest-delta append (`append_manifest_delta`): an
+    /// *incremental* index commit point. Like a full manifest rename it
+    /// makes index state durable and recovery-visible, so every data
+    /// byte the delta's regions reference must be fdatasync'd first.
+    DeltaAppend,
 }
 
 impl EffectClass {
@@ -64,6 +69,7 @@ impl EffectClass {
             EffectClass::DirFsync => "DirFsync",
             EffectClass::MetaUnlink => "MetaUnlink",
             EffectClass::AckRelease => "AckRelease",
+            EffectClass::DeltaAppend => "DeltaAppend",
         }
     }
 }
@@ -177,6 +183,16 @@ pub const RULES: &[Rule] = &[
               missing payloads after a crash (G8)",
     },
     Rule {
+        name: "delta-append-after-data-fsync",
+        anchor: EffectClass::DeltaAppend,
+        check: Check::Preceded(EffectClass::DataFsync),
+        lint: true,
+        trace: true,
+        why: "a manifest-delta append is an incremental commit point: the level regions \
+              it records must be fdatasync'd first, or a durable delta could name \
+              unwritten data — the delta twin of rename-after-data-fsync (G1)",
+    },
+    Rule {
         name: "no-discarded-sync-result",
         anchor: EffectClass::DataFsync,
         check: Check::NoDiscardedSyncResult,
@@ -213,6 +229,9 @@ pub const SINKS: &[(&str, EffectClass)] = &[
     (".flush()", EffectClass::DataFsync),
     (".sync_all(", EffectClass::DataFsync),
     ("fs::rename(", EffectClass::Rename),
+    // The incremental commit choke point (dot-prefixed so the `fn
+    // append_manifest_delta(` definition lines don't match).
+    (".append_manifest_delta(", EffectClass::DeltaAppend),
 ];
 
 /// Functions whose `sync_all` targets an opened **directory** handle:
@@ -247,6 +266,7 @@ pub const SYNC_RESULT_TOKENS: &[&str] = &[
     "sync_dir(",
     "clear_clean_marker(",
     ".blob_sync(",
+    ".append_manifest_delta(",
 ];
 
 /// One conformance violation found in an I/O trace.
@@ -312,6 +332,7 @@ pub fn check_trace(events: &[IoEvent]) -> Vec<TraceViolation> {
     let r1 = rule("rename-after-data-fsync").trace;
     let r5 = rule("no-write-under-clean-marker").trace;
     let r7 = rule("blob-sync-before-index-commit").trace;
+    let r8 = rule("delta-append-after-data-fsync").trace;
     let mut out = Vec::new();
     // Unsynced write count per file (block writes and blob appends
     // alike — both land in the same `Write`/`Sync` event vocabulary).
@@ -387,6 +408,43 @@ pub fn check_trace(events: &[IoEvent]) -> Vec<TraceViolation> {
                             }
                         }
                     }
+                    "meta-write" if local == "MANIFEST.DELTA" => {
+                        // A delta append is an incremental index commit:
+                        // the same data- and blob-sync obligations gate
+                        // it as gate the full manifest commit above.
+                        if r8 {
+                            if let Some(&data) = current_data.get(prefix) {
+                                let pending = unsynced.get(data).copied().unwrap_or(0);
+                                if pending > 0 {
+                                    out.push(TraceViolation {
+                                        at,
+                                        rule: "delta-append-after-data-fsync",
+                                        what: format!(
+                                            "manifest-delta append {name} while {data} has \
+                                             {pending} unsynced block write(s) — the data fsync \
+                                             must precede the incremental commit point"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                        if r7 {
+                            if let Some(&blob) = current_blob.get(prefix) {
+                                let pending = unsynced.get(blob).copied().unwrap_or(0);
+                                if pending > 0 {
+                                    out.push(TraceViolation {
+                                        at,
+                                        rule: "blob-sync-before-index-commit",
+                                        what: format!(
+                                            "manifest-delta append {name} while {blob} has \
+                                             {pending} unsynced blob append(s) — the payload \
+                                             fdatasync must precede the index commit point"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
                     "meta-write" if local == "CLEAN" => {
                         clean.insert(prefix);
                     }
@@ -456,6 +514,7 @@ mod tests {
             "rename-after-data-fsync",
             "no-write-under-clean-marker",
             "blob-sync-before-index-commit",
+            "delta-append-after-data-fsync",
         ];
         for r in RULES.iter().filter(|r| r.trace) {
             assert!(implemented.contains(&r.name), "rule {} has no automaton arm", r.name);
@@ -533,6 +592,60 @@ mod tests {
             write("store.blob"),
             sync("store.blob"),
             meta("meta-write MANIFEST"),
+        ];
+        assert_eq!(check_trace(&events), vec![]);
+    }
+
+    /// Seeded mutant: manifest-delta append with the data fsync
+    /// dropped — the delta is an incremental commit point and owes the
+    /// same preceding fsync as the full rename.
+    #[test]
+    fn delta_append_before_fsync_mutant_is_caught() {
+        let events = vec![
+            meta("file-create store.blk"),
+            write("store.blk"),
+            meta("meta-write MANIFEST.DELTA"),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "delta-append-after-data-fsync");
+        assert_eq!(v[0].at, 2);
+        // With the sync in place the same sequence is conformant.
+        let events = vec![
+            meta("file-create store.blk"),
+            write("store.blk"),
+            sync("store.blk"),
+            meta("meta-write MANIFEST.DELTA"),
+        ];
+        assert_eq!(check_trace(&events), vec![]);
+    }
+
+    /// Seeded mutant: a delta append is an *index commit* — unsynced
+    /// blob appends gate it exactly as they gate the full manifest.
+    #[test]
+    fn delta_append_before_blob_sync_mutant_is_caught() {
+        let events = vec![
+            meta("file-create store.blob"),
+            write("store.blob"),
+            meta("meta-write MANIFEST.DELTA"),
+        ];
+        let v = check_trace(&events);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "blob-sync-before-index-commit");
+        assert_eq!(v[0].at, 2);
+    }
+
+    /// The delta arm scopes per store prefix like every other rule: a
+    /// sibling shard's unsynced writes do not indict this shard's delta.
+    #[test]
+    fn delta_append_scope_is_per_store_prefix() {
+        let events = vec![
+            meta("file-create shard-000/store.blk"),
+            write("shard-000/store.blk"),
+            meta("file-create shard-001/store.blk"),
+            write("shard-001/store.blk"),
+            sync("shard-001/store.blk"),
+            meta("meta-write shard-001/MANIFEST.DELTA"),
         ];
         assert_eq!(check_trace(&events), vec![]);
     }

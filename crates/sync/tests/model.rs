@@ -14,6 +14,11 @@
 //!    dirt must outrank shutdown;
 //! 4. **shutdown handshake** — drain-then-sync: accepted ops are all
 //!    acknowledged and the CLEAN marker is written last.
+//! 5. **coalescing buffer ↔ committer** — the newest-wins upsert
+//!    (`CoalesceBuf`) against the two-phase drain (snapshot + inflight
+//!    overlay under the buf lock, table apply outside it, ack fill back
+//!    under it): drain-vs-upsert atomicity, read-your-writes across the
+//!    drain window, lost wakeups, and the shutdown drain.
 //!
 //! Every protocol is paired with *mutation checks*: reintroduce a
 //! classic bug (an `if` where a `while` recheck is load-bearing, a
@@ -687,6 +692,347 @@ fn p4_mutation_exit_without_final_harden_is_caught() {
 }
 
 // ---------------------------------------------------------------------------
+// Protocol 5: the newest-wins coalescing buffer ↔ committer handshake.
+//
+// The service fronts each shard's group-commit queue with a `CoalesceBuf`
+// that upserts ops by key (newest wins) without ever taking the store
+// lock. The committer drains it in two phases: under the buf lock it
+// snapshots-and-takes every slot and posts the batch's newest values to
+// an inflight overlay; outside the buf lock it applies one table op per
+// distinct key; back under the buf lock it fills every queued ack cell
+// and retires the overlay. Modeled hazards: an upsert racing the drain
+// must land in this batch or the next (never neither), a read between
+// drain and table-apply must still see its own write via the overlay,
+// ack wakeups must not be lost, and shutdown must drain live slots.
+
+#[derive(Clone, Copy, PartialEq)]
+enum P5Mutation {
+    None,
+    /// Drain snapshots the slots, releases the buf lock, then re-locks
+    /// and wipes the map — an upsert landing in the window is dropped
+    /// without an ack and without a table op.
+    SplitDrain,
+    /// Drain skips the inflight overlay: between the slot take and the
+    /// table apply, a reader falls through to a store that does not yet
+    /// hold the value it was promised.
+    NoInflightOverlay,
+    /// Exit path checks shutdown before live slots — upserts accepted
+    /// before the flag are silently discarded.
+    ExitBeforeDrain,
+    /// Cells filled but `ack_cv` never notified.
+    NoAckNotify,
+}
+
+/// Two keys: writers contend on key 0 (the coalescing case), the reader
+/// exercises read-your-writes on key 1.
+const P5_KEYS: usize = 2;
+
+struct Buf5 {
+    /// Per-key slot — the model twin of `KeySlot`: every queued ack cell
+    /// plus the newest value. `None` = key untouched since last drain.
+    slots: Vec<Option<(Vec<Cell>, u32)>>,
+    /// Overlay of the batch currently being applied (`inflight_overlay`).
+    inflight: Vec<Option<u32>>,
+    /// Every push in buf-lock order — the newest-wins oracle.
+    push_log: Vec<(usize, u32)>,
+    shutdown: bool,
+}
+
+struct Svc5 {
+    buf: Mutex<Buf5>,
+    /// The table plus a table-op counter. Only the committer writes it;
+    /// readers fall through to it after the overlay misses. The buf lock
+    /// is never held while this one is taken (Buf → Store never nests).
+    store: Mutex<(Vec<Option<u32>>, u32)>,
+    work_cv: Condvar,
+    ack_cv: Condvar,
+}
+
+impl Svc5 {
+    fn new() -> Self {
+        Svc5 {
+            buf: Mutex::new(Buf5 {
+                slots: vec![None; P5_KEYS],
+                inflight: vec![None; P5_KEYS],
+                push_log: Vec::new(),
+                shutdown: false,
+            }),
+            store: Mutex::new((vec![None; P5_KEYS], 0)),
+            work_cv: Condvar::new(),
+            ack_cv: Condvar::new(),
+        }
+    }
+
+    /// The upsert half of `CoalesceBuf::push`: append the cell, replace
+    /// `newest` — no store lock anywhere near.
+    fn push(&self, k: usize, v: u32) -> Cell {
+        let cell = new_cell();
+        {
+            let mut buf = self.buf.lock();
+            match &mut buf.slots[k] {
+                Some((cells, newest)) => {
+                    cells.push(Arc::clone(&cell));
+                    *newest = v;
+                }
+                slot @ None => *slot = Some((vec![Arc::clone(&cell)], v)),
+            }
+            buf.push_log.push((k, v));
+        }
+        self.work_cv.notify_all();
+        cell
+    }
+
+    /// The submit path: push, then park for the ack.
+    fn submit(&self, k: usize, v: u32) -> Result<bool, String> {
+        let cell = self.push(k, v);
+        let mut buf = self.buf.lock();
+        loop {
+            if let Some(r) = cell.lock().take() {
+                drop(buf);
+                return r;
+            }
+            buf = self.ack_cv.wait(buf);
+        }
+    }
+
+    /// The overlay read: live slot first, inflight overlay second, table
+    /// last — the buf lock is released before the store lock is taken.
+    fn get(&self, k: usize) -> Option<u32> {
+        {
+            let buf = self.buf.lock();
+            if let Some((_, newest)) = &buf.slots[k] {
+                return Some(*newest);
+            }
+            if let Some(v) = buf.inflight[k] {
+                return Some(v);
+            }
+        }
+        self.store.lock().0[k]
+    }
+}
+
+fn committer5(svc: &Svc5, mutation: P5Mutation) {
+    enum Todo {
+        Drain,
+        Exit,
+    }
+    loop {
+        let todo = {
+            let mut buf = svc.buf.lock();
+            loop {
+                if mutation == P5Mutation::ExitBeforeDrain && buf.shutdown {
+                    break Todo::Exit; // BUG under test: live slots outranked.
+                }
+                if buf.slots.iter().any(|s| s.is_some()) {
+                    break Todo::Drain;
+                }
+                if buf.shutdown {
+                    break Todo::Exit;
+                }
+                buf = svc.work_cv.wait(buf);
+            }
+        };
+        match todo {
+            Todo::Exit => return,
+            Todo::Drain => {
+                // Phase 1: take every slot and post the overlay, all
+                // under one buf-lock hold.
+                let drained: Vec<(usize, Vec<Cell>, u32)> = {
+                    let mut buf = svc.buf.lock();
+                    let mut out = Vec::new();
+                    for k in 0..P5_KEYS {
+                        let taken = if mutation == P5Mutation::SplitDrain {
+                            buf.slots[k].clone() // BUG: snapshot now, wipe later.
+                        } else {
+                            buf.slots[k].take()
+                        };
+                        if let Some((cells, newest)) = taken {
+                            if mutation != P5Mutation::NoInflightOverlay {
+                                buf.inflight[k] = Some(newest);
+                            }
+                            out.push((k, cells, newest));
+                        }
+                    }
+                    out
+                };
+                if mutation == P5Mutation::SplitDrain {
+                    // BUG second half: an upsert that landed between the
+                    // snapshot and this wipe is dropped on the floor.
+                    let mut buf = svc.buf.lock();
+                    for slot in buf.slots.iter_mut() {
+                        *slot = None;
+                    }
+                }
+                // Phase 2: one table op per distinct key, outside the
+                // buf lock — this is the coalescing payoff.
+                {
+                    let mut store = svc.store.lock();
+                    for (k, _, newest) in &drained {
+                        store.0[*k] = Some(*newest);
+                        store.1 += 1;
+                    }
+                }
+                // Phase 3: fill every queued cell and retire the
+                // overlay, back under the buf lock.
+                {
+                    let mut buf = svc.buf.lock();
+                    for (k, cells, _) in drained {
+                        for cell in cells {
+                            *cell.lock() = Some(Ok(true));
+                        }
+                        buf.inflight[k] = None;
+                    }
+                }
+                if mutation != P5Mutation::NoAckNotify {
+                    svc.ack_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// `with_reader` adds the read-your-writes task; mutation tests whose
+/// hazard lives entirely on the writer path drop it to keep the racy
+/// interleaving shallow in the DFS order.
+fn p5_instance(with_reader: bool, mutation: P5Mutation) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let svc = Arc::new(Svc5::new());
+        let c = {
+            let s = Arc::clone(&svc);
+            thread::spawn(move || committer5(&s, mutation))
+        };
+        // Two writers churn the SAME hot key: whichever drain picks them
+        // up, both must ack and the table must end on the later push.
+        let writers: Vec<_> = (1..=2u32)
+            .map(|v| {
+                let s = Arc::clone(&svc);
+                thread::spawn(move || s.submit(0, v))
+            })
+            .collect();
+        // A third task exercises read-your-writes across the drain
+        // window on its own key: fire-and-forget push, then read — the
+        // value must be visible in the slot, the overlay, or the table.
+        let reader = with_reader.then(|| {
+            let s = Arc::clone(&svc);
+            thread::spawn(move || {
+                let _cell = s.push(1, 7);
+                assert_eq!(s.get(1), Some(7), "read-your-writes lost across the drain window");
+            })
+        });
+        for h in writers {
+            assert_eq!(h.join().unwrap(), Ok(true));
+        }
+        if let Some(r) = reader {
+            r.join().unwrap();
+        }
+        // The drop path: flag, wake, join — shutdown must drain key 1's
+        // possibly-still-live slot before exiting.
+        svc.buf.lock().shutdown = true;
+        svc.work_cv.notify_all();
+        c.join().unwrap();
+        // Newest-wins equivalence: the final table value per key is the
+        // last push in buf-lock order, and coalescing never spends more
+        // than one table op per push.
+        let log = svc.buf.lock().push_log.clone();
+        let (values, table_ops) = {
+            let store = svc.store.lock();
+            (store.0.clone(), store.1)
+        };
+        for (k, value) in values.iter().enumerate() {
+            let want = log.iter().rev().find(|(kk, _)| *kk == k).map(|&(_, v)| v);
+            assert_eq!(*value, want, "newest-wins equivalence broken for key {k}");
+        }
+        assert!(
+            table_ops as usize <= log.len(),
+            "coalescing spent {table_ops} table ops on {} pushes",
+            log.len()
+        );
+    }
+}
+
+/// The SplitDrain hazard needs an upsert landing in the lock-release
+/// window *inside* the mutated drain. The full instance's space is too
+/// big for the bounded DFS to reach that corner, so this bespoke tiny
+/// instance shrinks it: one parked writer gives the committer a batch
+/// to drain, and the racing upsert is issued by the driver itself.
+/// Either racing push can be the wiped one, so the catch is a stranded
+/// writer (deadlock) or a broken newest-wins oracle (panic).
+fn p5_split_drain_instance() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let svc = Arc::new(Svc5::new());
+        let c = {
+            let s = Arc::clone(&svc);
+            thread::spawn(move || committer5(&s, P5Mutation::SplitDrain))
+        };
+        let w = {
+            let s = Arc::clone(&svc);
+            thread::spawn(move || s.submit(0, 1))
+        };
+        // The racing upsert: fire-and-forget; newest-wins says the
+        // table must end on whichever value pushed last.
+        let _cell = svc.push(0, 2);
+        assert_eq!(w.join().unwrap(), Ok(true));
+        svc.buf.lock().shutdown = true;
+        svc.work_cv.notify_all();
+        c.join().unwrap();
+        let log = svc.buf.lock().push_log.clone();
+        let got = svc.store.lock().0[0];
+        let want = log.iter().rev().find(|(k, _)| *k == 0).map(|&(_, v)| v);
+        assert_eq!(got, want, "newest-wins equivalence broken: a racing upsert was dropped");
+    }
+}
+
+#[test]
+fn p5_coalescing_handshake_holds() {
+    let report = Checker::new()
+        .max_schedules(2_000)
+        .check(p5_instance(true, P5Mutation::None))
+        .unwrap_or_else(|v| panic!("coalescing handshake violated:\n{v}"));
+    assert!(report.schedules > 10);
+}
+
+#[test]
+fn p5_mutation_split_drain_is_caught() {
+    // Depending on which racing upsert lands in the wipe window, the
+    // dropped op strands a parked writer (deadlock) or breaks the final
+    // newest-wins/ack assertions (panic) — either way, caught.
+    let v = Checker::new()
+        .spurious_budget(0)
+        .check(p5_split_drain_instance())
+        .expect_err("a drain that releases the buf lock mid-take drops racing upserts");
+    assert!(matches!(v.kind, ViolationKind::Deadlock | ViolationKind::Panic), "{v}");
+}
+
+#[test]
+fn p5_mutation_missing_inflight_overlay_is_caught() {
+    let v = Checker::new()
+        .spurious_budget(0)
+        .check(p5_instance(true, P5Mutation::NoInflightOverlay))
+        .expect_err("without the overlay, a mid-apply read misses its own write");
+    assert_eq!(v.kind, ViolationKind::Panic, "{v}");
+    assert!(v.message.contains("read-your-writes"), "{v}");
+}
+
+#[test]
+fn p5_mutation_exit_before_drain_is_caught() {
+    let v = Checker::new()
+        .spurious_budget(0)
+        .check(p5_instance(true, P5Mutation::ExitBeforeDrain))
+        .expect_err("an exit that outranks live slots discards accepted upserts");
+    assert_eq!(v.kind, ViolationKind::Panic, "{v}");
+    assert!(v.message.contains("newest-wins"), "{v}");
+}
+
+#[test]
+fn p5_mutation_dropped_ack_notify_is_caught() {
+    let v = Checker::new()
+        .spurious_budget(0)
+        .check(p5_instance(false, P5Mutation::NoAckNotify))
+        .expect_err("filled cells without a wakeup strand parked writers");
+    assert_eq!(v.kind, ViolationKind::Deadlock, "{v}");
+}
+
+// ---------------------------------------------------------------------------
 // Satellite: a committer panic must not strand a parked writer.
 
 /// Model twin of `service.rs`'s `CommitterPanicGuard`: on a panicking
@@ -852,6 +1198,7 @@ fn bounded_exploration_covers_over_ten_thousand_interleavings() {
             .unwrap(),
         Checker::new().max_schedules(budget).check(p3_instance(2, P3Mutation::None)).unwrap(),
         Checker::new().max_schedules(budget).check(p4_instance(2, P4Mutation::None)).unwrap(),
+        Checker::new().max_schedules(budget).check(p5_instance(true, P5Mutation::None)).unwrap(),
     ];
     for r in &reports {
         distinct += r.distinct;
@@ -860,7 +1207,7 @@ fn bounded_exploration_covers_over_ten_thousand_interleavings() {
     }
     assert!(
         distinct >= 10_000,
-        "four protocols explored only {distinct} distinct interleavings \
+        "five protocols explored only {distinct} distinct interleavings \
          (exhausted: {exhausted_all})"
     );
 }
@@ -887,6 +1234,7 @@ fn nightly_exhaustive_dfs_sweep() {
         ("p3", Checker::new().max_schedules(cap).check(p3_instance(2, P3Mutation::None))),
         ("p3r", Checker::new().max_schedules(cap).check(p3_racing_instance(2, P3Mutation::None))),
         ("p4", Checker::new().max_schedules(cap).check(p4_instance(2, P4Mutation::None))),
+        ("p5", Checker::new().max_schedules(cap).check(p5_instance(true, P5Mutation::None))),
     ];
     for (name, r) in reports {
         let r = r.unwrap_or_else(|v| panic!("{name}: violation in deep sweep:\n{v}"));

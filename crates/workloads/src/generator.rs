@@ -312,6 +312,82 @@ impl Workload for ConcurrentChurn {
     }
 }
 
+/// The hot-key write stream: every thread hammers Zipf(θ)-popular keys
+/// inside its own private namespace (same 8-bit thread tag as
+/// [`ConcurrentChurn`]). Unlike every other family, keys **repeat** —
+/// this is the workload the newest-wins coalescing buffer exists for,
+/// and its uncoalesced twin is simply [`ConcurrentChurn`] with
+/// `insert_ratio = 1.0` (same op count, all keys distinct, nothing to
+/// coalesce).
+#[derive(Clone, Copy, Debug)]
+pub struct ZipfWrites {
+    /// Number of writer threads (≤ 256: the namespace tag is 8 bits).
+    pub threads: usize,
+    /// Write operations per thread.
+    pub ops_per_thread: usize,
+    /// Distinct keys per thread namespace; rank 0 is the hottest.
+    pub universe: usize,
+    /// Zipf skew, in `(0, 1)`.
+    pub theta: f64,
+}
+
+impl ZipfWrites {
+    /// Validates the shape: thread bounds as [`ConcurrentChurn`], a
+    /// non-empty universe, and θ inside the sampler's `(0, 1)` domain.
+    pub fn new(
+        threads: usize,
+        ops_per_thread: usize,
+        universe: usize,
+        theta: f64,
+    ) -> Result<Self, WorkloadError> {
+        if threads == 0 || threads > 256 {
+            return Err(WorkloadError::BadRatio { param: "threads", value: threads as f64 });
+        }
+        if universe == 0 {
+            return Err(WorkloadError::BadRatio { param: "universe", value: 0.0 });
+        }
+        if !(theta > 0.0 && theta < 1.0) {
+            return Err(WorkloadError::BadRatio { param: "theta", value: theta });
+        }
+        Ok(ZipfWrites { threads, ops_per_thread, universe, theta })
+    }
+
+    /// Thread `t`'s trace: `ops_per_thread` puts of Zipf-ranked keys in
+    /// thread `t`'s namespace, values distinct per step so newest-wins
+    /// coalescing is observable. Deterministic in `(self, t, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t >= self.threads`.
+    pub fn thread_trace(&self, t: usize, seed: u64) -> Trace {
+        assert!(t < self.threads, "thread {t} out of range ({} threads)", self.threads);
+        let tag = (t as u64) << THREAD_TAG_SHIFT;
+        let mut rng = SplitMix64::new(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let zipf = ZipfSampler::new(self.universe as u64, self.theta);
+        let ops = (0..self.ops_per_thread)
+            .map(|i| Op::Insert(tag | zipf.sample(&mut rng), i as u64))
+            .collect();
+        Trace { ops }
+    }
+}
+
+impl Workload for ZipfWrites {
+    fn generate(&self, seed: u64) -> Trace {
+        let threads: Vec<Trace> = (0..self.threads).map(|t| self.thread_trace(t, seed)).collect();
+        let mut ops = Vec::with_capacity(self.threads * self.ops_per_thread);
+        for i in 0..self.ops_per_thread {
+            for t in &threads {
+                ops.push(t.ops[i]);
+            }
+        }
+        Trace { ops }
+    }
+
+    fn name(&self) -> &'static str {
+        "zipf-writes"
+    }
+}
+
 /// The introduction's motivating scenario: *archival data management* —
 /// long runs of insertions (log records arriving) punctuated by rare
 /// point lookups, skewed toward recently archived records.
@@ -538,6 +614,40 @@ mod tests {
         assert!(ConcurrentChurn::new(257, 10, 0.5, 0.1).is_err(), "tag bits overflow");
         assert!(ConcurrentChurn::new(2, 10, 1.5, 0.0).is_err(), "bad ratio");
         assert!(ConcurrentChurn::new(2, 10, 0.5, 0.1).is_ok());
+    }
+
+    #[test]
+    fn zipf_writes_repeat_hot_keys_in_disjoint_namespaces() {
+        let w = ZipfWrites::new(4, 2000, 64, 0.99).unwrap();
+        let mut namespaces: Vec<HashSet<u64>> = Vec::new();
+        for t in 0..4 {
+            let a = w.thread_trace(t, 11);
+            assert_eq!(a, w.thread_trace(t, 11), "same seed, same trace");
+            assert_ne!(a, w.thread_trace(t, 12), "different seed, different trace");
+            assert_eq!(a.len(), 2000);
+            let keys: HashSet<u64> = a
+                .ops
+                .iter()
+                .map(|op| match op {
+                    Op::Insert(k, _) => {
+                        assert!(*k < 1 << 63, "keys stay 63-bit");
+                        *k
+                    }
+                    _ => panic!("zipf-writes is puts only"),
+                })
+                .collect();
+            assert!(keys.len() <= 64, "keys come from the {}-key universe", 64);
+            assert!(keys.len() < 2000 / 4, "hot keys repeat: {} distinct", keys.len());
+            namespaces.push(keys);
+        }
+        for (i, a) in namespaces.iter().enumerate() {
+            for b in namespaces.iter().skip(i + 1) {
+                assert!(a.is_disjoint(b), "thread namespaces overlap");
+            }
+        }
+        assert!(ZipfWrites::new(0, 10, 64, 0.9).is_err(), "zero threads");
+        assert!(ZipfWrites::new(2, 10, 0, 0.9).is_err(), "empty universe");
+        assert!(ZipfWrites::new(2, 10, 64, 1.0).is_err(), "theta out of range");
     }
 
     #[test]

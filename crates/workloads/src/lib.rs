@@ -41,7 +41,7 @@ pub mod zipf;
 pub use blob::{blob_torture_run, sweep_blob_crashes, BlobTortureReport, BlobTortureSpec};
 pub use generator::{
     ArchivalStream, ChurnMix, ConcurrentChurn, InsertLookupMix, UniformInserts, Workload,
-    WorkloadError, ZipfQueries,
+    WorkloadError, ZipfQueries, ZipfWrites,
 };
 pub use runner::{measure_tq, measure_tq_unsuccessful, parallel_trials, run_trace, RunReport};
 pub use service::{

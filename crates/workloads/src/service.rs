@@ -137,6 +137,16 @@ pub struct ServiceTortureReport {
     pub sealed_discards: u64,
     /// Discard attempts that failed (retried by later rounds).
     pub sealed_discard_failures: u64,
+    /// Table ops saved by newest-wins coalescing before the crash.
+    pub coalesced_ops: u64,
+    /// Incremental manifest-delta appends before the crash.
+    pub manifest_delta_commits: u64,
+    /// Bytes those delta appends wrote (frames included).
+    pub manifest_delta_bytes: u64,
+    /// Full manifest rewrites before the crash (shard creates included).
+    pub manifest_full_commits: u64,
+    /// Bytes those full rewrites wrote.
+    pub manifest_full_bytes: u64,
 }
 
 /// Applies a recorded batch effect list to a model. This harness drives
@@ -205,6 +215,11 @@ pub fn service_torture_run(
     let mut shard_syncs = 0;
     let mut sealed_discards = 0;
     let mut sealed_discard_failures = 0;
+    let mut coalesced_ops = 0;
+    let mut manifest_delta_commits = 0;
+    let mut manifest_delta_bytes = 0;
+    let mut manifest_full_commits = 0;
+    let mut manifest_full_bytes = 0;
     let mut history = Vec::new();
 
     match ShardedKvStore::open_on(
@@ -310,6 +325,11 @@ pub fn service_torture_run(
             shard_syncs = stats.shard_syncs;
             sealed_discards = stats.sealed_discards;
             sealed_discard_failures = stats.sealed_discard_failures;
+            coalesced_ops = stats.coalesced_ops;
+            manifest_delta_commits = stats.manifest_delta_commits;
+            manifest_delta_bytes = stats.manifest_delta_bytes;
+            manifest_full_commits = stats.manifest_full_commits;
+            manifest_full_bytes = stats.manifest_full_bytes;
             crashed = env.crashed();
             if !crashed && stats.wedged_shards > 0 {
                 violations
@@ -334,6 +354,17 @@ pub fn service_torture_run(
                         "{} sealed-segment discard(s) failed on a fault-free run",
                         stats.sealed_discard_failures
                     ));
+                }
+                // A rotation's per-shard harden is the incremental
+                // commit path's bread and butter: a fault-free rotating
+                // lifecycle that never appended a delta means hardens
+                // regressed to full rewrites.
+                if stats.manifest_delta_commits == 0 {
+                    violations.lock().unwrap().push(
+                        "checkpoint rotations ran but no manifest delta was ever \
+                         appended — mid-life hardens are doing full rewrites"
+                            .into(),
+                    );
                 }
             }
             history = svc.batch_history();
@@ -376,6 +407,11 @@ pub fn service_torture_run(
             shard_syncs,
             sealed_discards,
             sealed_discard_failures,
+            coalesced_ops,
+            manifest_delta_commits,
+            manifest_delta_bytes,
+            manifest_full_commits,
+            manifest_full_bytes,
         }
     };
     let svc = match ShardedKvStore::open_on(
@@ -457,6 +493,25 @@ pub fn service_torture_run(
     }
     if let Err(e) = svc.sync_all() {
         violations.push(format!("post-recovery sync_all failed: {e}"));
+    }
+    // Checkpoint bytes are O(delta), not O(table): the first lifecycle's
+    // average delta append is compared against the full manifests the
+    // recovered service just rewrote (the marker-setting `sync_all`) at
+    // the *recovered* table size. A delta costing anywhere near a full
+    // rewrite means the incremental harden path regressed to
+    // table-sized checkpoints.
+    if crash_at.is_none() && !crashed {
+        let rec = svc.stats();
+        let avg_delta = manifest_delta_bytes.checked_div(manifest_delta_commits);
+        let avg_full = rec.manifest_full_bytes.checked_div(rec.manifest_full_commits);
+        if let (Some(avg_delta), Some(avg_full)) = (avg_delta, avg_full) {
+            if avg_delta.saturating_mul(2) > avg_full {
+                violations.push(format!(
+                    "checkpoint hardens scale with the table: the average delta append \
+                     cost {avg_delta} B against a {avg_full} B full manifest rewrite"
+                ));
+            }
+        }
     }
     drop(svc);
     match ShardedKvStore::open_on(
@@ -578,6 +633,34 @@ mod tests {
         assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
         assert!(report.sealed_discards >= 1, "a rotation completed: {report:?}");
         assert_eq!(report.sealed_discard_failures, 0, "no faults injected: {report:?}");
+        assert!(report.manifest_delta_commits >= 1, "rotation hardens append deltas: {report:?}");
+    }
+
+    /// The incremental harden is O(delta), not O(table): quadrupling
+    /// the workload (and with it the recovered table) leaves the
+    /// average delta append flat. The harness additionally checks each
+    /// fault-free rotating run's average delta against the recovered
+    /// table's full-manifest size (the O(table) yardstick).
+    #[test]
+    fn delta_append_bytes_do_not_scale_with_the_table() {
+        let small_spec = ServiceTortureSpec::checkpointing(27);
+        let small = service_torture_run(&small_spec, None);
+        assert!(small.violations.is_empty(), "small run: {:?}", small.violations);
+        let big_spec =
+            ServiceTortureSpec { ops_per_thread: small_spec.ops_per_thread * 4, ..small_spec };
+        let big = service_torture_run(&big_spec, None);
+        assert!(big.violations.is_empty(), "big run: {:?}", big.violations);
+        assert!(small.manifest_delta_commits >= 1, "{small:?}");
+        assert!(big.manifest_delta_commits > small.manifest_delta_commits, "{big:?}");
+        let small_avg = small.manifest_delta_bytes / small.manifest_delta_commits;
+        let big_avg = big.manifest_delta_bytes / big.manifest_delta_commits;
+        assert!(
+            big_avg <= small_avg * 2,
+            "average delta append grew with the table: {small_avg} B -> {big_avg} B"
+        );
+        // The chunked writers exercise newest-wins coalescing for real
+        // (same-key repeats inside a pipelined chunk collapse).
+        assert!(small.coalesced_ops > 0, "workload never coalesced: {small:?}");
     }
 
     #[test]

@@ -6,10 +6,12 @@
 
 use std::collections::HashMap;
 
-use dyn_ext_hash::core::{CoreConfig, ShardedKvStore, WriteOp};
+use dyn_ext_hash::core::{CoreConfig, ShardedKvStore, SimServiceMedia, WriteOp};
+use dyn_ext_hash::extmem::{FaultPlan, SimEnv};
 use dyn_ext_hash::workloads::{
     service_torture_run, sweep_service_crashes, ConcurrentChurn, Op, ServiceTortureSpec,
 };
+use proptest::prelude::*;
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("dxh-svc-{tag}-{}", std::process::id()))
@@ -294,6 +296,218 @@ fn mid_commit_crash_recovers_to_a_batch_boundary() {
     let mid = service_torture_run(&spec, Some(clean.total_ops / 2));
     assert!(mid.crashed, "the crash point fires inside the workload");
     assert!(mid.violations.is_empty(), "violations: {:?}", mid.violations);
+}
+
+/// A generated write op plus the serial model's answer for it.
+fn apply_serial(model: &mut HashMap<u64, u64>, sel: u8, k: u64, v: u64) -> (WriteOp, bool) {
+    if sel < 6 {
+        model.insert(k, v);
+        (WriteOp::Put(k, v), true)
+    } else {
+        (WriteOp::Delete(k), model.remove(&k).is_some())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The coalescing equivalence battery, part 1: arbitrary hot-key op
+    /// streams submitted in arbitrary chunk sizes (the newest-wins
+    /// buffer collapses same-key runs) must answer exactly like
+    /// op-at-a-time serial application, leave the same logical state as
+    /// an uncoalesced single-op twin service, save exactly the
+    /// predicted number of table ops, and hold that state across a
+    /// marker sync, a power-cycle reopen, a per-shard compaction, and a
+    /// final reopen.
+    #[test]
+    fn coalesced_submit_is_equivalent_to_serial_application(
+        ops in proptest::collection::vec((0u8..10, 0u64..24, 1u64..1_000), 1..160),
+        chunk in 1usize..9,
+        shards in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let env = SimEnv::new();
+        let cfg = CoreConfig::lemma5(4, 96, 2).unwrap();
+        let svc =
+            ShardedKvStore::open_on(SimServiceMedia::new(&env), shards, cfg.clone(), seed)
+                .unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut expected_coalesced = 0u64;
+        for window in ops.chunks(chunk) {
+            let mut batch = Vec::with_capacity(window.len());
+            let mut expect = Vec::with_capacity(window.len());
+            for &(sel, k, v) in window {
+                let (op, ans) = apply_serial(&mut model, sel, k, v);
+                batch.push(op);
+                expect.push(ans);
+            }
+            // Each submit's per-shard slice drains as one batch, so the
+            // coalescing saving is exactly (slice ops − distinct keys).
+            let mut per_shard: HashMap<usize, (u64, std::collections::HashSet<u64>)> =
+                HashMap::new();
+            for &(_, k, _) in window {
+                let e = per_shard.entry(svc.shard_of(k)).or_default();
+                e.0 += 1;
+                e.1.insert(k);
+            }
+            expected_coalesced +=
+                per_shard.values().map(|(n, ks)| n - ks.len() as u64).sum::<u64>();
+            let answers = svc.submit(&batch).unwrap();
+            prop_assert_eq!(answers, expect, "chunked answers reconstruct serial presence");
+        }
+        prop_assert_eq!(svc.stats().coalesced_ops, expected_coalesced);
+        // The uncoalesced twin: same ops, one per submit (a batch of one
+        // has nothing to coalesce).
+        let env2 = SimEnv::new();
+        let serial =
+            ShardedKvStore::open_on(SimServiceMedia::new(&env2), shards, cfg.clone(), seed)
+                .unwrap();
+        let mut twin: HashMap<u64, u64> = HashMap::new();
+        for &(sel, k, v) in &ops {
+            let (op, ans) = apply_serial(&mut twin, sel, k, v);
+            prop_assert_eq!(serial.submit(&[op]).unwrap(), vec![ans]);
+        }
+        prop_assert_eq!(serial.stats().coalesced_ops, 0, "single-op batches cannot coalesce");
+        for k in 0..24u64 {
+            prop_assert_eq!(svc.get(k).unwrap(), serial.get(k).unwrap(), "twin diverged at {}", k);
+            prop_assert_eq!(svc.get(k).unwrap(), model.get(&k).copied(), "model diverged at {}", k);
+        }
+        drop(serial);
+        // Durability of the coalesced state: sync, clean reopen after a
+        // power cycle, compaction, reopen again.
+        svc.sync_all().unwrap();
+        drop(svc);
+        env.power_cycle();
+        let svc =
+            ShardedKvStore::open_on(SimServiceMedia::new(&env), shards, cfg.clone(), seed)
+                .unwrap();
+        for k in 0..24u64 {
+            prop_assert_eq!(svc.get(k).unwrap(), model.get(&k).copied(), "after reopen: {}", k);
+        }
+        for si in 0..shards {
+            svc.with_shard(si, |s| s.compact()).unwrap();
+        }
+        svc.sync_all().unwrap();
+        for k in 0..24u64 {
+            prop_assert_eq!(svc.get(k).unwrap(), model.get(&k).copied(), "after compact: {}", k);
+        }
+        drop(svc);
+        let svc = ShardedKvStore::open_on(SimServiceMedia::new(&env), shards, cfg, seed).unwrap();
+        for k in 0..24u64 {
+            prop_assert_eq!(svc.get(k).unwrap(), model.get(&k).copied(), "final reopen: {}", k);
+        }
+    }
+
+    /// The coalescing equivalence battery, part 2: a crash at an
+    /// arbitrary point of the lifecycle recovers every acknowledged
+    /// chunk exactly, and the crashing chunk all-in-or-all-out per
+    /// shard slice — coalesced commit-log records replay to the same
+    /// state serial records would have.
+    #[test]
+    fn coalesced_crash_recovery_is_chunk_atomic_per_shard(
+        ops in proptest::collection::vec((0u8..10, 0u64..16, 1u64..1_000), 8..120),
+        chunk in 1usize..7,
+        shards in 1usize..4,
+        seed in any::<u64>(),
+        frac in 0.05f64..0.95,
+    ) {
+        let cfg = CoreConfig::lemma5(4, 96, 2).unwrap();
+        // Size the fault-free lifecycle to aim the crash inside it.
+        let sizing = SimEnv::new();
+        {
+            let svc = ShardedKvStore::open_on(
+                SimServiceMedia::new(&sizing), shards, cfg.clone(), seed).unwrap();
+            for window in ops.chunks(chunk) {
+                let batch: Vec<WriteOp> = window.iter()
+                    .map(|&(sel, k, v)| {
+                        if sel < 6 { WriteOp::Put(k, v) } else { WriteOp::Delete(k) }
+                    })
+                    .collect();
+                svc.submit(&batch).unwrap();
+            }
+        }
+        let crash_at = ((sizing.ops() as f64 * frac) as u64).max(1);
+        let env = SimEnv::new();
+        env.set_plan(FaultPlan::crash(crash_at, seed ^ crash_at.rotate_left(17)));
+        let svc = match ShardedKvStore::open_on(
+            SimServiceMedia::new(&env), shards, cfg.clone(), seed) {
+            Ok(s) => s,
+            Err(_) => {
+                prop_assert!(env.crashed(), "open failed without a crash");
+                return Ok(()); // crash during open: nothing was acknowledged
+            }
+        };
+        let mut acked: HashMap<u64, u64> = HashMap::new();
+        let mut failed_window: Option<&[(u8, u64, u64)]> = None;
+        for window in ops.chunks(chunk) {
+            let batch: Vec<WriteOp> = window.iter()
+                .map(|&(sel, k, v)| if sel < 6 { WriteOp::Put(k, v) } else { WriteOp::Delete(k) })
+                .collect();
+            match svc.submit(&batch) {
+                Ok(_) => {
+                    for &(sel, k, v) in window {
+                        apply_serial(&mut acked, sel, k, v);
+                    }
+                }
+                Err(_) => {
+                    prop_assert!(env.crashed(), "submit failed without a crash");
+                    failed_window = Some(window);
+                    break;
+                }
+            }
+        }
+        drop(svc); // wedged shards must not commit
+        env.power_cycle();
+        let svc = ShardedKvStore::open_on(SimServiceMedia::new(&env), shards, cfg, seed).unwrap();
+        // The crashing chunk's per-shard verdict: every key of a shard's
+        // slice reflects the chunk, or none does.
+        let mut failed: HashMap<u64, u64> = acked.clone();
+        let mut failed_keys: Vec<u64> = Vec::new();
+        if let Some(window) = failed_window {
+            for &(sel, k, v) in window {
+                apply_serial(&mut failed, sel, k, v);
+                if !failed_keys.contains(&k) {
+                    failed_keys.push(k);
+                }
+            }
+        }
+        let mut shard_verdict: HashMap<usize, bool> = HashMap::new();
+        for &k in &failed_keys {
+            let got = svc.get(k).unwrap();
+            let before = acked.get(&k).copied();
+            let after = failed.get(&k).copied();
+            let verdict = match (got == before, got == after) {
+                (_, _) if before == after => continue, // indistinguishable
+                (true, false) => false,
+                (false, true) => true,
+                (true, true) => continue,
+                (false, false) => {
+                    return Err(TestCaseError::fail(format!(
+                        "key {k} recovered to {got:?}, matching neither the acked \
+                         fold ({before:?}) nor the crashing chunk ({after:?})"
+                    )));
+                }
+            };
+            let si = svc.shard_of(k);
+            if let Some(&prev) = shard_verdict.get(&si) {
+                prop_assert_eq!(prev, verdict, "shard {} split the crashing chunk", si);
+            }
+            shard_verdict.insert(si, verdict);
+        }
+        // Every key the crashing chunk did not touch recovers to the
+        // acked fold exactly.
+        for k in 0..16u64 {
+            if failed_keys.contains(&k) {
+                continue;
+            }
+            prop_assert_eq!(
+                svc.get(k).unwrap(),
+                acked.get(&k).copied(),
+                "acked key {} diverged after crash recovery",
+                k
+            );
+        }
+    }
 }
 
 /// Reopening with a different shard count is refused — the partition is

@@ -18,11 +18,13 @@
 //! Check semantics per rule (deliberately conservative, pinned by the
 //! seeded-mutant tests below):
 //!
-//! * `rename-after-data-fsync` — the **nearest** write-class effect
-//!   before each rename must be a data fsync; a rename with no prior
-//!   write-class effect is vacuously ordered (nothing volatile can be
-//!   swapped past it — `CommitLog::seal`'s shape, whose bytes were all
-//!   fsynced by the commits that wrote them).
+//! * `rename-after-data-fsync` / `delta-append-after-data-fsync` — the
+//!   **nearest** write-class effect before each rename (or manifest-delta
+//!   append, the incremental commit point with the rename's semantics)
+//!   must be a data fsync; an anchor with no prior write-class effect is
+//!   vacuously ordered (nothing volatile can be swapped past it —
+//!   `CommitLog::seal`'s shape, whose bytes were all fsynced by the
+//!   commits that wrote them).
 //! * `ack-after-fsync` — **existence**: some data fsync must appear
 //!   before the ack in the path (not "nearest", because failure-path
 //!   rollbacks like `DirCommitLog::commit`'s `set_len` legitimately sit
@@ -100,6 +102,7 @@ pub(crate) struct ScanStats {
     pub meta_unlinks: usize,
     pub data_fsyncs: usize,
     pub dir_fsyncs: usize,
+    pub delta_appends: usize,
 }
 
 /// A classified site: where it is, in which scanned file.
@@ -231,19 +234,22 @@ fn eval_sequence(seq: &[(EffectClass, Site, bool)], out: &mut BTreeSet<Violation
                     if !own || class != rule.anchor {
                         continue;
                     }
-                    let bad = if rule.anchor == EffectClass::Rename {
-                        // Nearest write-class predecessor must be the
-                        // fsync; no predecessor is vacuously ordered.
-                        matches!(
-                            seq[..i].iter().rev().find(|(c, _, _)| {
-                                matches!(c, EffectClass::VolatileWrite | EffectClass::DataFsync)
-                            }),
-                            Some((EffectClass::VolatileWrite, _, _))
-                        )
-                    } else {
-                        // Ack: some fsync must exist earlier in the path.
-                        !seq[..i].iter().any(|(c, _, _)| *c == want)
-                    };
+                    let bad =
+                        if matches!(rule.anchor, EffectClass::Rename | EffectClass::DeltaAppend) {
+                            // Nearest write-class predecessor must be the
+                            // fsync; no predecessor is vacuously ordered.
+                            // (A manifest-delta append is an index commit
+                            // point exactly like the rename.)
+                            matches!(
+                                seq[..i].iter().rev().find(|(c, _, _)| {
+                                    matches!(c, EffectClass::VolatileWrite | EffectClass::DataFsync)
+                                }),
+                                Some((EffectClass::VolatileWrite, _, _))
+                            )
+                        } else {
+                            // Ack: some fsync must exist earlier in the path.
+                            !seq[..i].iter().any(|(c, _, _)| *c == want)
+                        };
                     if bad {
                         out.insert(Violation {
                             file: site.file,
@@ -371,6 +377,7 @@ pub(crate) fn scan_sources(srcs: &[&str]) -> (Vec<Violation>, ScanStats) {
                     EffectClass::MetaUnlink => stats.meta_unlinks += 1,
                     EffectClass::DataFsync => stats.data_fsyncs += 1,
                     EffectClass::DirFsync => stats.dir_fsyncs += 1,
+                    EffectClass::DeltaAppend => stats.delta_appends += 1,
                     EffectClass::VolatileWrite => {}
                 }
             }
@@ -428,7 +435,8 @@ pub fn run(root: Option<&str>) -> ExitCode {
         && stats.acks >= 2
         && stats.meta_unlinks >= 2
         && stats.data_fsyncs >= 8
-        && stats.dir_fsyncs >= 1;
+        && stats.dir_fsyncs >= 1
+        && stats.delta_appends >= 1;
     if !floors_ok {
         eprintln!("lint-durability: anchor census below floor ({stats:?}) — scanner broken?");
         return ExitCode::FAILURE;
@@ -438,12 +446,13 @@ pub fn run(root: Option<&str>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "lint-durability: ok ({} fns; {} rename / {} ack / {} unlink anchors, \
+        "lint-durability: ok ({} fns; {} rename / {} ack / {} unlink / {} delta anchors, \
          {} data + {} dir fsyncs; 0 violations)",
         stats.fns,
         stats.renames,
         stats.acks,
         stats.meta_unlinks,
+        stats.delta_appends,
         stats.data_fsyncs,
         stats.dir_fsyncs,
     );
@@ -635,6 +644,10 @@ mod tests {
             ("ack-after-fsync", "fn f(q: &Q) { *q.cell.0.lock() = Some(Ok(1)); }"),
             ("clean-unlink-then-dir-fsync", "fn f(d: &Path) { fs::remove_file(d.join(CLEAN))?; }"),
             ("no-discarded-sync-result", "fn f(g: &File) { let _ = g.sync_data(); }"),
+            (
+                "delta-append-after-data-fsync",
+                "fn f() { g.write_all(b)?; m.append_manifest_delta(&frame)?; }",
+            ),
         ];
         for rule in RULES.iter().filter(|r| r.lint) {
             let (_, src) = mutants
@@ -648,6 +661,38 @@ mod tests {
                 rule.name
             );
         }
+    }
+
+    /// Seeded mutant: a manifest-delta append with a bare buffered
+    /// write as its nearest predecessor; the fsync'd shape passes, and
+    /// a write-free append (the real `write_manifest_delta` shape,
+    /// whose table bytes were fsynced by the harden that called it) is
+    /// vacuously ordered.
+    #[test]
+    fn delta_append_without_data_fsync_is_caught() {
+        let bad = "
+            fn harden(&mut self) -> Result<()> {
+                self.file.write_all(bytes)?;
+                self.media.append_manifest_delta(&frame)?;
+                Ok(())
+            }
+        ";
+        let v = scan(bad);
+        assert_eq!(rules_of(&v), vec!["delta-append-after-data-fsync"], "{v:?}");
+        assert_eq!(v[0].line, 4);
+        let good = "
+            fn harden(&mut self) -> Result<()> {
+                self.file.write_all(bytes)?;
+                self.file.sync_data()?;
+                self.media.append_manifest_delta(&frame)?;
+                Ok(())
+            }
+            fn delta_only(&mut self) -> Result<()> {
+                self.media.append_manifest_delta(&frame)?;
+                Ok(())
+            }
+        ";
+        assert_eq!(scan(good), vec![]);
     }
 
     /// Inlining binds real over sim on a name collision: the sim twin's
@@ -706,5 +751,6 @@ mod tests {
         assert!(stats.meta_unlinks >= 2, "{stats:?}");
         assert!(stats.data_fsyncs >= 8, "{stats:?}");
         assert!(stats.dir_fsyncs >= 1, "{stats:?}");
+        assert!(stats.delta_appends >= 1, "{stats:?}");
     }
 }
